@@ -1,0 +1,140 @@
+// Ablation bench (DESIGN.md §5): one optimizer family, four policies,
+// same engine, same queries — isolating what run-time feedback buys.
+//
+//   rox          — full ROX (chain sampling + re-sampling)
+//   rox-greedy   — ROX without chain sampling (greedy min-weight)
+//   rox-stale    — ROX without re-sampling (independence assumption)
+//   static       — compile-time plan, no run-time feedback
+//   progressive  — static plan + validity-range re-optimization [24,25]
+//   approx(10%)  — ROX on 10% sampled tables (§6 future work)
+//
+// Run on the XMark Q1/Qm1 pair (correlation flips the right order) and
+// on a correlated DBLP combination. Reported: cumulative intermediate
+// rows (plan quality) and wall-clock.
+//
+// Flags: --auctions=4800 --tag_scale=0.5 --seed=N
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "classical/static_optimizer.h"
+#include "rox/optimizer.h"
+#include "workload/dblp.h"
+#include "workload/xmark.h"
+
+namespace {
+
+using namespace rox;
+
+struct Row {
+  const char* name;
+  uint64_t rows = 0;
+  uint64_t cumulative = 0;
+  double ms = 0;
+  int replans = -1;
+};
+
+void Report(const char* title, const std::vector<Row>& rows) {
+  std::printf("%s\n", title);
+  std::printf("  %-12s %12s %14s %10s %8s\n", "policy", "result", "cumulative",
+              "ms", "replans");
+  for (const Row& r : rows) {
+    std::printf("  %-12s %12llu %14llu %10.2f", r.name,
+                static_cast<unsigned long long>(r.rows),
+                static_cast<unsigned long long>(r.cumulative), r.ms);
+    if (r.replans >= 0) {
+      std::printf(" %8d", r.replans);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+std::vector<Row> RunPolicies(const Corpus& corpus, const JoinGraph& graph) {
+  std::vector<Row> out;
+  auto add_rox = [&](const char* name, RoxOptions opt) {
+    RoxOptimizer rox(corpus, graph, opt);
+    auto r = rox.Run();
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name,
+                   r.status().ToString().c_str());
+      return;
+    }
+    out.push_back({name, r->table.NumRows(),
+                   r->stats.cumulative_intermediate_rows,
+                   r->stats.sampling_time.TotalMillis() +
+                       r->stats.execution_time.TotalMillis(),
+                   -1});
+  };
+  add_rox("rox", {});
+  {
+    RoxOptions o;
+    o.enable_chain_sampling = false;
+    add_rox("rox-greedy", o);
+  }
+  {
+    RoxOptions o;
+    o.resample_after_execute = false;
+    add_rox("rox-stale", o);
+  }
+  {
+    StaticPlan plan = PlanStatically(corpus, graph);
+    auto r = ExecuteStaticPlan(corpus, graph, plan);
+    if (r.ok()) {
+      out.push_back({"static", r->table.NumRows(),
+                     r->stats.cumulative_intermediate_rows,
+                     r->stats.execution_time.TotalMillis(), -1});
+    }
+  }
+  {
+    auto r = ExecuteProgressively(corpus, graph);
+    if (r.ok()) {
+      out.push_back({"progressive", r->result.table.NumRows(),
+                     r->result.stats.cumulative_intermediate_rows,
+                     r->result.stats.execution_time.TotalMillis(),
+                     r->replans});
+    }
+  }
+  {
+    RoxOptions o;
+    o.approximate_fraction = 0.1;
+    add_rox("approx(10%)", o);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rox;
+  bench::Flags flags(argc, argv);
+  XmarkGenOptions xgen;
+  xgen.open_auctions =
+      static_cast<uint32_t>(flags.GetInt("auctions", 4800));
+  xgen.items = xgen.open_auctions * 2;
+  xgen.persons = static_cast<uint32_t>(xgen.open_auctions * 2.1);
+  xgen.seed = static_cast<uint64_t>(flags.GetInt("seed", xgen.seed));
+  double tag_scale = flags.GetDouble("tag_scale", 0.5);
+  flags.FailOnUnused();
+
+  std::printf("Optimizer-policy ablation on one engine\n\n");
+
+  Corpus xmark;
+  auto doc = GenerateXmarkDocument(xmark, xgen);
+  if (!doc.ok()) return 1;
+  for (bool less_than : {true, false}) {
+    XmarkQ1Graph q = BuildXmarkQ1Graph(xmark, *doc, 145.0, less_than);
+    Report(less_than ? "XMark Q1 (current < 145, few bidders)"
+                     : "XMark Qm1 (current > 145, many bidders)",
+           RunPolicies(xmark, q.graph));
+  }
+
+  DblpGenOptions dgen;
+  dgen.tag_scale = tag_scale;
+  auto corpus = GenerateDblpCorpus(dgen, {19, 20, 21, 22});
+  if (!corpus.ok()) return 1;
+  DblpQueryGraph q = BuildDblpJoinGraph(*corpus, {0, 1, 2, 3});
+  Report("DBLP ADBIS+SIGMOD+ICDE+VLDB (all-DB, correlated)",
+         RunPolicies(*corpus, q.graph));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 8 — "Impact of Sample Size τ on Sampling Overhead".
+//
+// Runs ROX over sampled combinations with τ ∈ {25, 100, 400} and
+// reports the average relative sampling overhead 100·(R−r)/r per group,
+// where R includes sampling and r is the pure execution time.
+//
+// Paper-vs-measured shape: overhead grows with τ; 25 vs 100 differ only
+// marginally while 400 costs clearly more — supporting the default
+// τ=100.
+//
+// Flags: --per_group=20 --tag_scale=1.0 --scale=2 --seed=N
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "rox/optimizer.h"
+#include "workload/dblp.h"
+
+int main(int argc, char** argv) {
+  using namespace rox;
+  bench::Flags flags(argc, argv);
+  int per_group = static_cast<int>(flags.GetInt("per_group", 20));
+  DblpGenOptions gen;
+  gen.tag_scale = flags.GetDouble("tag_scale", 1.0);
+  gen.scale = static_cast<uint32_t>(flags.GetInt("scale", 2));
+  gen.seed = static_cast<uint64_t>(flags.GetInt("seed", gen.seed));
+  flags.FailOnUnused();
+
+  const uint64_t taus[] = {25, 100, 400};
+  std::vector<bench::Combo> combos = bench::SampleCombos(per_group, 99);
+  std::printf("Figure 8: sampling overhead vs sample size tau "
+              "(%zu combinations, tag_scale=%.3g)\n\n",
+              combos.size(), gen.tag_scale);
+
+  // group -> tau -> (sum overhead, n)
+  std::map<std::string, std::map<uint64_t, std::pair<double, int>>> agg;
+  for (const bench::Combo& combo : combos) {
+    auto corpus = bench::ComboCorpus(combo, gen);
+    if (!corpus.ok()) continue;
+    DblpQueryGraph q = BuildDblpJoinGraph(*corpus, {0, 1, 2, 3});
+    for (uint64_t tau : taus) {
+      RoxOptions opt;
+      opt.tau = tau;
+      RoxOptimizer rox(*corpus, q.graph, opt);
+      auto r = rox.Run();
+      if (!r.ok() || r->table.NumRows() == 0) continue;
+      double exec = r->stats.execution_time.TotalMillis();
+      double samp = r->stats.sampling_time.TotalMillis();
+      if (exec <= 0) continue;
+      auto& cell = agg[combo.group][tau];
+      cell.first += 100.0 * samp / exec;
+      cell.second += 1;
+    }
+  }
+
+  std::printf("%-6s", "group");
+  for (uint64_t tau : taus) std::printf("  tau=%-4llu",
+                                        static_cast<unsigned long long>(tau));
+  std::printf("   (avg sampling overhead %% over pure plan)\n");
+  double all_sum[3] = {0, 0, 0};
+  int all_n[3] = {0, 0, 0};
+  for (const char* gname : {"2:2", "3:1", "4:0"}) {
+    auto it = agg.find(gname);
+    if (it == agg.end()) continue;
+    std::printf("%-6s", gname);
+    int ti = 0;
+    for (uint64_t tau : taus) {
+      auto& cell = it->second[tau];
+      double avg = cell.second ? cell.first / cell.second : 0;
+      std::printf("  %8.1f", avg);
+      all_sum[ti] += cell.first;
+      all_n[ti] += cell.second;
+      ++ti;
+    }
+    std::printf("\n");
+  }
+  std::printf("%-6s", "all");
+  for (int ti = 0; ti < 3; ++ti) {
+    std::printf("  %8.1f", all_n[ti] ? all_sum[ti] / all_n[ti] : 0.0);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Table 2 + Figure 3 — chain sampling on the XMark queries Q1 / Qm1.
+//
+// Runs ROX on the XMark-like document for
+//   Q1 : //open_auction[.//current/text() < P] ...
+//   Qm1: //open_auction[.//current/text() > P] ...
+// and prints, per ChainSample invocation, the per-round (cost, sf)
+// values of the explored path segments (the paper's Table 2), plus the
+// order in which the edges were executed (Figures 3.3 / 3.4).
+//
+// Paper-vs-measured shape: because the number of <bidder>s correlates
+// positively with the auction price, Qm1 (">" predicate) must make the
+// bidder branch look expensive and flip the execution order relative to
+// Q1 — the bidder-side path is executed early for Q1 and late for Qm1.
+//
+// Flags: --auctions=2400 --persons=2500 --items=2000 --threshold=145
+//        --tau=100 --seed=N
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "rox/optimizer.h"
+#include "workload/xmark.h"
+
+namespace {
+
+using namespace rox;
+
+// Runs one query variant, printing traces; returns +1 when the bidder
+// branch entered execution before the itemref branch, -1 otherwise.
+int RunVariant(const Corpus& corpus, DocId doc, double threshold,
+               bool less_than, const RoxOptions& opt, bool print_rounds) {
+  XmarkQ1Graph q = BuildXmarkQ1Graph(corpus, doc, threshold, less_than);
+  RoxOptimizer rox(corpus, q.graph, opt);
+  std::vector<ChainSampleTrace> traces;
+  rox.set_trace_log(&traces);
+  auto result = rox.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "ROX failed: %s\n",
+                 result.status().ToString().c_str());
+    return -1;
+  }
+
+  std::printf("%s (current/text() %s %g): %llu result rows\n",
+              less_than ? "Q1" : "Qm1", less_than ? "<" : ">", threshold,
+              static_cast<unsigned long long>(result->table.NumRows()));
+
+  if (print_rounds) {
+    int invocation = 0;
+    for (const ChainSampleTrace& t : traces) {
+      if (t.round_snapshots.empty()) continue;
+      ++invocation;
+      std::printf("  chain-sample #%d (seed edge: %s, %d rounds%s)\n",
+                  invocation, q.graph.EdgeLabel(t.seed_edge).c_str(),
+                  t.rounds, t.stopped_early ? ", stopping condition fired"
+                                            : ", branches exhausted");
+      int round_no = 0;
+      for (const auto& snap : t.round_snapshots) {
+        ++round_no;
+        std::printf("    round %d:", round_no);
+        for (const auto& p : snap.paths) {
+          if (p.edges.empty()) continue;
+          std::printf("  [len=%zu cost=%.1f sf=%.2f]", p.edges.size(),
+                      p.cost, p.sf);
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+  std::printf("  executed edge order:\n");
+  int first_bidder = -1, first_itemref = -1, pos = 0;
+  for (EdgeId e : result->stats.execution_order) {
+    ++pos;
+    std::string label = q.graph.EdgeLabel(e);
+    std::printf("   %2d. %s\n", pos, label.c_str());
+    if (first_bidder < 0 && label.find("bidder") != std::string::npos) {
+      first_bidder = pos;
+    }
+    if (first_itemref < 0 && label.find("itemref") != std::string::npos) {
+      first_itemref = pos;
+    }
+  }
+  std::printf("  bidder branch enters at %d, itemref branch at %d\n",
+              first_bidder, first_itemref);
+  std::printf("  sampling %.2f ms, execution %.2f ms, cumulative "
+              "intermediates %llu rows\n\n",
+              result->stats.sampling_time.TotalMillis(),
+              result->stats.execution_time.TotalMillis(),
+              static_cast<unsigned long long>(
+                  result->stats.cumulative_intermediate_rows));
+  return first_bidder < first_itemref ? 1 : -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rox;
+  bench::Flags flags(argc, argv);
+  XmarkGenOptions gen;  // defaults follow Figure 3.1's proportions
+  gen.open_auctions = static_cast<uint32_t>(
+      flags.GetInt("auctions", gen.open_auctions));
+  gen.persons = static_cast<uint32_t>(flags.GetInt("persons", gen.persons));
+  gen.items = static_cast<uint32_t>(flags.GetInt("items", gen.items));
+  gen.seed = static_cast<uint64_t>(flags.GetInt("seed", gen.seed));
+  double threshold = flags.GetDouble("threshold", 145);
+  RoxOptions opt;
+  opt.tau = static_cast<uint64_t>(flags.GetInt("tau", 100));
+  bool rounds = flags.GetBool("rounds", true);
+  flags.FailOnUnused();
+
+  Corpus corpus;
+  auto doc = GenerateXmarkDocument(corpus, gen);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Table 2 / Figure 3: chain sampling on XMark Q1 vs Qm1\n");
+  std::printf("document: %u auctions, %u persons, %u items (bidder count "
+              "correlated with price)\n\n",
+              gen.open_auctions, gen.persons, gen.items);
+
+  int q1 = RunVariant(corpus, *doc, threshold, /*less_than=*/true, opt,
+                      rounds);
+  int qm1 = RunVariant(corpus, *doc, threshold, /*less_than=*/false, opt,
+                       rounds);
+
+  if (q1 > 0 && qm1 < 0) {
+    std::printf(
+        "FLIP REPRODUCED: Q1 runs the bidder branch before itemref, Qm1 "
+        "reverses them — the price/bidder correlation drives the order "
+        "(Figures 3.3/3.4).\n");
+  } else {
+    std::printf("orders did not flip at this scale/seed "
+                "(Q1 bidder-first=%d, Qm1 bidder-first=%d)\n", q1, qm1);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Table 3 — "Research areas, documents and their characteristics".
+//
+// Regenerates the corpus characteristics table: for each of the 23
+// synthetic DBLP documents, the research areas, the number of <author>
+// tags (×1 and ×scale), and the (estimated serialized) document sizes.
+// Paper-vs-measured: the ×1 author-tag column must match Table 3
+// exactly (the generator is driven by it); sizes track the paper's
+// within a small factor since our article bodies are synthetic.
+//
+// Flags: --tag_scale=1.0 --scale=1 --seed=N
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "workload/dblp.h"
+
+int main(int argc, char** argv) {
+  using namespace rox;
+  bench::Flags flags(argc, argv);
+  DblpGenOptions gen;
+  gen.tag_scale = flags.GetDouble("tag_scale", 1.0);
+  gen.scale = static_cast<uint32_t>(flags.GetInt("scale", 1));
+  gen.seed = static_cast<uint64_t>(flags.GetInt("seed", gen.seed));
+  flags.FailOnUnused();
+
+  std::printf("Table 3: research areas, documents and their characteristics\n");
+  std::printf("(synthetic DBLP corpus, tag_scale=%.3g, article replication x%u)\n\n",
+              gen.tag_scale, gen.scale);
+
+  StopWatch watch;
+  auto corpus = GenerateDblpCorpus(gen);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+  double gen_ms = watch.ElapsedMillis();
+
+  std::printf("%-16s %-6s %12s %12s %12s %10s\n", "document", "areas",
+              "author tags", "paper (x1)", "nodes", "size");
+  std::printf("%.*s\n", 76, "-----------------------------------------"
+                            "-----------------------------------");
+  StringId author = corpus->Find("author");
+  uint64_t total_tags = 0, total_bytes = 0;
+  for (const DblpDocSpec& spec : Table3Documents()) {
+    auto id = corpus->Resolve(spec.name);
+    if (!id.ok()) continue;
+    const Document& doc = corpus->doc(*id);
+    uint64_t tags = corpus->element_index(*id).Count(author);
+    uint64_t bytes = doc.SerializedSizeEstimate();
+    total_tags += tags;
+    total_bytes += bytes;
+    std::string areas;
+    for (size_t i = 0; i < spec.areas.size(); ++i) {
+      if (i) areas += " ";
+      areas += AreaName(spec.areas[i]);
+    }
+    std::printf("%-16s %-6s %12llu %12llu %12u %10s\n", spec.name.c_str(),
+                areas.c_str(), static_cast<unsigned long long>(tags),
+                static_cast<unsigned long long>(spec.author_tags),
+                doc.NodeCount(), HumanBytes(bytes).c_str());
+  }
+  std::printf("%.*s\n", 76, "-----------------------------------------"
+                            "-----------------------------------");
+  std::printf("%-16s %-6s %12llu %12s %12s %10s\n", "total", "",
+              static_cast<unsigned long long>(total_tags), "~81k x scale", "",
+              HumanBytes(total_bytes).c_str());
+  std::printf("\ngeneration+shredding+indexing: %.1f ms\n", gen_ms);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// The §3.2 correlation demonstration: on XMark auctions the number of
+// <bidder>s grows with the auction's <current> price, so the twin
+// queries Q1 (price < P) and Qm1 (price > P) need *different* join
+// orders — something no static optimizer can know, and exactly what
+// ROX's re-sampling discovers at run time.
+//
+//   $ ./xmark_correlation [threshold]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "rox/optimizer.h"
+#include "workload/xmark.h"
+
+namespace {
+
+using namespace rox;
+
+void RunVariant(const Corpus& corpus, DocId doc, double threshold,
+                bool less_than) {
+  XmarkQ1Graph q = BuildXmarkQ1Graph(corpus, doc, threshold, less_than);
+  RoxOptimizer rox(corpus, q.graph, {});
+  auto result = rox.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s  (current %s %g): %llu rows, cumulative intermediates "
+              "%llu\n",
+              less_than ? "Q1 " : "Qm1", less_than ? "<" : ">", threshold,
+              static_cast<unsigned long long>(result->table.NumRows()),
+              static_cast<unsigned long long>(
+                  result->stats.cumulative_intermediate_rows));
+  int pos = 0;
+  for (EdgeId e : result->stats.execution_order) {
+    std::printf("  %2d. %s\n", ++pos, q.graph.EdgeLabel(e).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rox;
+  double threshold = argc > 1 ? std::strtod(argv[1], nullptr) : 145.0;
+
+  Corpus corpus;
+  XmarkGenOptions gen;  // defaults: 2400 auctions, correlated bidders
+  auto doc = GenerateXmarkDocument(corpus, gen);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "XMark-like document: %u auctions; bidders per auction grow with "
+      "price.\nWatch where the bidder branch lands in each execution "
+      "order:\n\n",
+      gen.open_auctions);
+  RunVariant(corpus, *doc, threshold, /*less_than=*/true);
+  RunVariant(corpus, *doc, threshold, /*less_than=*/false);
+  return 0;
+}

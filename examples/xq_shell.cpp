@@ -1,0 +1,117 @@
+// Interactive XQuery shell over the ROX engine.
+//
+//   $ ./xq_shell file1.xml file2.xml ...
+//
+// Loads the given XML files into a corpus (doc("<basename>") resolves
+// them), then reads XQueries from stdin (terminated by a line with just
+// ";") and executes each with run-time optimization, printing the
+// serialized result items and the optimizer statistics. With no files,
+// a demo XMark document is generated as doc("xmark.xml").
+//
+// Commands: \docs  (list documents)   \quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "index/corpus.h"
+#include "workload/xmark.h"
+#include "xml/parser.h"
+#include "xq/compile.h"
+
+namespace {
+
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rox;
+  Corpus corpus;
+
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      std::ifstream in(argv[i]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", argv[i]);
+        return 1;
+      }
+      std::stringstream buf;
+      buf << in.rdbuf();
+      auto id = corpus.AddXml(buf.str(), Basename(argv[i]));
+      if (!id.ok()) {
+        std::fprintf(stderr, "%s: %s\n", argv[i],
+                     id.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("loaded doc(\"%s\"): %u nodes\n",
+                  corpus.doc(*id).name().c_str(), corpus.doc(*id).NodeCount());
+    }
+  } else {
+    XmarkGenOptions gen;
+    gen.open_auctions = 500;
+    gen.items = 400;
+    gen.persons = 500;
+    auto id = GenerateXmarkDocument(corpus, gen);
+    if (!id.ok()) return 1;
+    std::printf("no files given; generated doc(\"xmark.xml\") with %u "
+                "nodes\n",
+                corpus.doc(*id).NodeCount());
+  }
+
+  std::printf("enter an XQuery terminated by a ';' line (\\docs, \\quit)\n");
+  std::string query, line;
+  while (std::printf("xq> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\docs") {
+      for (DocId d = 0; d < corpus.DocCount(); ++d) {
+        std::printf("  doc(\"%s\") — %u nodes\n",
+                    corpus.doc(d).name().c_str(), corpus.doc(d).NodeCount());
+      }
+      continue;
+    }
+    if (line != ";") {
+      query += line;
+      query += '\n';
+      continue;
+    }
+    // Execute the accumulated query.
+    auto compiled = xq::CompileXQuery(corpus, query);
+    query.clear();
+    if (!compiled.ok()) {
+      std::printf("error: %s\n", compiled.status().ToString().c_str());
+      continue;
+    }
+    RoxStats stats;
+    auto result = xq::RunXQuery(corpus, *compiled, {}, &stats);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    DocId rdoc = compiled->graph.vertex(compiled->return_vertex).doc;
+    const Document& doc = corpus.doc(rdoc);
+    size_t shown = 0;
+    for (Pre p : *result) {
+      if (shown++ == 20) {
+        std::printf("  ... (%zu more)\n", result->size() - 20);
+        break;
+      }
+      std::string s = SerializeSubtree(doc, p);
+      if (s.size() > 200) s = s.substr(0, 200) + "...";
+      std::printf("  %s\n", s.c_str());
+    }
+    std::printf("%zu items; %llu edges executed; sampling %.2f ms, "
+                "execution %.2f ms\n",
+                result->size(),
+                static_cast<unsigned long long>(stats.edges_executed),
+                stats.sampling_time.TotalMillis(),
+                stats.execution_time.TotalMillis());
+  }
+  return 0;
+}

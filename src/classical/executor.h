@@ -1,0 +1,75 @@
+// Fixed-plan executor for the DBLP 4-way author join, and the
+// histogram-based join-size calculator used to rank join orders.
+//
+// This is the "static plan" side of the paper's experiments: given an
+// equi-join order and a canonical step placement, execute the plan with
+// the same physical operators ROX uses (index lookups, child steps,
+// hash / index nested-loop value joins) but in a fixed order decided up
+// front — no sampling, no adaptation.
+
+#ifndef ROX_CLASSICAL_EXECUTOR_H_
+#define ROX_CLASSICAL_EXECUTOR_H_
+
+#include <vector>
+
+#include "classical/plans.h"
+#include "common/status.h"
+#include "index/corpus.h"
+
+namespace rox {
+
+// Measurements of one plan execution.
+struct PlanRunStats {
+  // Result rows after each equi-join, in execution order.
+  std::vector<uint64_t> join_result_sizes;
+  // Σ join_result_sizes — the paper's "cumulative (intermediate) join
+  // result cardinality" (Figure 5's y-axis).
+  uint64_t cumulative_join_rows = 0;
+  // Final result rows (after all steps and joins).
+  uint64_t result_rows = 0;
+  double elapsed_ms = 0.0;
+};
+
+// Executes canonical plans of the query
+//   for $ai in doc(Di)//author ... where $a1/text() = $ai/text()
+// over exactly 4 documents.
+class CanonicalPlanExecutor {
+ public:
+  CanonicalPlanExecutor(const Corpus& corpus, std::vector<DocId> docs);
+
+  // Runs one (join order, step placement) plan.
+  Result<PlanRunStats> Run(const JoinOrder& order,
+                           StepPlacement placement) const;
+
+  // Fastest of the three canonical placements for `order` (the form the
+  // paper plots for the smallest/classical/ROX join-order classes).
+  Result<PlanRunStats> RunBestPlacement(const JoinOrder& order) const;
+  // Slowest of the three (used for the "largest" class).
+  Result<PlanRunStats> RunWorstPlacement(const JoinOrder& order) const;
+
+ private:
+  const Corpus& corpus_;
+  std::vector<DocId> docs_;
+  StringId author_;
+};
+
+// Cumulative join cardinality of a join order computed purely from the
+// per-document author-value histograms (no plan execution): the join
+// result sizes are Σ_v Π f_di(v) over the documents joined so far.
+struct OrderCardinality {
+  JoinOrder order;
+  std::vector<uint64_t> join_sizes;
+  uint64_t cumulative = 0;
+};
+
+std::vector<OrderCardinality> ComputeOrderCardinalities(
+    const Corpus& corpus, const std::vector<DocId>& docs);
+
+// The join order an exact-per-document, correlation-blind classical
+// optimizer picks: linear, smallest author sets first (§4.2).
+JoinOrder ClassicalJoinOrder(const Corpus& corpus,
+                             const std::vector<DocId>& docs);
+
+}  // namespace rox
+
+#endif  // ROX_CLASSICAL_EXECUTOR_H_

@@ -1,0 +1,48 @@
+#include "classical/plans.h"
+
+#include "common/str_util.h"
+
+namespace rox {
+
+std::string JoinOrder::Label() const {
+  std::string s = StrCat("(", a + 1, "-", b + 1, ")");
+  if (bushy) {
+    s += StrCat("-(", c + 1, "-", d + 1, ")");
+  } else {
+    s += StrCat("-", c + 1, "-", d + 1);
+  }
+  return s;
+}
+
+std::vector<JoinOrder> EnumerateJoinOrders4() {
+  std::vector<JoinOrder> out;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      int rest[2];
+      int k = 0;
+      for (int x = 0; x < 4; ++x) {
+        if (x != a && x != b) rest[k++] = x;
+      }
+      // Bushy: (a-b)-(c-d).
+      out.push_back({a, b, true, rest[0], rest[1]});
+      // Linear, both orders of the remaining documents.
+      out.push_back({a, b, false, rest[0], rest[1]});
+      out.push_back({a, b, false, rest[1], rest[0]});
+    }
+  }
+  return out;  // 6 pairs * 3 = 18
+}
+
+const char* StepPlacementName(StepPlacement p) {
+  switch (p) {
+    case StepPlacement::kSJ:
+      return "SJ";
+    case StepPlacement::kJS:
+      return "JS";
+    case StepPlacement::kS_J:
+      return "S_J";
+  }
+  return "?";
+}
+
+}  // namespace rox

@@ -1,0 +1,62 @@
+// Static plan space of the 4-way DBLP author join (§4.2).
+//
+// The paper enumerates 88880 physical plans; their two-level
+// categorization is (1) the equi-join order — 18 classes for a 4-way
+// join: six choices of the first join pair, each continued either
+// bushy ("(a-b)-(c-d)") or linear with the remaining two documents in
+// either order ("(a-b)-c-d") — and (2) the placement of the
+// author/text() steps among the joins, condensed into three canonical
+// placements:
+//
+//   SJ : all steps first, then all joins           SaSbScSd JaJbJc
+//   JS : one step, all joins, remaining steps      Sa JaJbJc SbScSd
+//   S_J: each document's step right after it joins Sa Ja Sb Jb Sc Jc Sd
+//
+// Documents are referred to by their index 0..3 inside a combination;
+// labels use the paper's 1-based notation.
+
+#ifndef ROX_CLASSICAL_PLANS_H_
+#define ROX_CLASSICAL_PLANS_H_
+
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace rox {
+
+// One equi-join order over 4 documents.
+struct JoinOrder {
+  int a = 0, b = 1;    // first join pair
+  bool bushy = false;  // true: (a-b)-(c-d); false: ((a-b)-c)-d
+  int c = 2, d = 3;    // remaining documents (order matters when linear)
+
+  // "(2-1)-(3-4)" / "(2-1)-3-4" with 1-based document numbers.
+  std::string Label() const;
+
+  // The documents in join-appearance order (a, b, c, d).
+  std::vector<int> DocSequence() const { return {a, b, c, d}; }
+
+  friend bool operator==(const JoinOrder& x, const JoinOrder& y) {
+    auto norm = [](const JoinOrder& o) {
+      int a = o.a, b = o.b, c = o.c, d = o.d;
+      if (a > b) std::swap(a, b);
+      if (o.bushy && c > d) std::swap(c, d);
+      return std::tuple(a, b, o.bushy, c, d);
+    };
+    return norm(x) == norm(y);
+  }
+};
+
+// All 18 join orders of the paper's Figure 5 legend.
+std::vector<JoinOrder> EnumerateJoinOrders4();
+
+// Canonical step placements.
+enum class StepPlacement { kSJ, kJS, kS_J };
+const char* StepPlacementName(StepPlacement p);
+inline constexpr StepPlacement kAllPlacements[] = {
+    StepPlacement::kSJ, StepPlacement::kJS, StepPlacement::kS_J};
+
+}  // namespace rox
+
+#endif  // ROX_CLASSICAL_PLANS_H_

@@ -1,0 +1,69 @@
+#include "classical/rox_order.h"
+
+#include <array>
+
+#include "common/str_util.h"
+
+namespace rox {
+
+Result<JoinOrder> RoxJoinOrderFromRun(const DblpQueryGraph& q,
+                                      const RoxResult& result) {
+  if (q.texts.size() != 4) {
+    return Status::InvalidArgument("expected a 4-document DBLP graph");
+  }
+  // vertex -> document position.
+  auto doc_of = [&](VertexId v) -> int {
+    for (int i = 0; i < 4; ++i) {
+      if (q.texts[i] == v || q.authors[i] == v ||
+          (i < static_cast<int>(q.roots.size()) && q.roots[i] == v)) {
+        return i;
+      }
+    }
+    return -1;
+  };
+
+  // Union-find over document positions; replay the executed equi edges
+  // and collect the merging ones.
+  std::array<int, 4> parent = {0, 1, 2, 3};
+  auto find = [&](int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  std::vector<std::pair<int, int>> merges;
+  for (EdgeId e : result.stats.execution_order) {
+    const Edge& edge = q.graph.edge(e);
+    if (edge.type != EdgeType::kEquiJoin) continue;
+    int i = doc_of(edge.v1), j = doc_of(edge.v2);
+    if (i < 0 || j < 0) continue;
+    int ri = find(i), rj = find(j);
+    if (ri == rj) continue;  // cycle-closing filter, not a join
+    parent[ri] = rj;
+    merges.emplace_back(i, j);
+  }
+  if (merges.size() != 3) {
+    return Status::Internal(
+        StrCat("expected 3 merging equi-joins, saw ", merges.size()));
+  }
+
+  JoinOrder o;
+  o.a = merges[0].first;
+  o.b = merges[0].second;
+  auto in_first = [&](int x) { return x == o.a || x == o.b; };
+  int m2a = merges[1].first, m2b = merges[1].second;
+  if (!in_first(m2a) && !in_first(m2b)) {
+    // Second join pairs the two remaining documents: bushy.
+    o.bushy = true;
+    o.c = m2a;
+    o.d = m2b;
+  } else {
+    o.bushy = false;
+    o.c = in_first(m2a) ? m2b : m2a;
+    // The final merge contributes the last document.
+    int m3a = merges[2].first, m3b = merges[2].second;
+    auto used = [&](int x) { return x == o.a || x == o.b || x == o.c; };
+    o.d = used(m3a) ? m3b : m3a;
+  }
+  return o;
+}
+
+}  // namespace rox

@@ -1,0 +1,24 @@
+// Maps a finished ROX run back into the paper's join-order taxonomy, so
+// the "ROX join-order class" of Figures 6/7 (same equi-join order as
+// ROX, but canonical step placement) can be executed and compared.
+
+#ifndef ROX_CLASSICAL_ROX_ORDER_H_
+#define ROX_CLASSICAL_ROX_ORDER_H_
+
+#include "classical/plans.h"
+#include "common/status.h"
+#include "rox/optimizer.h"
+#include "workload/dblp.h"
+
+namespace rox {
+
+// Reconstructs the equi-join order (over document positions 0..3) that
+// a ROX run executed on the DBLP query graph `q`. Equivalence-closure
+// edges that merely close cycles (filters) do not count as joins; the
+// three component-merging equi-join executions define the order.
+Result<JoinOrder> RoxJoinOrderFromRun(const DblpQueryGraph& q,
+                                      const RoxResult& result);
+
+}  // namespace rox
+
+#endif  // ROX_CLASSICAL_ROX_ORDER_H_

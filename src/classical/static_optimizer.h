@@ -1,0 +1,95 @@
+// A classical compile-time optimizer over arbitrary Join Graphs.
+//
+// This generalizes the DBLP-specific baseline of executor.h to any join
+// graph (e.g. the XMark Q1/Qm1 graphs), modeling the optimizer the
+// paper assumes in §4.2: it has *accurate* cardinality estimates for
+// operations inside one document (we grant it exact single-step
+// cardinalities computed from the base tables), but must fall back on
+// textbook independence assumptions for anything it cannot know
+// statically — most importantly correlations between predicates. The
+// resulting edge order is fixed before execution; no run-time feedback
+// is used.
+//
+// The plan executes on the same machinery as ROX (RoxState with
+// sampling disabled), so measured differences are purely due to the
+// edge order.
+
+#ifndef ROX_CLASSICAL_STATIC_OPTIMIZER_H_
+#define ROX_CLASSICAL_STATIC_OPTIMIZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/join_graph.h"
+#include "index/corpus.h"
+#include "rox/optimizer.h"
+
+namespace rox {
+
+// A statically decided plan: the edge execution order plus the
+// optimizer's cardinality estimates (for diagnostics).
+struct StaticPlan {
+  std::vector<EdgeId> order;
+  // Estimated result cardinality per edge, aligned with `order`.
+  std::vector<double> estimates;
+};
+
+struct StaticPlanOptions {
+  // Selectivity the optimizer assumes for a cross-document equi-join
+  // between values it has no statistics for: |A ⋈ B| = |A|·|B| /
+  // max(V_A, V_B) with V approximated by the larger side (System R's
+  // 1/max(distinct) with distinct ≈ cardinality).
+  double equi_fudge = 1.0;
+};
+
+// Computes the static plan: exact single-document step cardinalities,
+// independence-based estimates for cross-document joins, greedy
+// smallest-estimate-first ordering over connected edges, estimates
+// propagated multiplicatively (the error propagation of [23] that the
+// paper's introduction criticizes).
+StaticPlan PlanStatically(const Corpus& corpus, const JoinGraph& graph,
+                          const StaticPlanOptions& options = {});
+
+// Variant for mid-query re-planning: `executed` marks edges already
+// run and `current_cards` carries the *observed* vertex cardinalities
+// (<0 = unknown, fall back to base statistics). Only un-executed edges
+// appear in the returned order.
+StaticPlan PlanStatically(const Corpus& corpus, const JoinGraph& graph,
+                          const StaticPlanOptions& options,
+                          const std::vector<bool>& executed,
+                          const std::vector<double>& current_cards);
+
+// Executes the graph in the given fixed order with run-time sampling
+// disabled; result and stats are directly comparable to a ROX run on
+// the same graph.
+Result<RoxResult> ExecuteStaticPlan(const Corpus& corpus,
+                                    const JoinGraph& graph,
+                                    const StaticPlan& plan);
+
+// --- progressive optimization (the paper's related work [24, 25]) ------------
+//
+// Mid-Query Re-Optimization / Progressive Optimization: execute the
+// static plan, but attach a validity range to every estimate; when an
+// observed edge result falls outside [est / validity_factor,
+// est * validity_factor], re-plan the remaining edges with the observed
+// cardinalities. Unlike ROX it only reacts to estimates that already
+// went wrong (and never samples ahead), which is exactly the contrast
+// §5 draws.
+
+struct ProgressiveOptions {
+  StaticPlanOptions planning;
+  double validity_factor = 3.0;
+};
+
+struct ProgressiveResult {
+  RoxResult result;
+  int replans = 0;
+};
+
+Result<ProgressiveResult> ExecuteProgressively(
+    const Corpus& corpus, const JoinGraph& graph,
+    const ProgressiveOptions& options = {});
+
+}  // namespace rox
+
+#endif  // ROX_CLASSICAL_STATIC_OPTIMIZER_H_

@@ -1,0 +1,45 @@
+// Internal invariant checking. ROX_CHECK aborts on violation; it guards
+// programmer errors (broken invariants), not user input — user input
+// errors are reported through Status.
+
+#ifndef ROX_COMMON_CHECK_H_
+#define ROX_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rox::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "ROX_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace rox::internal
+
+#define ROX_CHECK(expr)                                     \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::rox::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                       \
+  } while (false)
+
+#define ROX_CHECK_OK(expr)                                          \
+  do {                                                              \
+    ::rox::Status rox_check_status_ = (expr);                       \
+    if (!rox_check_status_.ok()) {                                  \
+      ::rox::internal::CheckFailed(__FILE__, __LINE__,              \
+                                   rox_check_status_.ToString().c_str()); \
+    }                                                               \
+  } while (false)
+
+#ifdef NDEBUG
+#define ROX_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define ROX_DCHECK(expr) ROX_CHECK(expr)
+#endif
+
+#endif  // ROX_COMMON_CHECK_H_

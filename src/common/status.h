@@ -1,0 +1,132 @@
+// Lightweight error propagation for the ROX library.
+//
+// The library does not throw exceptions across public API boundaries
+// (per the project style rules); fallible operations return Status or
+// Result<T>.
+
+#ifndef ROX_COMMON_STATUS_H_
+#define ROX_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rox {
+
+// Error categories used across the library.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kParseError,
+  kInternal,
+  kUnimplemented,
+};
+
+// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy in the success case.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value-or-error wrapper. Access to the value when !ok() aborts.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call
+  // sites readable (`return value;` / `return Status::...;`).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {
+    // An OK status carries no value; treat as internal misuse.
+    if (std::get<Status>(data_).ok()) {
+      data_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::move(std::get<T>(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagates a non-OK status out of the enclosing function.
+#define ROX_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::rox::Status rox_status_ = (expr);       \
+    if (!rox_status_.ok()) return rox_status_; \
+  } while (false)
+
+// Evaluates a Result<T> expression; on error returns its Status,
+// otherwise assigns the value to `lhs`.
+#define ROX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define ROX_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define ROX_ASSIGN_OR_RETURN_CAT2(a, b) ROX_ASSIGN_OR_RETURN_CAT(a, b)
+#define ROX_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  ROX_ASSIGN_OR_RETURN_IMPL(ROX_ASSIGN_OR_RETURN_CAT2(rox_result_, __LINE__), \
+                            lhs, expr)
+
+}  // namespace rox
+
+#endif  // ROX_COMMON_STATUS_H_

@@ -1,0 +1,82 @@
+// Wall-clock measurement utilities used by the ROX optimizer to split
+// time between sampling (optimization) and execution, and by benches.
+
+#ifndef ROX_COMMON_TIMER_H_
+#define ROX_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rox {
+
+// Monotonic stopwatch with nanosecond resolution.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across multiple start/stop intervals, e.g. total
+// sampling time over a whole ROX run.
+class TimeAccumulator {
+ public:
+  // Start/Stop pairs may nest (e.g. a sampling routine called from a
+  // larger sampled phase); only the outermost pair is measured.
+  void Start() {
+    if (depth_++ == 0) watch_.Restart();
+  }
+  void Stop() {
+    if (--depth_ == 0) total_nanos_ += watch_.ElapsedNanos();
+  }
+  void Reset() {
+    total_nanos_ = 0;
+    depth_ = 0;
+  }
+
+  // Folds another accumulator's total in (e.g. when merging the stats
+  // of independent sub-runs).
+  void Merge(const TimeAccumulator& other) {
+    total_nanos_ += other.total_nanos_;
+  }
+
+  int64_t TotalNanos() const { return total_nanos_; }
+  double TotalMillis() const { return total_nanos_ / 1e6; }
+
+ private:
+  StopWatch watch_;
+  int64_t total_nanos_ = 0;
+  int depth_ = 0;
+};
+
+// RAII guard that accumulates the lifetime of a scope into `acc`.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimeAccumulator& acc) : acc_(acc) { acc_.Start(); }
+  ~ScopedTimer() { acc_.Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeAccumulator& acc_;
+};
+
+}  // namespace rox
+
+#endif  // ROX_COMMON_TIMER_H_

@@ -1,0 +1,51 @@
+// Common result representation of pair-producing join operators, with
+// the cut-off bookkeeping of §2.3.
+//
+// Every sampled operator in ROX is executed with a limit l on the number
+// of produced tuples ("cut-off sampled execution"). The operator records
+// how far into the outer (sampled) input it got when the limit was hit;
+// the reduction factor f = outer_consumed / outer_total then extrapolates
+// the full result size:  |r'| = |r| / f.
+
+#ifndef ROX_EXEC_JOIN_RESULT_H_
+#define ROX_EXEC_JOIN_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xml/node.h"
+
+namespace rox {
+
+// No output limit.
+inline constexpr uint64_t kNoLimit = 0;
+
+// Output of a pair-producing join: parallel arrays of (outer row index,
+// matched inner node).
+struct JoinPairs {
+  std::vector<uint32_t> left_rows;
+  std::vector<Pre> right_nodes;
+
+  // True if result generation was cut off by the limit.
+  bool truncated = false;
+  // Number of outer rows processed (all of them when !truncated; the
+  // 1-based index of the row being processed when the cut-off hit).
+  uint64_t outer_consumed = 0;
+
+  uint64_t size() const { return right_nodes.size(); }
+
+  // Linear extrapolation of the full (un-truncated) result cardinality
+  // given the total outer input size used for this execution.
+  double EstimateFullCardinality(uint64_t outer_total) const {
+    if (!truncated || outer_consumed == 0) {
+      return static_cast<double>(size());
+    }
+    double f = static_cast<double>(outer_consumed) /
+               static_cast<double>(outer_total == 0 ? 1 : outer_total);
+    return static_cast<double>(size()) / f;
+  }
+};
+
+}  // namespace rox
+
+#endif  // ROX_EXEC_JOIN_RESULT_H_

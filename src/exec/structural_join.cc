@@ -1,0 +1,277 @@
+#include "exec/structural_join.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rox {
+
+namespace {
+
+// True if the index can accelerate this step: element-kind name test on
+// an axis whose result is a contiguous pre range (possibly minus a few
+// exclusions).
+bool IndexUsable(const StepSpec& step, const ElementIndex* index) {
+  if (index == nullptr) return false;
+  if (step.name == kInvalidStringId) return false;
+  if (step.kind != KindTest::kElem && step.kind != KindTest::kAnyKind) {
+    return false;
+  }
+  switch (step.axis) {
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf:
+    case Axis::kFollowing:
+    case Axis::kPreceding:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool NodeMatchesTest(const Document& doc, Pre s, const StepSpec& step) {
+  if (!MatchesKind(doc.Kind(s), step.kind)) return false;
+  if (step.name != kInvalidStringId && doc.Name(s) != step.name) return false;
+  return true;
+}
+
+bool NodeMatchesStep(const Document& doc, Pre c, Pre s, const StepSpec& step) {
+  if (!NodeMatchesTest(doc, s, step)) return false;
+  NodeKind sk = doc.Kind(s);
+  bool s_is_attr = sk == NodeKind::kAttr;
+  switch (step.axis) {
+    case Axis::kSelf:
+      return s == c;
+    case Axis::kChild:
+      return !s_is_attr && doc.Parent(s) == c;
+    case Axis::kAttribute:
+      return s_is_attr && doc.Parent(s) == c;
+    case Axis::kParent:
+      return doc.Parent(c) == s;
+    case Axis::kDescendant:
+      return !s_is_attr && doc.IsAncestor(c, s);
+    case Axis::kDescendantOrSelf:
+      return !s_is_attr && (s == c || doc.IsAncestor(c, s));
+    case Axis::kAncestor:
+      return doc.IsAncestor(s, c);
+    case Axis::kAncestorOrSelf:
+      return s == c || doc.IsAncestor(s, c);
+    case Axis::kFollowing:
+      return !s_is_attr && s > c + doc.Size(c);
+    case Axis::kPreceding:
+      return !s_is_attr && s < c && !doc.IsAncestor(s, c);
+    case Axis::kFollowingSibling:
+      return !s_is_attr && doc.Parent(s) == doc.Parent(c) &&
+             s > c + doc.Size(c);
+    case Axis::kPrecedingSibling:
+      return !s_is_attr && doc.Parent(s) == doc.Parent(c) && s < c;
+  }
+  return false;
+}
+
+namespace {
+
+// Calls `sink(s)` for every node reachable from `c` via `step`, in
+// document order. `sink` returns false to stop early (cut-off).
+// Returns false iff the sink stopped the enumeration.
+template <typename Sink>
+bool EmitMatches(const Document& doc, Pre c, const StepSpec& step,
+                 const ElementIndex* index, Sink&& sink) {
+  auto test = [&](Pre s) { return NodeMatchesTest(doc, s, step); };
+  auto is_attr = [&](Pre s) { return doc.Kind(s) == NodeKind::kAttr; };
+
+  switch (step.axis) {
+    case Axis::kSelf:
+      if (test(c) && !sink(c)) return false;
+      return true;
+
+    case Axis::kAttribute: {
+      Pre end = c + doc.Size(c);
+      for (Pre q = c + 1; q <= end && is_attr(q); ++q) {
+        if (test(q) && !sink(q)) return false;
+      }
+      return true;
+    }
+
+    case Axis::kChild: {
+      Pre end = c + doc.Size(c);
+      Pre q = c + 1;
+      while (q <= end) {
+        if (!is_attr(q) && test(q) && !sink(q)) return false;
+        q += doc.Size(q) + 1;
+      }
+      return true;
+    }
+
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf: {
+      if (step.axis == Axis::kDescendantOrSelf && !is_attr(c) && test(c) &&
+          !sink(c)) {
+        return false;
+      }
+      Pre end = c + doc.Size(c);
+      if (IndexUsable(step, index)) {
+        for (Pre s : index->RangeLookup(step.name, c, end)) {
+          if (!sink(s)) return false;
+        }
+        return true;
+      }
+      for (Pre q = c + 1; q <= end; ++q) {
+        if (!is_attr(q) && test(q) && !sink(q)) return false;
+      }
+      return true;
+    }
+
+    case Axis::kParent: {
+      Pre p = doc.Parent(c);
+      if (p != kInvalidPre && test(p) && !sink(p)) return false;
+      return true;
+    }
+
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      // Collect bottom-up, emit in document order (top-down).
+      Pre buf[512];
+      size_t n = 0;
+      Pre q = step.axis == Axis::kAncestorOrSelf ? c : doc.Parent(c);
+      while (q != kInvalidPre && n < 512) {
+        if (test(q)) buf[n++] = q;
+        q = doc.Parent(q);
+      }
+      for (size_t i = n; i > 0; --i) {
+        if (!sink(buf[i - 1])) return false;
+      }
+      return true;
+    }
+
+    case Axis::kFollowing: {
+      Pre start = c + doc.Size(c);  // exclusive
+      Pre last = doc.NodeCount() - 1;
+      if (IndexUsable(step, index)) {
+        for (Pre s : index->RangeLookup(step.name, start, last)) {
+          if (!sink(s)) return false;
+        }
+        return true;
+      }
+      for (Pre q = start + 1; q <= last; ++q) {
+        if (!is_attr(q) && test(q) && !sink(q)) return false;
+      }
+      return true;
+    }
+
+    case Axis::kPreceding: {
+      if (IndexUsable(step, index)) {
+        if (c == 0) return true;
+        for (Pre s : index->RangeLookup(step.name, 0, c - 1)) {
+          if (!doc.IsAncestor(s, c) && !sink(s)) return false;
+        }
+        return true;
+      }
+      for (Pre q = 1; q < c; ++q) {
+        if (!is_attr(q) && !doc.IsAncestor(q, c) && test(q) && !sink(q)) {
+          return false;
+        }
+      }
+      return true;
+    }
+
+    case Axis::kFollowingSibling: {
+      Pre p = doc.Parent(c);
+      if (p == kInvalidPre) return true;
+      Pre end = p + doc.Size(p);
+      Pre q = c + doc.Size(c) + 1;
+      while (q <= end) {
+        if (!is_attr(q) && test(q) && !sink(q)) return false;
+        q += doc.Size(q) + 1;
+      }
+      return true;
+    }
+
+    case Axis::kPrecedingSibling: {
+      Pre p = doc.Parent(c);
+      if (p == kInvalidPre) return true;
+      Pre end = p + doc.Size(p);
+      Pre q = p + 1;
+      while (q <= end && q < c) {
+        if (!is_attr(q) && test(q) && !sink(q)) return false;
+        q += doc.Size(q) + 1;
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+JoinPairs StructuralJoinPairs(const Document& doc,
+                              std::span<const Pre> context,
+                              const StepSpec& step, uint64_t limit,
+                              const ElementIndex* index) {
+  // Cut-off protocol: allow up to limit+1 pairs; producing the sentinel
+  // (limit+1)-th pair proves the result was truncated, otherwise the
+  // result is complete and exact. The reduction factor follows the
+  // paper's f = max(r.rowid) / max(c.rowid).
+  JoinPairs out;
+  for (size_t i = 0; i < context.size(); ++i) {
+    uint32_t row = static_cast<uint32_t>(i);
+    bool completed =
+        EmitMatches(doc, context[i], step, index, [&](Pre s) -> bool {
+          out.left_rows.push_back(row);
+          out.right_nodes.push_back(s);
+          return limit == kNoLimit || out.right_nodes.size() <= limit;
+        });
+    if (!completed) {
+      // Sentinel pair produced: drop it and report the truncation.
+      out.left_rows.pop_back();
+      out.right_nodes.pop_back();
+      out.truncated = true;
+      out.outer_consumed =
+          out.left_rows.empty() ? 1 : out.left_rows.back() + 1;
+      return out;
+    }
+  }
+  out.truncated = false;
+  out.outer_consumed = context.size();
+  return out;
+}
+
+std::vector<Pre> StructuralJoinDistinct(const Document& doc,
+                                        std::span<const Pre> context,
+                                        const StepSpec& step,
+                                        const ElementIndex* index) {
+  std::vector<Pre> out;
+
+  // Staircase pruning for the descendant axes: a context node whose
+  // subtree lies inside an earlier context node's subtree contributes no
+  // new result nodes and is skipped outright; partially re-scanned
+  // regions are deduplicated by the monotonicity of document order.
+  if (step.axis == Axis::kDescendant || step.axis == Axis::kDescendantOrSelf) {
+    bool any = false;
+    Pre covered_end = 0;  // highest subtree end seen so far (inclusive)
+    for (Pre c : context) {
+      Pre hi = c + doc.Size(c);
+      if (any && hi <= covered_end && c > 0 &&
+          step.axis == Axis::kDescendant) {
+        continue;  // fully covered by a previous context subtree
+      }
+      EmitMatches(doc, c, step, index, [&](Pre s) -> bool {
+        if (out.empty() || s > out.back()) out.push_back(s);
+        return true;
+      });
+      if (!any || hi > covered_end) covered_end = hi;
+      any = true;
+    }
+    return out;
+  }
+
+  // Generic fallback: emit all pairs, dedupe.
+  JoinPairs pairs = StructuralJoinPairs(doc, context, step, kNoLimit, index);
+  out = std::move(pairs.right_nodes);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace rox

@@ -1,0 +1,180 @@
+#include "exec/value_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rox {
+
+StringId NodeValue(const Document& doc, Pre p) {
+  switch (doc.Kind(p)) {
+    case NodeKind::kText:
+    case NodeKind::kAttr:
+    case NodeKind::kComment:
+    case NodeKind::kPi:
+      return doc.Value(p);
+    case NodeKind::kElem:
+      return doc.SingleTextChildValue(p);
+    case NodeKind::kDoc:
+      return kInvalidStringId;
+  }
+  return kInvalidStringId;
+}
+
+namespace {
+
+// Emits matching inner nodes for one probe value through the index.
+template <typename Sink>
+bool ProbeIndex(const Document& inner_doc, const ValueIndex& index,
+                const ValueProbeSpec& spec, StringId value, Sink&& sink) {
+  if (value == kInvalidStringId) return true;
+  if (spec.kind == NodeKind::kText) {
+    for (Pre s : index.TextLookup(value)) {
+      if (!sink(s)) return false;
+    }
+    return true;
+  }
+  for (Pre s : index.AttrLookup(value)) {
+    if (spec.attr_name != kInvalidStringId &&
+        inner_doc.Name(s) != spec.attr_name) {
+      continue;
+    }
+    if (spec.owner_elem != kInvalidStringId &&
+        inner_doc.Name(inner_doc.Parent(s)) != spec.owner_elem) {
+      continue;
+    }
+    if (!sink(s)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+JoinPairs ValueIndexJoinPairs(const Document& outer_doc,
+                              std::span<const Pre> outer,
+                              const Document& inner_doc,
+                              const ValueIndex& inner_index,
+                              const ValueProbeSpec& spec, uint64_t limit) {
+  // Same limit+1 sentinel protocol as StructuralJoinPairs.
+  JoinPairs out;
+  for (size_t i = 0; i < outer.size(); ++i) {
+    uint32_t row = static_cast<uint32_t>(i);
+    StringId v = NodeValue(outer_doc, outer[i]);
+    bool completed =
+        ProbeIndex(inner_doc, inner_index, spec, v, [&](Pre s) -> bool {
+          out.left_rows.push_back(row);
+          out.right_nodes.push_back(s);
+          return limit == kNoLimit || out.right_nodes.size() <= limit;
+        });
+    if (!completed) {
+      out.left_rows.pop_back();
+      out.right_nodes.pop_back();
+      out.truncated = true;
+      out.outer_consumed =
+          out.left_rows.empty() ? 1 : out.left_rows.back() + 1;
+      return out;
+    }
+  }
+  out.truncated = false;
+  out.outer_consumed = outer.size();
+  return out;
+}
+
+JoinPairs HashValueJoinPairs(const Document& outer_doc,
+                             std::span<const Pre> outer,
+                             const Document& inner_doc,
+                             std::span<const Pre> inner) {
+  std::unordered_map<StringId, std::vector<Pre>> table;
+  table.reserve(inner.size());
+  for (Pre s : inner) {
+    StringId v = NodeValue(inner_doc, s);
+    if (v != kInvalidStringId) table[v].push_back(s);
+  }
+  JoinPairs out;
+  for (size_t i = 0; i < outer.size(); ++i) {
+    StringId v = NodeValue(outer_doc, outer[i]);
+    if (v == kInvalidStringId) continue;
+    auto it = table.find(v);
+    if (it == table.end()) continue;
+    for (Pre s : it->second) {
+      out.left_rows.push_back(static_cast<uint32_t>(i));
+      out.right_nodes.push_back(s);
+    }
+  }
+  out.truncated = false;
+  out.outer_consumed = outer.size();
+  return out;
+}
+
+std::vector<Pre> SortByValueId(const Document& doc,
+                               std::span<const Pre> nodes) {
+  std::vector<Pre> out(nodes.begin(), nodes.end());
+  std::sort(out.begin(), out.end(), [&](Pre a, Pre b) {
+    StringId va = NodeValue(doc, a), vb = NodeValue(doc, b);
+    if (va != vb) return va < vb;  // kInvalidStringId (max) sorts last
+    return a < b;
+  });
+  return out;
+}
+
+JoinPairs MergeValueJoinPairs(const Document& outer_doc,
+                              std::span<const Pre> outer_sorted,
+                              const Document& inner_doc,
+                              std::span<const Pre> inner_sorted) {
+  JoinPairs out;
+  size_t i = 0, j = 0;
+  while (i < outer_sorted.size() && j < inner_sorted.size()) {
+    StringId vo = NodeValue(outer_doc, outer_sorted[i]);
+    StringId vi = NodeValue(inner_doc, inner_sorted[j]);
+    if (vo == kInvalidStringId) break;  // rest of outer has no value
+    if (vi == kInvalidStringId) break;
+    if (vo < vi) {
+      ++i;
+    } else if (vo > vi) {
+      ++j;
+    } else {
+      // Emit the cross product of the two equal-value groups.
+      size_t j_end = j;
+      while (j_end < inner_sorted.size() &&
+             NodeValue(inner_doc, inner_sorted[j_end]) == vi) {
+        ++j_end;
+      }
+      while (i < outer_sorted.size() &&
+             NodeValue(outer_doc, outer_sorted[i]) == vo) {
+        for (size_t k = j; k < j_end; ++k) {
+          out.left_rows.push_back(static_cast<uint32_t>(i));
+          out.right_nodes.push_back(inner_sorted[k]);
+        }
+        ++i;
+      }
+      j = j_end;
+    }
+  }
+  out.truncated = false;
+  out.outer_consumed = outer_sorted.size();
+  return out;
+}
+
+std::vector<Pre> FilterValueEquals(const Document& doc,
+                                   std::span<const Pre> nodes, StringId v) {
+  std::vector<Pre> out;
+  for (Pre p : nodes) {
+    if (NodeValue(doc, p) == v) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Pre> FilterNumericRange(const Document& doc,
+                                    std::span<const Pre> nodes,
+                                    const NumericRange& range) {
+  std::vector<Pre> out;
+  const StringPool& pool = doc.pool();
+  for (Pre p : nodes) {
+    StringId v = NodeValue(doc, p);
+    if (v == kInvalidStringId) continue;
+    auto num = pool.NumericValue(v);
+    if (num && range.Contains(*num)) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace rox

@@ -1,0 +1,86 @@
+// Value-based equi-join operators and value selection predicates.
+//
+// The paper's relational join edges compare node *values*: text-node
+// content, attribute values, or (through the single text child) element
+// content. Three physical algorithms are provided, mirroring Table 1:
+//
+//  * ValueIndexJoinPairs — nested-loop index lookup through the inner
+//    document's value index: zero-investment w.r.t. the outer input,
+//    hence usable for cut-off sampling (cost |C| + |R|).
+//  * HashValueJoinPairs  — builds a hash table on the inner input
+//    (cost |C| + |S| + |R|); not zero-investment, used only for full
+//    edge execution, never for sampling.
+//  * MergeValueJoinPairs — merge join over inputs sorted by value id
+//    (cost min(|C|,|S|) + |R| when the inner is pre-sorted).
+
+#ifndef ROX_EXEC_VALUE_JOIN_H_
+#define ROX_EXEC_VALUE_JOIN_H_
+
+#include <span>
+
+#include "exec/join_result.h"
+#include "index/value_index.h"
+#include "xml/document.h"
+
+namespace rox {
+
+// The interned comparison value of node `p`: the value of a text or
+// attribute node, or the single-text-child value of an element
+// (kInvalidStringId if the element has 0 or >1 text children).
+StringId NodeValue(const Document& doc, Pre p);
+
+// Describes which inner nodes an equi-join probe may match.
+struct ValueProbeSpec {
+  NodeKind kind = NodeKind::kText;          // kText or kAttr
+  StringId attr_name = kInvalidStringId;    // restrict attribute name
+  StringId owner_elem = kInvalidStringId;   // restrict attr owner element
+
+  static ValueProbeSpec Text() { return {NodeKind::kText, kInvalidStringId,
+                                         kInvalidStringId}; }
+  static ValueProbeSpec Attr(StringId name) {
+    return {NodeKind::kAttr, name, kInvalidStringId};
+  }
+};
+
+// Index nested-loop equi-join: for each outer row, probes `inner_index`
+// (of `inner_doc`) for nodes with equal value, in document order. Obeys
+// the cut-off `limit` like StructuralJoinPairs.
+JoinPairs ValueIndexJoinPairs(const Document& outer_doc,
+                              std::span<const Pre> outer,
+                              const Document& inner_doc,
+                              const ValueIndex& inner_index,
+                              const ValueProbeSpec& spec,
+                              uint64_t limit = kNoLimit);
+
+// Hash equi-join: builds value -> inner positions, probes with outer.
+// Pairs reference outer rows and inner *nodes*.
+JoinPairs HashValueJoinPairs(const Document& outer_doc,
+                             std::span<const Pre> outer,
+                             const Document& inner_doc,
+                             std::span<const Pre> inner);
+
+// Merge equi-join over inputs that the caller pre-sorted with
+// SortByValueId. Produces the same pair multiset as the hash join.
+JoinPairs MergeValueJoinPairs(const Document& outer_doc,
+                              std::span<const Pre> outer_sorted,
+                              const Document& inner_doc,
+                              std::span<const Pre> inner_sorted);
+
+// Sorts node list by (value id, pre); nodes without a value sort last
+// and never join.
+std::vector<Pre> SortByValueId(const Document& doc, std::span<const Pre> nodes);
+
+// --- selection predicates ---------------------------------------------------
+
+// Nodes whose value equals `v`.
+std::vector<Pre> FilterValueEquals(const Document& doc,
+                                   std::span<const Pre> nodes, StringId v);
+
+// Nodes whose numeric value lies in `range` (non-numeric values drop).
+std::vector<Pre> FilterNumericRange(const Document& doc,
+                                    std::span<const Pre> nodes,
+                                    const NumericRange& range);
+
+}  // namespace rox
+
+#endif  // ROX_EXEC_VALUE_JOIN_H_

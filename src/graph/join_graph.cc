@@ -1,0 +1,328 @@
+#include "graph/join_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace rox {
+
+bool Vertex::IndexSelectable() const {
+  switch (type) {
+    case VertexType::kRoot:
+      return true;  // the singleton {document node}
+    case VertexType::kElement:
+      return name != kInvalidStringId;
+    case VertexType::kAttribute:
+      return name != kInvalidStringId;
+    case VertexType::kText:
+      return pred.kind != ValuePredicate::Kind::kNone;
+  }
+  return false;
+}
+
+VertexId JoinGraph::AddVertex(Vertex v) {
+  VertexId id = static_cast<VertexId>(vertices_.size());
+  vertices_.push_back(std::move(v));
+  incident_.emplace_back();
+  return id;
+}
+
+VertexId JoinGraph::AddRoot(DocId doc, std::string label) {
+  Vertex v;
+  v.type = VertexType::kRoot;
+  v.doc = doc;
+  v.label = std::move(label);
+  return AddVertex(std::move(v));
+}
+
+VertexId JoinGraph::AddElement(DocId doc, StringId qname, std::string label) {
+  Vertex v;
+  v.type = VertexType::kElement;
+  v.doc = doc;
+  v.name = qname;
+  v.label = std::move(label);
+  return AddVertex(std::move(v));
+}
+
+VertexId JoinGraph::AddText(DocId doc, ValuePredicate pred,
+                            std::string label) {
+  Vertex v;
+  v.type = VertexType::kText;
+  v.doc = doc;
+  v.pred = pred;
+  v.label = std::move(label);
+  return AddVertex(std::move(v));
+}
+
+VertexId JoinGraph::AddAttribute(DocId doc, StringId name,
+                                 ValuePredicate pred, std::string label) {
+  Vertex v;
+  v.type = VertexType::kAttribute;
+  v.doc = doc;
+  v.name = name;
+  v.pred = pred;
+  v.label = std::move(label);
+  return AddVertex(std::move(v));
+}
+
+EdgeId JoinGraph::AddStep(VertexId v1, Axis axis, VertexId v2) {
+  ROX_CHECK(v1 < vertices_.size() && v2 < vertices_.size());
+  ROX_CHECK(vertices_[v1].doc == vertices_[v2].doc);
+  Edge e;
+  e.type = EdgeType::kStep;
+  e.v1 = v1;
+  e.v2 = v2;
+  e.axis = axis;
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(e);
+  incident_[v1].push_back(id);
+  incident_[v2].push_back(id);
+  return id;
+}
+
+EdgeId JoinGraph::AddEquiJoin(VertexId v1, VertexId v2) {
+  ROX_CHECK(v1 < vertices_.size() && v2 < vertices_.size());
+  Edge e;
+  e.type = EdgeType::kEquiJoin;
+  e.v1 = v1;
+  e.v2 = v2;
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(e);
+  incident_[v1].push_back(id);
+  incident_[v2].push_back(id);
+  return id;
+}
+
+int JoinGraph::AddEquivalenceClosure() {
+  // Union-find over vertices linked by equi-join edges.
+  std::vector<VertexId> parent(vertices_.size());
+  for (VertexId v = 0; v < parent.size(); ++v) parent[v] = v;
+  auto find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Edge& e : edges_) {
+    if (e.type != EdgeType::kEquiJoin) continue;
+    VertexId a = find(e.v1), b = find(e.v2);
+    if (a != b) parent[a] = b;
+  }
+  // Existing equi-join pairs.
+  auto key = [](VertexId a, VertexId b) {
+    return (static_cast<uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  };
+  std::vector<uint64_t> have;
+  for (const Edge& e : edges_) {
+    if (e.type == EdgeType::kEquiJoin) have.push_back(key(e.v1, e.v2));
+  }
+  std::sort(have.begin(), have.end());
+  // Group vertices by equivalence class and add missing pairs.
+  int added = 0;
+  for (VertexId a = 0; a < vertices_.size(); ++a) {
+    for (VertexId b = a + 1; b < vertices_.size(); ++b) {
+      // a != b in the same class implies the class was formed by at
+      // least one equi-join edge.
+      if (find(a) != find(b)) continue;
+      uint64_t k = key(a, b);
+      if (std::binary_search(have.begin(), have.end(), k)) continue;
+      Edge e;
+      e.type = EdgeType::kEquiJoin;
+      e.v1 = a;
+      e.v2 = b;
+      e.derived_equivalence = true;
+      EdgeId id = static_cast<EdgeId>(edges_.size());
+      edges_.push_back(e);
+      incident_[a].push_back(id);
+      incident_[b].push_back(id);
+      ++added;
+    }
+  }
+  return added;
+}
+
+int JoinGraph::PruneRedundantRootEdges() {
+  std::vector<bool> remove(edges_.size(), false);
+  int removed = 0;
+  for (EdgeId i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    if (e.type != EdgeType::kStep) continue;
+    if (e.axis != Axis::kDescendant && e.axis != Axis::kDescendantOrSelf) {
+      continue;
+    }
+    VertexId far = kInvalidVertexId;
+    if (vertices_[e.v1].type == VertexType::kRoot) {
+      far = e.v2;
+    } else if (vertices_[e.v2].type == VertexType::kRoot) {
+      far = e.v1;
+    } else {
+      continue;
+    }
+    // The far vertex must stay connected through some other edge, and
+    // must be index-selectable so its node set is complete without the
+    // root step.
+    if (!vertices_[far].IndexSelectable()) continue;
+    if (incident_[far].size() <= 1) continue;
+    remove[i] = true;
+    ++removed;
+  }
+  if (removed == 0) return 0;
+  // Rebuild edge list and incidence.
+  std::vector<Edge> kept;
+  kept.reserve(edges_.size() - removed);
+  for (EdgeId i = 0; i < edges_.size(); ++i) {
+    if (!remove[i]) kept.push_back(edges_[i]);
+  }
+  edges_ = std::move(kept);
+  for (auto& inc : incident_) inc.clear();
+  for (EdgeId i = 0; i < edges_.size(); ++i) {
+    incident_[edges_[i].v1].push_back(i);
+    incident_[edges_[i].v2].push_back(i);
+  }
+  return removed;
+}
+
+int JoinGraph::UnexecutedDegree(VertexId v,
+                                const std::vector<bool>& executed) const {
+  int d = 0;
+  for (EdgeId e : incident_[v]) {
+    if (!executed[e]) ++d;
+  }
+  return d;
+}
+
+Status JoinGraph::Validate() const {
+  for (EdgeId i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    if (e.v1 >= vertices_.size() || e.v2 >= vertices_.size()) {
+      return Status::Internal(StrCat("edge ", i, " has bad endpoints"));
+    }
+    if (e.v1 == e.v2) {
+      return Status::InvalidArgument(StrCat("edge ", i, " is a self-loop"));
+    }
+    if (e.type == EdgeType::kStep &&
+        vertices_[e.v1].doc != vertices_[e.v2].doc) {
+      return Status::InvalidArgument(
+          StrCat("step edge ", i, " spans documents"));
+    }
+    if (e.type == EdgeType::kEquiJoin) {
+      for (VertexId v : {e.v1, e.v2}) {
+        if (vertices_[v].type == VertexType::kRoot) {
+          return Status::InvalidArgument(
+              StrCat("equi-join edge ", i, " touches a root vertex"));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool JoinGraph::IsConnected() const {
+  // BFS over vertices that have at least one edge.
+  VertexId start = kInvalidVertexId;
+  size_t with_edges = 0;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (!incident_[v].empty()) {
+      ++with_edges;
+      if (start == kInvalidVertexId) start = v;
+    }
+  }
+  if (with_edges == 0) return true;
+  std::vector<bool> seen(vertices_.size(), false);
+  std::queue<VertexId> q;
+  q.push(start);
+  seen[start] = true;
+  size_t visited = 0;
+  while (!q.empty()) {
+    VertexId v = q.front();
+    q.pop();
+    ++visited;
+    for (EdgeId e : incident_[v]) {
+      VertexId o = edges_[e].Other(v);
+      if (!seen[o]) {
+        seen[o] = true;
+        q.push(o);
+      }
+    }
+  }
+  return visited == with_edges;
+}
+
+std::string JoinGraph::EdgeLabel(EdgeId e) const {
+  const Edge& ed = edges_[e];
+  const std::string& l1 = vertices_[ed.v1].label;
+  const std::string& l2 = vertices_[ed.v2].label;
+  if (ed.type == EdgeType::kStep) {
+    return StrCat(l1, " -", AxisName(ed.axis), "-> ", l2);
+  }
+  return StrCat(l1, " = ", l2);
+}
+
+std::vector<GraphComponent> SplitConnectedComponents(const JoinGraph& g) {
+  // Union-find over vertices via edges.
+  std::vector<VertexId> parent(g.VertexCount());
+  for (VertexId v = 0; v < parent.size(); ++v) parent[v] = v;
+  auto find = [&](VertexId v) {
+    while (parent[v] != v) v = parent[v] = parent[parent[v]];
+    return v;
+  };
+  for (EdgeId e = 0; e < g.EdgeCount(); ++e) {
+    VertexId a = find(g.edge(e).v1), b = find(g.edge(e).v2);
+    if (a != b) parent[a] = b;
+  }
+  // Assign dense component ids.
+  std::vector<int> comp_of(g.VertexCount(), -1);
+  int n_comps = 0;
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    VertexId r = find(v);
+    if (comp_of[r] < 0) comp_of[r] = n_comps++;
+    comp_of[v] = comp_of[r];
+  }
+  std::vector<GraphComponent> out(n_comps);
+  // Rebuild vertices.
+  std::vector<VertexId> new_id(g.VertexCount());
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    GraphComponent& c = out[comp_of[v]];
+    new_id[v] = c.graph.AddVertex(g.vertex(v));
+    c.orig_vertex.push_back(v);
+  }
+  // Rebuild edges.
+  for (EdgeId e = 0; e < g.EdgeCount(); ++e) {
+    const Edge& ed = g.edge(e);
+    GraphComponent& c = out[comp_of[ed.v1]];
+    EdgeId id;
+    if (ed.type == EdgeType::kStep) {
+      id = c.graph.AddStep(new_id[ed.v1], ed.axis, new_id[ed.v2]);
+    } else {
+      id = c.graph.AddEquiJoin(new_id[ed.v1], new_id[ed.v2]);
+    }
+    (void)id;
+    c.orig_edge.push_back(e);
+  }
+  return out;
+}
+
+std::string JoinGraph::ToDot() const {
+  std::string out = "graph JoinGraph {\n  node [shape=box];\n";
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    const Vertex& vx = vertices_[v];
+    out += StrCat("  v", v, " [label=\"", vx.label.empty() ? "?" : vx.label,
+                  "\\ndoc=", vx.doc, "\"];\n");
+  }
+  for (const Edge& e : edges_) {
+    if (e.type == EdgeType::kStep) {
+      out += StrCat("  v", e.v1, " -- v", e.v2, " [label=\"", AxisName(e.axis),
+                    "\"];\n");
+    } else {
+      out += StrCat("  v", e.v1, " -- v", e.v2, " [label=\"=\"",
+                    e.derived_equivalence ? ", style=dashed" : "", "];\n");
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rox

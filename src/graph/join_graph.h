@@ -1,0 +1,174 @@
+// The Join Graph (Definition 1 of the paper): the order-independent
+// representation of all step and join relationships of an XQuery that is
+// handed to the ROX run-time optimizer.
+//
+// Vertices denote node sets of one document: the document root, elements
+// with a qualified name, text nodes (optionally with an equality or
+// range predicate on their value), or attribute nodes (ditto). Edges are
+// either XPath step joins (with an axis, directed for presentation only)
+// or value-based equi-joins.
+//
+// The graph itself is immutable topology + static annotations; run-time
+// state (materialized tables, samples, weights) lives in rox::RoxState.
+
+#ifndef ROX_GRAPH_JOIN_GRAPH_H_
+#define ROX_GRAPH_JOIN_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/value_index.h"
+#include "xml/document.h"
+#include "xml/node.h"
+
+namespace rox {
+
+using VertexId = uint32_t;
+using EdgeId = uint32_t;
+inline constexpr VertexId kInvalidVertexId = 0xffffffffu;
+inline constexpr EdgeId kInvalidEdgeId = 0xffffffffu;
+
+// What node set a vertex denotes.
+enum class VertexType : uint8_t {
+  kRoot,      // the document node of its document
+  kElement,   // elements with qualified name `name`
+  kText,      // text nodes, optionally restricted by `pred`
+  kAttribute  // attribute nodes named `name`, optionally restricted
+};
+
+// Optional value restriction on text/attribute vertices.
+struct ValuePredicate {
+  enum class Kind : uint8_t { kNone, kEquals, kRange };
+  Kind kind = Kind::kNone;
+  StringId equals = kInvalidStringId;  // for kEquals
+  NumericRange range;                  // for kRange
+
+  static ValuePredicate None() { return {}; }
+  static ValuePredicate Equals(StringId v) {
+    return {Kind::kEquals, v, NumericRange{}};
+  }
+  static ValuePredicate Range(NumericRange r) {
+    return {Kind::kRange, kInvalidStringId, r};
+  }
+};
+
+struct Vertex {
+  VertexType type = VertexType::kElement;
+  DocId doc = kInvalidDocId;
+  StringId name = kInvalidStringId;  // element qname / attribute name
+  ValuePredicate pred;
+  std::string label;  // human-readable, for traces and DOT export
+
+  // True if phase 1 of Algorithm 1 may initialize this vertex from an
+  // index lookup: elements with a qname, attributes with a name, text
+  // nodes with an equality predicate (lines 1-2 / 9-12 of Algorithm 1;
+  // we additionally allow text-range vertices, which our ordered value
+  // index also supports — the paper's index offers the same).
+  bool IndexSelectable() const;
+};
+
+enum class EdgeType : uint8_t { kStep, kEquiJoin };
+
+struct Edge {
+  EdgeType type = EdgeType::kStep;
+  VertexId v1 = kInvalidVertexId;  // step: context side (the "circle")
+  VertexId v2 = kInvalidVertexId;  // step: result side
+  Axis axis = Axis::kChild;        // step only: v2 = axis(v1)
+  // Equivalence edges added by ROX (the dotted edges of Figure 4) are
+  // marked so ablation runs can ignore them.
+  bool derived_equivalence = false;
+
+  VertexId Other(VertexId v) const { return v == v1 ? v2 : v1; }
+  bool Touches(VertexId v) const { return v1 == v || v2 == v; }
+};
+
+class JoinGraph {
+ public:
+  // --- construction -------------------------------------------------------
+
+  VertexId AddVertex(Vertex v);
+  VertexId AddRoot(DocId doc, std::string label = "root");
+  VertexId AddElement(DocId doc, StringId qname, std::string label = "");
+  VertexId AddText(DocId doc, ValuePredicate pred = ValuePredicate::None(),
+                   std::string label = "text()");
+  VertexId AddAttribute(DocId doc, StringId name,
+                        ValuePredicate pred = ValuePredicate::None(),
+                        std::string label = "");
+
+  // Adds a step edge: v2 = axis(v1). Vertices must be on the same doc.
+  EdgeId AddStep(VertexId v1, Axis axis, VertexId v2);
+
+  // Adds a value equi-join edge between two (typically text/attribute)
+  // vertices, possibly on different documents.
+  EdgeId AddEquiJoin(VertexId v1, VertexId v2);
+
+  // Adds the transitive closure of equi-join equivalences: if a=b and
+  // b=c are join edges, a=c is added too (Figure 4's dotted edges),
+  // giving ROX the freedom to pick any join order over the class.
+  // Returns the number of edges added.
+  int AddEquivalenceClosure();
+
+  // Removes `descendant` step edges out of root vertices whose far
+  // vertex is reachable through other edges (§3.2: "descendant edges
+  // from the root are ignored since these are not necessary to execute
+  // to produce the correct result"). Isolated roots are kept but have no
+  // edges; Validate() tolerates them. Returns number of edges removed.
+  int PruneRedundantRootEdges();
+
+  // --- inspection ----------------------------------------------------------
+
+  size_t VertexCount() const { return vertices_.size(); }
+  size_t EdgeCount() const { return edges_.size(); }
+  const Vertex& vertex(VertexId v) const { return vertices_[v]; }
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  // Ids of all edges incident to `v`.
+  const std::vector<EdgeId>& IncidentEdges(VertexId v) const {
+    return incident_[v];
+  }
+
+  // Degree of `v` counting only edges not in `executed` (Algorithm 2's
+  // edges(v)).
+  int UnexecutedDegree(VertexId v, const std::vector<bool>& executed) const;
+
+  // Checks structural sanity: step endpoints share a document, equi-join
+  // endpoints carry values, every non-root vertex is reachable.
+  Status Validate() const;
+
+  // True if all vertices with at least one edge form one connected
+  // component.
+  bool IsConnected() const;
+
+  // Graphviz DOT rendering (steps solid, equi-joins labeled "=",
+  // derived equivalences dashed).
+  std::string ToDot() const;
+
+  // Human-readable edge description, e.g. "open_auction //descendant//
+  // bidder" or "text()@VLDB = text()@ICDE".
+  std::string EdgeLabel(EdgeId e) const;
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> incident_;
+};
+
+// One connected component of a join graph, with the mapping back to the
+// original vertex/edge ids. The paper's plans can contain several
+// isolated Join Graphs separated by blocking operators (§2.1); ROX
+// optimizes each separately — SplitConnectedComponents provides that
+// decomposition (isolated vertices form single-vertex components with
+// no edges).
+struct GraphComponent {
+  JoinGraph graph;
+  std::vector<VertexId> orig_vertex;  // new vertex id -> original id
+  std::vector<EdgeId> orig_edge;      // new edge id -> original id
+};
+
+std::vector<GraphComponent> SplitConnectedComponents(const JoinGraph& g);
+
+}  // namespace rox
+
+#endif  // ROX_GRAPH_JOIN_GRAPH_H_

@@ -1,0 +1,42 @@
+#include "index/corpus.h"
+
+#include "common/str_util.h"
+#include "xml/parser.h"
+
+namespace rox {
+
+Result<DocId> Corpus::Add(std::unique_ptr<Document> doc) {
+  if (doc->mutable_pool() != pool_.get()) {
+    return Status::InvalidArgument(
+        "document must share the corpus string pool");
+  }
+  if (by_name_.contains(doc->name())) {
+    return Status::InvalidArgument(
+        StrCat("duplicate document name: ", doc->name()));
+  }
+  DocId id = static_cast<DocId>(docs_.size());
+  doc->set_id(id);
+  DocumentIndexes idx;
+  idx.element = std::make_unique<ElementIndex>(*doc);
+  idx.value = std::make_unique<ValueIndex>(*doc);
+  by_name_.emplace(doc->name(), id);
+  docs_.push_back(std::move(doc));
+  indexes_.push_back(std::move(idx));
+  return id;
+}
+
+Result<DocId> Corpus::AddXml(std::string_view xml, std::string doc_name) {
+  ROX_ASSIGN_OR_RETURN(std::unique_ptr<Document> doc,
+                       ParseXml(xml, std::move(doc_name), pool_));
+  return Add(std::move(doc));
+}
+
+Result<DocId> Corpus::Resolve(std::string_view doc_name) const {
+  auto it = by_name_.find(std::string(doc_name));
+  if (it == by_name_.end()) {
+    return Status::NotFound(StrCat("no such document: ", doc_name));
+  }
+  return it->second;
+}
+
+}  // namespace rox

@@ -1,0 +1,77 @@
+// A corpus bundles the documents of an experiment with their indexes
+// and the shared string pool.
+//
+// In the paper, fn:doc(url) resolves documents at run time; the corpus
+// plays the role of that resolver, and building the per-document element
+// and value indexes corresponds to MonetDB/XQuery's shredding-time index
+// construction.
+
+#ifndef ROX_INDEX_CORPUS_H_
+#define ROX_INDEX_CORPUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "index/element_index.h"
+#include "index/value_index.h"
+#include "xml/document.h"
+
+namespace rox {
+
+// Per-document index bundle.
+struct DocumentIndexes {
+  std::unique_ptr<ElementIndex> element;
+  std::unique_ptr<ValueIndex> value;
+};
+
+class Corpus {
+ public:
+  Corpus() : pool_(std::make_shared<StringPool>()) {}
+
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+
+  // The pool to hand to DocumentBuilder / ParseXml so all documents of
+  // this corpus share interned ids.
+  std::shared_ptr<StringPool> pool() const { return pool_; }
+  const StringPool& string_pool() const { return *pool_; }
+
+  // Adds a document (which must use this corpus's pool) and builds its
+  // indexes. Returns the assigned DocId.
+  Result<DocId> Add(std::unique_ptr<Document> doc);
+
+  // Parses and adds an XML string.
+  Result<DocId> AddXml(std::string_view xml, std::string doc_name);
+
+  size_t DocCount() const { return docs_.size(); }
+  const Document& doc(DocId id) const { return *docs_[id]; }
+  const ElementIndex& element_index(DocId id) const {
+    return *indexes_[id].element;
+  }
+  const ValueIndex& value_index(DocId id) const {
+    return *indexes_[id].value;
+  }
+
+  // Resolves a document by name (the fn:doc(url) analogue).
+  Result<DocId> Resolve(std::string_view doc_name) const;
+
+  // Interning helpers on the shared pool.
+  StringId Intern(std::string_view s) { return pool_->Intern(s); }
+  StringId Find(std::string_view s) const { return pool_->Find(s); }
+
+ private:
+  std::shared_ptr<StringPool> pool_;
+  std::vector<std::unique_ptr<Document>> docs_;
+  std::vector<DocumentIndexes> indexes_;
+  std::unordered_map<std::string, DocId> by_name_;
+};
+
+}  // namespace rox
+
+#endif  // ROX_INDEX_CORPUS_H_

@@ -1,0 +1,185 @@
+#include "rox/chain_sampler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rox {
+
+std::vector<EdgeId> ChainSampler::ExpandableEdges(const PathSegment& p) const {
+  std::vector<EdgeId> out;
+  for (EdgeId e : state_.UnexecutedEdges(p.stop_vertex)) {
+    if (std::find(p.edges.begin(), p.edges.end(), e) == p.edges.end()) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+bool ChainSampler::Expandable(const PathSegment& p) const {
+  return !ExpandableEdges(p).empty();
+}
+
+int ChainSampler::FindStrictWinner(const std::vector<PathSegment>& paths) {
+  for (size_t i = 0; i < paths.size(); ++i) {
+    if (paths[i].edges.empty()) continue;
+    bool wins = true;
+    for (size_t j = 0; j < paths.size(); ++j) {
+      if (i == j || paths[j].edges.empty()) continue;
+      if (paths[i].cost + paths[i].sf * paths[j].cost > paths[j].cost) {
+        wins = false;
+        break;
+      }
+    }
+    if (wins) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int ChainSampler::FindRelaxedWinner(const std::vector<PathSegment>& paths) {
+  for (size_t i = 0; i < paths.size(); ++i) {
+    if (paths[i].edges.empty()) continue;
+    bool wins = true;
+    for (size_t j = 0; j < paths.size(); ++j) {
+      if (i == j || paths[j].edges.empty()) continue;
+      double lhs = paths[i].cost + paths[i].sf * paths[j].cost;
+      double rhs = paths[j].cost + paths[j].sf * paths[i].cost;
+      if (lhs > rhs) {
+        wins = false;
+        break;
+      }
+    }
+    if (wins) return static_cast<int>(i);
+  }
+  // No pairwise winner (possible with cyclic preferences): minimum cost.
+  int best = -1;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    if (paths[i].edges.empty()) continue;
+    if (best < 0 || paths[i].cost < paths[best].cost) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<EdgeId> ChainSampler::Run(ChainSampleTrace* trace) {
+  ScopedTimer timer(state_.stats().sampling_time);
+  ++state_.stats().chain_sample_calls;
+  const JoinGraph& graph = state_.graph();
+  const RoxOptions& options = state_.options();
+
+  // Line 1: the un-executed edge with the smallest weight.
+  EdgeId seed = state_.MinWeightEdge();
+  if (seed == kInvalidEdgeId) return {};
+  const Edge& seed_edge = graph.edge(seed);
+  if (trace != nullptr) trace->seed_edge = seed;
+
+  // Lines 2-5: without a branching endpoint there is nothing to explore.
+  std::vector<bool> executed(graph.EdgeCount());
+  for (EdgeId e = 0; e < graph.EdgeCount(); ++e) executed[e] = state_.Executed(e);
+  int deg1 = graph.UnexecutedDegree(seed_edge.v1, executed);
+  int deg2 = graph.UnexecutedDegree(seed_edge.v2, executed);
+  if (deg1 <= 1 && deg2 <= 1) return {seed};
+
+  // Line 3: source = the endpoint with the smaller cardinality (among
+  // endpoints that actually have a sample to chain from).
+  VertexId source = kInvalidVertexId;
+  {
+    double best = -1.0;
+    for (VertexId v : {seed_edge.v1, seed_edge.v2}) {
+      const VertexState& vs = state_.vstate(v);
+      if (vs.card < 0 || vs.sample.empty()) continue;
+      if (source == kInvalidVertexId || vs.card < best) {
+        source = v;
+        best = vs.card;
+      }
+    }
+  }
+  if (source == kInvalidVertexId) return {seed};
+  double source_card = state_.vstate(source).card;
+  if (trace != nullptr) trace->source = source;
+
+  // Lines 6-10: the root segment.
+  std::vector<PathSegment> paths;
+  {
+    PathSegment p0;
+    p0.stop_vertex = source;
+    std::span<const Pre> s = state_.Sample(source);
+    p0.input.assign(s.begin(), s.end());
+    paths.push_back(std::move(p0));
+  }
+
+  const double tau = static_cast<double>(options.tau);
+  uint64_t cutoff = options.tau;
+
+  // Lines 11-31: breadth-first rounds.
+  for (uint64_t round = 0; round < options.max_chain_rounds; ++round) {
+    bool any_expandable = false;
+    for (const PathSegment& p : paths) {
+      if (Expandable(p)) {
+        any_expandable = true;
+        break;
+      }
+    }
+    if (!any_expandable) break;
+    ++state_.stats().chain_rounds;
+
+    // Line 12: grow the cut-off to dilute the front bias.
+    if (options.grow_cutoff) cutoff += options.tau;
+
+    std::vector<PathSegment> next;
+    for (PathSegment& p : paths) {
+      std::vector<EdgeId> exts = ExpandableEdges(p);
+      if (exts.empty()) {
+        next.push_back(std::move(p));  // keep, cannot be extended
+        continue;
+      }
+      for (EdgeId e : exts) {
+        const Edge& edge = graph.edge(e);
+        VertexId v = p.stop_vertex;
+        VertexId v_next = edge.Other(v);
+        EdgeSample s = state_.SampleEdgeFrom(e, v, p.input, cutoff);
+        PathSegment p2;
+        p2.edges = p.edges;
+        p2.edges.push_back(e);
+        p2.stop_vertex = v_next;
+        p2.input = std::move(s.out_nodes);
+        // Lines 21-22.
+        p2.cost = p.cost + s.est * source_card / tau;
+        p2.sf = s.est / tau;
+        next.push_back(std::move(p2));
+      }
+    }
+    paths = std::move(next);
+
+    if (trace != nullptr) {
+      ChainSampleTrace::RoundSnapshot snap;
+      for (const PathSegment& p : paths) {
+        PathSegment copy;
+        copy.edges = p.edges;
+        copy.stop_vertex = p.stop_vertex;
+        copy.cost = p.cost;
+        copy.sf = p.sf;
+        snap.paths.push_back(std::move(copy));
+      }
+      trace->round_snapshots.push_back(std::move(snap));
+      trace->rounds = static_cast<int>(trace->round_snapshots.size());
+    }
+
+    // Lines 24-31: strict stopping condition.
+    int winner = FindStrictWinner(paths);
+    if (winner >= 0) {
+      if (trace != nullptr) trace->stopped_early = true;
+      return paths[winner].edges;
+    }
+  }
+
+  // Lines 32-39: all branches explored (or round cap hit).
+  int winner = FindRelaxedWinner(paths);
+  if (winner >= 0 && !paths[winner].edges.empty()) {
+    return paths[winner].edges;
+  }
+  return {seed};
+}
+
+}  // namespace rox

@@ -1,0 +1,80 @@
+// Chain sampling — Algorithm 2 of the paper.
+//
+// Starting from the un-executed edge with the smallest weight, explores
+// the branching path segments around its cheaper endpoint breadth-first,
+// feeding the (cut-off) sample output of each sampled operator into the
+// sampling of the next. After every round the pairwise stopping
+// condition
+//
+//     cost(pi) + sf(pi) * cost(pj) <= cost(pj)        for all j != i
+//
+// is checked: if some segment pi satisfies it, executing pi first is
+// guaranteed cheaper than any order that begins with another segment,
+// so exploration stops and pi is returned for execution. If the
+// branches are exhausted without a strict winner, the relaxed pairwise
+// rule (line 34) picks the best candidate.
+
+#ifndef ROX_ROX_CHAIN_SAMPLER_H_
+#define ROX_ROX_CHAIN_SAMPLER_H_
+
+#include <vector>
+
+#include "rox/state.h"
+
+namespace rox {
+
+// One explored path segment and its bookkeeping (§3.1).
+struct PathSegment {
+  std::vector<EdgeId> edges;
+  VertexId stop_vertex = kInvalidVertexId;
+  std::vector<Pre> input;  // I(p): sample flowing into the next round
+  double cost = 0.0;       // Σ estimated intermediate result cardinalities
+  double sf = 1.0;         // scale factor (join hit ratio) of the segment
+};
+
+// Diagnostic trace of one ChainSample invocation (used by the Table 2
+// bench to print per-round (cost, sf) values).
+struct ChainSampleTrace {
+  EdgeId seed_edge = kInvalidEdgeId;
+  VertexId source = kInvalidVertexId;
+  int rounds = 0;
+  bool stopped_early = false;  // stopping condition (line 26) fired
+  // Snapshot of (edges, cost, sf) per path per round.
+  struct RoundSnapshot {
+    std::vector<PathSegment> paths;  // inputs omitted
+  };
+  std::vector<RoundSnapshot> round_snapshots;
+};
+
+class ChainSampler {
+ public:
+  explicit ChainSampler(RoxState& state) : state_(state) {}
+
+  // Runs Algorithm 2 and returns the ordered edge list of the winning
+  // path segment (at least one edge). If no edge has a weight yet,
+  // returns an empty vector.
+  std::vector<EdgeId> Run(ChainSampleTrace* trace = nullptr);
+
+  // The strict stopping rule (lines 24-31):
+  //   cost(pi) + sf(pi)·cost(pj) <= cost(pj)   for all j != i.
+  // Returns the winning path index or -1. Public for testability: the
+  // paper's Table 2 and Figure 2 decisions are unit-tested against it.
+  static int FindStrictWinner(const std::vector<PathSegment>& paths);
+  // The relaxed final rule (lines 32-39):
+  //   cost(pi) + sf(pi)·cost(pj) <= cost(pj) + sf(pj)·cost(pi).
+  // Falls back to the minimum cost path if no pairwise winner exists.
+  static int FindRelaxedWinner(const std::vector<PathSegment>& paths);
+
+ private:
+  // True if `p` can be extended: its stop vertex has an un-executed
+  // edge that is not already part of `p`.
+  bool Expandable(const PathSegment& p) const;
+
+  std::vector<EdgeId> ExpandableEdges(const PathSegment& p) const;
+
+  RoxState& state_;
+};
+
+}  // namespace rox
+
+#endif  // ROX_ROX_CHAIN_SAMPLER_H_

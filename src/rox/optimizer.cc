@@ -1,0 +1,119 @@
+#include "rox/optimizer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace rox {
+
+RoxOptimizer::RoxOptimizer(const Corpus& corpus, const JoinGraph& graph,
+                           RoxOptions options)
+    : corpus_(corpus), graph_(graph), options_(options) {}
+
+Status RoxOptimizer::ExecutePath(const std::vector<EdgeId>& path) {
+  // §3.1: the winning path segment "is treated as a separate Join
+  // Graph" and executed in its best order. We realize that by
+  // re-estimating the pending segment edges before every pick — the
+  // weights computed during chain sampling go stale as executions
+  // shrink the vertex tables.
+  std::vector<EdgeId> pending = path;
+  while (!pending.empty()) {
+    auto has_materialized_end = [&](EdgeId e) {
+      const Edge& edge = graph_.edge(e);
+      for (VertexId v : {edge.v1, edge.v2}) {
+        if (state_->vstate(v).table.has_value() ||
+            graph_.vertex(v).IndexSelectable()) {
+          return true;
+        }
+      }
+      return false;
+    };
+    size_t best = pending.size();
+    double best_w = -1;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (state_->Executed(pending[i])) continue;
+      if (!has_materialized_end(pending[i])) continue;
+      double w = state_->EstimateCardinality(pending[i]);
+      if (options_.trace) {
+        std::fprintf(stderr, "[rox]   path candidate %s w=%.0f\n",
+                     graph_.EdgeLabel(pending[i]).c_str(), w);
+      }
+      if (best == pending.size() || (w >= 0 && (best_w < 0 || w < best_w))) {
+        best = i;
+        best_w = w;
+      }
+    }
+    if (best == pending.size()) {
+      // Only already-executed (shared-prefix) edges remain.
+      bool all_done = true;
+      for (EdgeId e : pending) all_done &= state_->Executed(e);
+      if (all_done) return Status::Ok();
+      best = 0;
+    }
+    EdgeId e = pending[best];
+    pending.erase(pending.begin() + best);
+    if (state_->Executed(e)) continue;
+    ROX_RETURN_IF_ERROR(state_->ExecuteEdge(e));
+  }
+  return Status::Ok();
+}
+
+Result<RoxResult> RoxOptimizer::Run() {
+  ROX_RETURN_IF_ERROR(graph_.Validate());
+  if (!graph_.IsConnected()) {
+    return Status::InvalidArgument(
+        "join graph must be connected (split disconnected graphs into "
+        "separate ROX runs, as the paper's plans do)");
+  }
+
+  state_ = std::make_unique<RoxState>(corpus_, graph_, options_);
+  // Phase 1 (lines 1-4).
+  state_->InitializeSamplesAndWeights();
+
+  // Phase 2 (lines 5-19).
+  ChainSampler sampler(*state_);
+  while (state_->RemainingEdges() > 0) {
+    if (options_.trace) {
+      std::fprintf(stderr, "[rox] weights:");
+      for (EdgeId e = 0; e < graph_.EdgeCount(); ++e) {
+        if (state_->Executed(e)) continue;
+        std::fprintf(stderr, "  %s=%.0f", graph_.EdgeLabel(e).c_str(),
+                     state_->estate(e).weight);
+      }
+      std::fprintf(stderr, "\n");
+    }
+    std::vector<EdgeId> path;
+    if (options_.enable_chain_sampling) {
+      if (trace_log_ != nullptr) {
+        trace_log_->emplace_back();
+        path = sampler.Run(&trace_log_->back());
+      } else {
+        path = sampler.Run();
+      }
+    } else {
+      EdgeId e = state_->MinWeightEdge();
+      if (e != kInvalidEdgeId) path = {e};
+    }
+    if (path.empty()) {
+      // No weighted edge: pick any un-executed edge with a
+      // materializable endpoint (degenerate graphs).
+      for (EdgeId e = 0; e < graph_.EdgeCount(); ++e) {
+        if (!state_->Executed(e)) {
+          path = {e};
+          break;
+        }
+      }
+      if (path.empty()) break;
+    }
+    ROX_RETURN_IF_ERROR(ExecutePath(path));
+  }
+
+  RoxResult out;
+  ROX_ASSIGN_OR_RETURN(out.table, state_->AssembleFinal(&out.columns));
+  out.stats = state_->stats();
+  return out;
+}
+
+}  // namespace rox

@@ -1,0 +1,74 @@
+// The ROX run-time optimizer — Algorithm 1 of the paper.
+//
+// Phase 1 draws index samples for every index-selectable vertex and
+// weighs every edge by cut-off sampled execution. Phase 2 alternates
+// chain sampling (search-space exploration) with the full, materialized
+// execution of the winning path segment, re-sampling the affected edge
+// weights after every execution, until all edges are executed.
+
+#ifndef ROX_ROX_OPTIMIZER_H_
+#define ROX_ROX_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/result_table.h"
+#include "graph/join_graph.h"
+#include "index/corpus.h"
+#include "rox/chain_sampler.h"
+#include "rox/options.h"
+#include "rox/state.h"
+
+namespace rox {
+
+// Outcome of a ROX run.
+struct RoxResult {
+  // The fully joined relation; columns_[] maps column index -> vertex.
+  ResultTable table;
+  std::vector<VertexId> columns;
+  RoxStats stats;
+
+  // Convenience: index of vertex `v`'s column, or npos.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t ColumnOf(VertexId v) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == v) return i;
+    }
+    return npos;
+  }
+};
+
+class RoxOptimizer {
+ public:
+  RoxOptimizer(const Corpus& corpus, const JoinGraph& graph,
+               RoxOptions options = {});
+
+  // Runs the full optimize-and-execute loop.
+  Result<RoxResult> Run();
+
+  // Access to the live state (after Run) for diagnostics.
+  const RoxState& state() const { return *state_; }
+
+  // When set before Run(), every ChainSample invocation appends its
+  // diagnostic trace here (used by the Table 2 bench to print the
+  // per-round (cost, sf) table).
+  void set_trace_log(std::vector<ChainSampleTrace>* log) { trace_log_ = log; }
+
+ private:
+  // Executes the edges of a winning path segment. Within the segment,
+  // edges are executed cheapest-first among those already connected to
+  // materialized data (§3.1: the segment "is treated as a separate Join
+  // Graph" and executed in its best order).
+  Status ExecutePath(const std::vector<EdgeId>& path);
+
+  const Corpus& corpus_;
+  const JoinGraph& graph_;
+  RoxOptions options_;
+  std::unique_ptr<RoxState> state_;
+  std::vector<ChainSampleTrace>* trace_log_ = nullptr;
+};
+
+}  // namespace rox
+
+#endif  // ROX_ROX_OPTIMIZER_H_

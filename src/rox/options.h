@@ -1,0 +1,63 @@
+// Tunables of the ROX run-time optimizer. Defaults follow the paper;
+// the flags marked "ablation" switch off individual design decisions so
+// their contribution can be benchmarked (see DESIGN.md §5).
+
+#ifndef ROX_ROX_OPTIONS_H_
+#define ROX_ROX_OPTIONS_H_
+
+#include <cstdint>
+
+namespace rox {
+
+struct RoxOptions {
+  // Sample size τ. The paper's default (§3, Phase 1) is 100; Figure 8
+  // sweeps {25, 100, 400}.
+  uint64_t tau = 100;
+
+  // Ablation: when false, ChainSample degenerates to "execute the
+  // edge with the smallest weight" (a purely greedy optimizer).
+  bool enable_chain_sampling = true;
+
+  // Ablation: when false, weights of edges incident to executed
+  // vertices are scaled by the observed cardinality ratio instead of
+  // being re-sampled — i.e. the independence assumption the paper warns
+  // against (§3: "simply adjusting the already computed weights ...
+  // implies an independence assumption").
+  bool resample_after_execute = true;
+
+  // Ablation: when false, the chain-sampling cut-off stays at τ instead
+  // of growing by τ each round (§3.1's front-bias mitigation).
+  bool grow_cutoff = true;
+
+  // Use element-index range lookups to accelerate descendant steps.
+  bool use_index_acceleration = true;
+
+  // §6 extension (present in the paper's prototype): after deciding to
+  // execute an edge, try the applicable physical operators on a τ-sample
+  // and run the full edge with the fastest one — step edges choose their
+  // direction (e.g. child vs parent staircase join), materialized
+  // equi-joins choose between hash, merge and index nested-loop.
+  bool timed_operator_selection = true;
+
+  // Safety bound on breadth-first chain-sampling rounds.
+  uint64_t max_chain_rounds = 64;
+
+  // §6 extension ("run ROX with samples instead of the complete data"):
+  // when in (0, 1), vertex tables are materialized as uniform samples
+  // of this fraction of the full index lookup (never below τ nodes).
+  // The run then produces an *approximate* subset of the result with
+  // much smaller intermediates — useful for cheap result-size
+  // estimation; 0 disables (exact execution).
+  double approximate_fraction = 0.0;
+
+  // Seed for all sampling randomness; a fixed seed makes runs exactly
+  // reproducible.
+  uint64_t seed = 0x9e3779b9;
+
+  // Print per-decision traces to stderr.
+  bool trace = false;
+};
+
+}  // namespace rox
+
+#endif  // ROX_ROX_OPTIONS_H_

@@ -1,0 +1,818 @@
+#include "rox/state.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "exec/value_join.h"
+
+namespace rox {
+
+RoxState::RoxState(const Corpus& corpus, const JoinGraph& graph,
+                   const RoxOptions& options)
+    : corpus_(corpus),
+      graph_(graph),
+      options_(options),
+      rng_(options.seed),
+      vertices_(graph.VertexCount()),
+      edges_(graph.EdgeCount()) {}
+
+// --- index access -----------------------------------------------------------
+
+Result<std::vector<Pre>> RoxState::IndexLookup(VertexId v) const {
+  const Vertex& vx = graph_.vertex(v);
+  const ElementIndex& eidx = corpus_.element_index(vx.doc);
+  const ValueIndex& vidx = corpus_.value_index(vx.doc);
+  switch (vx.type) {
+    case VertexType::kRoot:
+      return std::vector<Pre>{0};
+    case VertexType::kElement: {
+      auto span = eidx.Lookup(vx.name);
+      return std::vector<Pre>(span.begin(), span.end());
+    }
+    case VertexType::kText:
+      switch (vx.pred.kind) {
+        case ValuePredicate::Kind::kEquals: {
+          auto span = vidx.TextLookup(vx.pred.equals);
+          return std::vector<Pre>(span.begin(), span.end());
+        }
+        case ValuePredicate::Kind::kRange:
+          return vidx.TextRangeLookup(vx.pred.range);
+        case ValuePredicate::Kind::kNone:
+          return Status::FailedPrecondition(
+              "unrestricted text vertex is not index-selectable");
+      }
+      break;
+    case VertexType::kAttribute: {
+      auto span = eidx.LookupAttr(vx.name);
+      std::vector<Pre> nodes(span.begin(), span.end());
+      const Document& doc = corpus_.doc(vx.doc);
+      switch (vx.pred.kind) {
+        case ValuePredicate::Kind::kNone:
+          return nodes;
+        case ValuePredicate::Kind::kEquals:
+          return FilterValueEquals(doc, nodes, vx.pred.equals);
+        case ValuePredicate::Kind::kRange:
+          return FilterNumericRange(doc, nodes, vx.pred.range);
+      }
+      break;
+    }
+  }
+  return Status::Internal("unhandled vertex type in IndexLookup");
+}
+
+double RoxState::IndexCount(VertexId v) const {
+  const Vertex& vx = graph_.vertex(v);
+  const ElementIndex& eidx = corpus_.element_index(vx.doc);
+  const ValueIndex& vidx = corpus_.value_index(vx.doc);
+  switch (vx.type) {
+    case VertexType::kRoot:
+      return 1.0;
+    case VertexType::kElement:
+      return static_cast<double>(eidx.Count(vx.name));
+    case VertexType::kText:
+      switch (vx.pred.kind) {
+        case ValuePredicate::Kind::kEquals:
+          return static_cast<double>(vidx.TextLookup(vx.pred.equals).size());
+        case ValuePredicate::Kind::kRange:
+          return static_cast<double>(vidx.TextRangeCount(vx.pred.range));
+        case ValuePredicate::Kind::kNone:
+          return static_cast<double>(vidx.text_node_count());
+      }
+      break;
+    case VertexType::kAttribute: {
+      if (vx.pred.kind == ValuePredicate::Kind::kNone) {
+        return static_cast<double>(eidx.CountAttr(vx.name));
+      }
+      auto r = IndexLookup(v);
+      return r.ok() ? static_cast<double>(r.value().size()) : -1.0;
+    }
+  }
+  return -1.0;
+}
+
+Status RoxState::EnsureTable(VertexId v) {
+  VertexState& vs = vertices_[v];
+  if (vs.table.has_value()) return Status::Ok();
+  const Vertex& vx = graph_.vertex(v);
+  if (!vx.IndexSelectable()) {
+    return Status::FailedPrecondition(
+        StrCat("vertex ", v, " (", vx.label, ") is not index-selectable"));
+  }
+  ROX_ASSIGN_OR_RETURN(std::vector<Pre> nodes, IndexLookup(v));
+  // Approximate execution (§6): materialize only a uniform fraction of
+  // the lookup. Samples stay uniform because SampleWithoutReplacement
+  // returns sorted positions (document order preserved).
+  if (options_.approximate_fraction > 0 && options_.approximate_fraction < 1) {
+    uint64_t k = std::max<uint64_t>(
+        options_.tau, static_cast<uint64_t>(
+                          nodes.size() * options_.approximate_fraction));
+    if (k < nodes.size()) {
+      std::vector<uint64_t> keep =
+          rng_.SampleWithoutReplacement(nodes.size(), k);
+      std::vector<Pre> sampled;
+      sampled.reserve(keep.size());
+      for (uint64_t i : keep) sampled.push_back(nodes[i]);
+      nodes = std::move(sampled);
+    }
+  }
+  vs.card = static_cast<double>(nodes.size());
+  vs.table = std::move(nodes);
+  std::vector<uint64_t> idx =
+      rng_.SampleWithoutReplacement(vs.table->size(), options_.tau);
+  vs.sample.clear();
+  for (uint64_t i : idx) vs.sample.push_back((*vs.table)[i]);
+  return Status::Ok();
+}
+
+// --- phase 1 ----------------------------------------------------------------
+
+void RoxState::InitializeSamplesAndWeights() {
+  ScopedTimer timer(stats_.sampling_time);
+  for (VertexId v = 0; v < graph_.VertexCount(); ++v) {
+    const Vertex& vx = graph_.vertex(v);
+    if (!vx.IndexSelectable()) continue;
+    VertexState& vs = vertices_[v];
+    const ElementIndex& eidx = corpus_.element_index(vx.doc);
+    const ValueIndex& vidx = corpus_.value_index(vx.doc);
+    switch (vx.type) {
+      case VertexType::kRoot:
+        vs.sample = {0};
+        vs.card = 1.0;
+        break;
+      case VertexType::kElement:
+        vs.sample = eidx.Sample(vx.name, options_.tau, rng_);
+        vs.card = static_cast<double>(eidx.Count(vx.name));
+        break;
+      case VertexType::kText:
+        if (vx.pred.kind == ValuePredicate::Kind::kEquals) {
+          vs.sample = vidx.SampleText(vx.pred.equals, options_.tau, rng_);
+          vs.card =
+              static_cast<double>(vidx.TextLookup(vx.pred.equals).size());
+        } else {
+          // Range-restricted text vertex: the ordered index materializes
+          // the lookup anyway; keep it as T(v).
+          ROX_CHECK_OK(EnsureTable(v));
+        }
+        break;
+      case VertexType::kAttribute:
+        if (vx.pred.kind == ValuePredicate::Kind::kNone) {
+          vs.sample = eidx.SampleAttr(vx.name, options_.tau, rng_);
+          vs.card = static_cast<double>(eidx.CountAttr(vx.name));
+        } else {
+          ROX_CHECK_OK(EnsureTable(v));
+        }
+        break;
+    }
+  }
+  for (EdgeId e = 0; e < graph_.EdgeCount(); ++e) {
+    edges_[e].weight = EstimateCardinalityLocked(e);
+  }
+}
+
+// --- sampled execution --------------------------------------------------------
+
+StepSpec RoxState::StepSpecFrom(EdgeId e, VertexId from) const {
+  const Edge& edge = graph_.edge(e);
+  ROX_DCHECK(edge.type == EdgeType::kStep);
+  VertexId target = edge.Other(from);
+  Axis axis = (from == edge.v1) ? edge.axis : ReverseAxis(edge.axis);
+  const Vertex& tx = graph_.vertex(target);
+  StepSpec spec;
+  spec.axis = axis;
+  switch (tx.type) {
+    case VertexType::kRoot:
+      spec.kind = KindTest::kDoc;
+      break;
+    case VertexType::kElement:
+      spec.kind = KindTest::kElem;
+      spec.name = tx.name;
+      break;
+    case VertexType::kText:
+      spec.kind = KindTest::kText;
+      break;
+    case VertexType::kAttribute:
+      spec.kind = KindTest::kAttr;
+      spec.name = tx.name;
+      // Traversing toward an attribute is the attribute axis when the
+      // stored axis was child-like.
+      if (axis == Axis::kChild) spec.axis = Axis::kAttribute;
+      break;
+  }
+  return spec;
+}
+
+bool RoxState::NodeSatisfiesVertex(VertexId v, Pre node) const {
+  const Vertex& vx = graph_.vertex(v);
+  const Document& doc = corpus_.doc(vx.doc);
+  switch (vx.type) {
+    case VertexType::kRoot:
+      return node == 0;
+    case VertexType::kElement:
+      return doc.Kind(node) == NodeKind::kElem && doc.Name(node) == vx.name;
+    case VertexType::kText:
+      if (doc.Kind(node) != NodeKind::kText) return false;
+      break;
+    case VertexType::kAttribute:
+      if (doc.Kind(node) != NodeKind::kAttr || doc.Name(node) != vx.name) {
+        return false;
+      }
+      break;
+  }
+  switch (vx.pred.kind) {
+    case ValuePredicate::Kind::kNone:
+      return true;
+    case ValuePredicate::Kind::kEquals:
+      return doc.Value(node) == vx.pred.equals;
+    case ValuePredicate::Kind::kRange: {
+      auto num = doc.pool().NumericValue(doc.Value(node));
+      return num.has_value() && vx.pred.range.Contains(*num);
+    }
+  }
+  return true;
+}
+
+void RoxState::FilterPairsForVertex(VertexId v, JoinPairs& pairs) const {
+  const VertexState& vs = vertices_[v];
+  const Vertex& vx = graph_.vertex(v);
+  bool check_pred = vx.pred.kind != ValuePredicate::Kind::kNone;
+  bool check_table = vs.table.has_value();
+  if (!check_pred && !check_table) return;
+  size_t w = 0;
+  for (size_t i = 0; i < pairs.right_nodes.size(); ++i) {
+    Pre s = pairs.right_nodes[i];
+    if (check_pred && !NodeSatisfiesVertex(v, s)) continue;
+    if (check_table &&
+        !std::binary_search(vs.table->begin(), vs.table->end(), s)) {
+      continue;
+    }
+    pairs.right_nodes[w] = s;
+    pairs.left_rows[w] = pairs.left_rows[i];
+    ++w;
+  }
+  pairs.right_nodes.resize(w);
+  pairs.left_rows.resize(w);
+}
+
+EdgeSample RoxState::SampleEdgeFrom(EdgeId e, VertexId from,
+                                    std::span<const Pre> input,
+                                    uint64_t limit) {
+  const Edge& edge = graph_.edge(e);
+  VertexId target = edge.Other(from);
+  const Vertex& tx = graph_.vertex(target);
+  const Document& target_doc = corpus_.doc(tx.doc);
+  JoinPairs pairs;
+  if (edge.type == EdgeType::kStep) {
+    const ElementIndex* idx = options_.use_index_acceleration
+                                  ? &corpus_.element_index(tx.doc)
+                                  : nullptr;
+    pairs = StructuralJoinPairs(target_doc, input, StepSpecFrom(e, from),
+                                limit, idx);
+  } else {
+    const Vertex& fx = graph_.vertex(from);
+    const Document& from_doc = corpus_.doc(fx.doc);
+    ValueProbeSpec spec = tx.type == VertexType::kAttribute
+                              ? ValueProbeSpec::Attr(tx.name)
+                              : ValueProbeSpec::Text();
+    pairs = ValueIndexJoinPairs(from_doc, input, target_doc,
+                                corpus_.value_index(tx.doc), spec, limit);
+  }
+  FilterPairsForVertex(target, pairs);
+  EdgeSample out;
+  out.est = pairs.EstimateFullCardinality(input.size());
+  out.out_nodes = std::move(pairs.right_nodes);
+  stats_.sampled_tuples += out.out_nodes.size();
+  return out;
+}
+
+double RoxState::EstimateCardinality(EdgeId e) {
+  ScopedTimer timer(stats_.sampling_time);
+  return EstimateCardinalityLocked(e);
+}
+
+double RoxState::EstimateCardinalityLocked(EdgeId e) {
+  const Edge& edge = graph_.edge(e);
+  // Prefer the endpoint with the smaller cardinality among those that
+  // have a sample (§3: "We choose to use the smallest vertex as input
+  // for sampling").
+  VertexId from = kInvalidVertexId;
+  double best_card = -1.0;
+  for (VertexId v : {edge.v1, edge.v2}) {
+    const VertexState& vs = vertices_[v];
+    if (vs.card < 0) continue;  // never sampled
+    if (from == kInvalidVertexId || vs.card < best_card) {
+      from = v;
+      best_card = vs.card;
+    }
+  }
+  if (from == kInvalidVertexId) return -1.0;
+  const VertexState& vs = vertices_[from];
+  if (vs.card == 0 || vs.sample.empty()) return 0.0;
+  EdgeSample s = SampleEdgeFrom(e, from, vs.sample, options_.tau);
+  return s.est * vs.card / static_cast<double>(vs.sample.size());
+}
+
+// --- full execution -----------------------------------------------------------
+
+Status RoxState::ExecuteEdge(EdgeId e) {
+  ROX_CHECK(!edges_[e].executed);
+  {
+    ScopedTimer timer(stats_.execution_time);
+    ROX_RETURN_IF_ERROR(ExecuteEdgeInternal(e));
+  }
+  edges_[e].executed = true;
+  ++stats_.edges_executed;
+  stats_.execution_order.push_back(e);
+  UpdateAfterExecution(e);
+  return Status::Ok();
+}
+
+Status RoxState::ExecuteEdgeInternal(EdgeId e) {
+  const Edge& edge = graph_.edge(e);
+  VertexId v1 = edge.v1, v2 = edge.v2;
+
+  // An equi-join already implied by executed equi-joins (transitivity
+  // within the equivalence class) contributes no new constraint.
+  if (edge.type == EdgeType::kEquiJoin && EquiJoinImplied(v1, v2)) {
+    return Status::Ok();
+  }
+
+  // Materialize index-selectable loose sides (Algorithm 1, lines 8-12).
+  for (VertexId v : {v1, v2}) {
+    if (!vertices_[v].table.has_value() &&
+        graph_.vertex(v).IndexSelectable()) {
+      ROX_RETURN_IF_ERROR(EnsureTable(v));
+    }
+  }
+  if (!vertices_[v1].table.has_value() && !vertices_[v2].table.has_value()) {
+    return Status::FailedPrecondition(
+        StrCat("edge ", e, ": neither endpoint is materializable"));
+  }
+
+  // Context = the materialized side with fewer nodes (overridable by
+  // the timed operator selection below).
+  VertexId ctx = v1, tgt = v2;
+  auto size_of = [&](VertexId v) -> uint64_t {
+    return vertices_[v].table.has_value() ? vertices_[v].table->size()
+                                          : UINT64_MAX;
+  };
+  if (!vertices_[v1].table.has_value() ||
+      (vertices_[v2].table.has_value() && size_of(v2) < size_of(v1))) {
+    ctx = v2;
+    tgt = v1;
+  }
+  if (edge.type == EdgeType::kStep && options_.timed_operator_selection) {
+    ctx = ChooseStepDirection(e, ctx);
+    tgt = edge.Other(ctx);
+  }
+  const std::vector<Pre>& ctx_nodes = *vertices_[ctx].table;
+  const Vertex& tx = graph_.vertex(tgt);
+  const Document& target_doc = corpus_.doc(tx.doc);
+  const Document& ctx_doc = corpus_.doc(graph_.vertex(ctx).doc);
+
+  JoinPairs pairs;
+  if (edge.type == EdgeType::kStep) {
+    const ElementIndex* idx = options_.use_index_acceleration
+                                  ? &corpus_.element_index(tx.doc)
+                                  : nullptr;
+    pairs = StructuralJoinPairs(target_doc, ctx_nodes, StepSpecFrom(e, ctx),
+                                kNoLimit, idx);
+  } else if (vertices_[tgt].table.has_value()) {
+    // Both ends materialized: pick among the applicable algorithms
+    // (hash by default; §6: the prototype times the candidates on a
+    // sample and takes the fastest).
+    EquiAlgo algo = options_.timed_operator_selection
+                        ? ChooseEquiAlgorithm(e, ctx)
+                        : EquiAlgo::kHash;
+    switch (algo) {
+      case EquiAlgo::kHash:
+        pairs = HashValueJoinPairs(ctx_doc, ctx_nodes, target_doc,
+                                   *vertices_[tgt].table);
+        break;
+      case EquiAlgo::kMerge: {
+        std::vector<Pre> outer_sorted = SortByValueId(ctx_doc, ctx_nodes);
+        std::vector<Pre> inner_sorted =
+            SortByValueId(target_doc, *vertices_[tgt].table);
+        JoinPairs sorted_pairs = MergeValueJoinPairs(
+            ctx_doc, outer_sorted, target_doc, inner_sorted);
+        // Re-map outer rows back to ctx_nodes positions is unnecessary:
+        // R_e only needs the matched *nodes* on both sides.
+        pairs.right_nodes = std::move(sorted_pairs.right_nodes);
+        pairs.left_rows.reserve(sorted_pairs.left_rows.size());
+        // Replace row indices with rows into a remapped context list.
+        // Simplest correct approach: emit pairs against outer_sorted and
+        // swap the context list used below.
+        pairs.left_rows = std::move(sorted_pairs.left_rows);
+        pairs.truncated = false;
+        pairs.outer_consumed = outer_sorted.size();
+        // Build R_e directly here since the context array differs.
+        FilterPairsForVertex(tgt, pairs);
+        ResultTable r(2);
+        size_t ctx_col = (ctx == v1) ? 0 : 1;
+        std::vector<Pre>& ccol = r.MutableCol(ctx_col);
+        ccol.resize(pairs.size());
+        for (size_t k = 0; k < pairs.size(); ++k) {
+          ccol[k] = outer_sorted[pairs.left_rows[k]];
+        }
+        r.MutableCol(1 - ctx_col) = std::move(pairs.right_nodes);
+        RecordIntermediate(r.NumRows());
+        edges_[e].result = std::move(r);
+        return Status::Ok();
+      }
+      case EquiAlgo::kIndexNl:
+        pairs = ValueIndexJoinPairs(
+            ctx_doc, ctx_nodes, target_doc, corpus_.value_index(tx.doc),
+            tx.type == VertexType::kAttribute ? ValueProbeSpec::Attr(tx.name)
+                                              : ValueProbeSpec::Text(),
+            kNoLimit);
+        break;
+    }
+  } else {
+    ValueProbeSpec spec = tx.type == VertexType::kAttribute
+                              ? ValueProbeSpec::Attr(tx.name)
+                              : ValueProbeSpec::Text();
+    pairs = ValueIndexJoinPairs(ctx_doc, ctx_nodes, target_doc,
+                                corpus_.value_index(tx.doc), spec, kNoLimit);
+  }
+  FilterPairsForVertex(tgt, pairs);
+
+  // Materialize R_e with columns oriented (v1, v2).
+  ResultTable r(2);
+  size_t ctx_col = (ctx == v1) ? 0 : 1;
+  size_t tgt_col = 1 - ctx_col;
+  std::vector<Pre>& ccol = r.MutableCol(ctx_col);
+  ccol.resize(pairs.size());
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    ccol[k] = ctx_nodes[pairs.left_rows[k]];
+  }
+  r.MutableCol(tgt_col) = std::move(pairs.right_nodes);
+  RecordIntermediate(r.NumRows());
+  edges_[e].result = std::move(r);
+  return Status::Ok();
+}
+
+void RoxState::UpdateAfterExecution(EdgeId e) {
+  const Edge& edge = graph_.edge(e);
+
+  // Remember old cardinalities for the no-resample ablation.
+  double old_cards[2] = {vertices_[edge.v1].card, vertices_[edge.v2].card};
+
+  // Semi-join-reduce the endpoint tables to the surviving nodes and
+  // refresh card/sample (Algorithm 1, lines 14-17).
+  if (edges_[e].result.has_value()) {
+    const ResultTable& r = *edges_[e].result;
+    VertexId vs[2] = {edge.v1, edge.v2};
+    for (int side = 0; side < 2; ++side) {
+      VertexState& v = vertices_[vs[side]];
+      v.table = r.DistinctColumn(side);
+      v.card = static_cast<double>(v.table->size());
+      std::vector<uint64_t> idx =
+          rng_.SampleWithoutReplacement(v.table->size(), options_.tau);
+      v.sample.clear();
+      for (uint64_t i : idx) v.sample.push_back((*v.table)[i]);
+    }
+  }
+
+  // Re-weigh un-executed edges incident to the executed edge's
+  // endpoints (Algorithm 1, lines 18-19). Re-sampling — rather than
+  // scaling by the hit ratio — is what detects correlations.
+  int side = 0;
+  for (VertexId v : {edge.v1, edge.v2}) {
+    for (EdgeId inc : graph_.IncidentEdges(v)) {
+      if (edges_[inc].executed) continue;
+      if (options_.resample_after_execute) {
+        edges_[inc].weight = EstimateCardinality(inc);
+      } else if (edges_[inc].weight >= 0 && old_cards[side] > 0 &&
+                 vertices_[v].card >= 0) {
+        edges_[inc].weight *= vertices_[v].card / old_cards[side];
+      }
+    }
+    ++side;
+  }
+
+  if (options_.trace) {
+    std::fprintf(
+        stderr, "[rox] executed edge %u (%s): |R_e|=%llu |T(v1)|=%.0f "
+        "|T(v2)|=%.0f\n",
+        e, graph_.EdgeLabel(e).c_str(),
+        static_cast<unsigned long long>(
+            edges_[e].result ? edges_[e].result->NumRows() : 0),
+        vertices_[edge.v1].card, vertices_[edge.v2].card);
+  }
+}
+
+// --- timed operator selection (§6 extension) -------------------------------------
+
+VertexId RoxState::ChooseStepDirection(EdgeId e, VertexId def) {
+  const Edge& edge = graph_.edge(e);
+  VertexId other = edge.Other(def);
+  // Comparing directions needs a materialized table and a sample on
+  // both sides.
+  if (!vertices_[def].table.has_value() ||
+      !vertices_[other].table.has_value() ||
+      vertices_[def].sample.empty() || vertices_[other].sample.empty()) {
+    return def;
+  }
+  ScopedTimer timer(stats_.sampling_time);
+  ++stats_.operator_selections;
+  // Extrapolated full cost: per-sampled-row time x table size. Both
+  // candidate operators are zero-investment w.r.t. the sampled side, so
+  // the extrapolation is sound.
+  auto cost_of = [&](VertexId from) {
+    const VertexState& vs = vertices_[from];
+    StopWatch w;
+    SampleEdgeFrom(e, from, vs.sample, options_.tau);
+    double per_row =
+        static_cast<double>(w.ElapsedNanos()) / vs.sample.size();
+    return per_row * static_cast<double>(vs.table->size());
+  };
+  double cost_def = cost_of(def);
+  double cost_other = cost_of(other);
+  if (cost_other < cost_def) {
+    ++stats_.operator_overrides;
+    return other;
+  }
+  return def;
+}
+
+RoxState::EquiAlgo RoxState::ChooseEquiAlgorithm(EdgeId e, VertexId ctx) {
+  const Edge& edge = graph_.edge(e);
+  VertexId tgt = edge.Other(ctx);
+  const VertexState& cs = vertices_[ctx];
+  const VertexState& ts = vertices_[tgt];
+  if (cs.sample.empty() || ts.sample.empty() || !cs.table.has_value() ||
+      !ts.table.has_value()) {
+    return EquiAlgo::kHash;
+  }
+  ScopedTimer timer(stats_.sampling_time);
+  ++stats_.operator_selections;
+  const Document& cdoc = corpus_.doc(graph_.vertex(ctx).doc);
+  const Document& tdoc = corpus_.doc(graph_.vertex(tgt).doc);
+  double n_outer = static_cast<double>(cs.table->size());
+  double n_inner = static_cast<double>(ts.table->size());
+
+  // Index nested loop: per-probe time on the sampled outer x |outer|.
+  double cost_nl;
+  {
+    const Vertex& tx = graph_.vertex(tgt);
+    ValueProbeSpec spec = tx.type == VertexType::kAttribute
+                              ? ValueProbeSpec::Attr(tx.name)
+                              : ValueProbeSpec::Text();
+    StopWatch w;
+    ValueIndexJoinPairs(cdoc, cs.sample, tdoc, corpus_.value_index(tx.doc),
+                        spec, options_.tau);
+    cost_nl = w.ElapsedNanos() / static_cast<double>(cs.sample.size()) *
+              n_outer;
+  }
+  // Hash join: build on sampled inner + probe with sampled outer, both
+  // extrapolated linearly.
+  double cost_hash;
+  {
+    StopWatch w;
+    HashValueJoinPairs(cdoc, cs.sample, tdoc, ts.sample);
+    double per =
+        w.ElapsedNanos() /
+        static_cast<double>(cs.sample.size() + ts.sample.size());
+    cost_hash = per * (n_outer + n_inner);
+  }
+  // Merge join: sort both sides then scan; n log n extrapolation.
+  double cost_merge;
+  {
+    StopWatch w;
+    auto so = SortByValueId(cdoc, cs.sample);
+    auto si = SortByValueId(tdoc, ts.sample);
+    MergeValueJoinPairs(cdoc, so, tdoc, si);
+    double sample_n =
+        static_cast<double>(cs.sample.size() + ts.sample.size());
+    double per = w.ElapsedNanos() / (sample_n * std::log2(sample_n + 2));
+    double full_n = n_outer + n_inner;
+    cost_merge = per * full_n * std::log2(full_n + 2);
+  }
+  EquiAlgo best = EquiAlgo::kHash;
+  double best_cost = cost_hash;
+  if (cost_merge < best_cost) {
+    best = EquiAlgo::kMerge;
+    best_cost = cost_merge;
+  }
+  if (cost_nl < best_cost) {
+    best = EquiAlgo::kIndexNl;
+    best_cost = cost_nl;
+  }
+  if (best != EquiAlgo::kHash) ++stats_.operator_overrides;
+  return best;
+}
+
+// --- final assembly -------------------------------------------------------------
+
+Result<ResultTable> RoxState::AssembleFinal(std::vector<VertexId>* columns) {
+  ScopedTimer timer(stats_.execution_time);
+  ScopedTimer assembly_timer(stats_.assembly_time);
+
+  // Edges with materialized pair results, cheapest first.
+  std::vector<EdgeId> order;
+  for (EdgeId e = 0; e < graph_.EdgeCount(); ++e) {
+    if (edges_[e].result.has_value()) order.push_back(e);
+  }
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return edges_[a].result->NumRows() < edges_[b].result->NumRows();
+  });
+
+  struct Comp {
+    std::vector<VertexId> members;
+    ResultTable table;
+    bool active = true;
+  };
+  std::vector<Comp> comps;
+  // vertex -> (component, column) or (-1, 0).
+  std::vector<std::pair<int, size_t>> where(graph_.VertexCount(), {-1, 0});
+
+  // Deferred edges that closed cycles before both sides were assembled
+  // never happen: an edge merges or filters immediately.
+  for (EdgeId e : order) {
+    const Edge& edge = graph_.edge(e);
+    const ResultTable& r = *edges_[e].result;
+    auto [c1, col1] = where[edge.v1];
+    auto [c2, col2] = where[edge.v2];
+
+    // Pair lookup keyed by v1 node -> run of v2 nodes (CSR).
+    auto build_runs = [&](size_t key_col) {
+      std::unordered_map<Pre, std::pair<uint32_t, uint32_t>> runs;
+      const std::vector<Pre>& kcol = r.Col(key_col);
+      runs.reserve(kcol.size());
+      for (uint32_t i = 0; i < kcol.size(); ++i) ++runs[kcol[i]].second;
+      std::vector<uint32_t> ids(kcol.size());
+      uint32_t off = 0;
+      for (auto& [node, run] : runs) {
+        run.first = off;
+        off += run.second;
+        run.second = 0;
+      }
+      for (uint32_t i = 0; i < kcol.size(); ++i) {
+        auto& run = runs[kcol[i]];
+        ids[run.first + run.second++] = i;
+      }
+      return std::make_pair(std::move(runs), std::move(ids));
+    };
+
+    if (c1 < 0 && c2 < 0) {
+      Comp c;
+      c.members = {edge.v1, edge.v2};
+      c.table = r;
+      where[edge.v1] = {static_cast<int>(comps.size()), 0};
+      where[edge.v2] = {static_cast<int>(comps.size()), 1};
+      comps.push_back(std::move(c));
+      continue;
+    }
+
+    if (c1 >= 0 && c2 >= 0 && c1 == c2) {
+      // Cycle edge: keep rows whose (v1, v2) pair is in R_e.
+      std::unordered_set<uint64_t> pairs;
+      pairs.reserve(r.NumRows());
+      for (uint64_t i = 0; i < r.NumRows(); ++i) {
+        pairs.insert((static_cast<uint64_t>(r.Col(0)[i]) << 32) |
+                     r.Col(1)[i]);
+      }
+      Comp& c = comps[c1];
+      const std::vector<Pre>& a = c.table.Col(col1);
+      const std::vector<Pre>& b = c.table.Col(col2);
+      std::vector<uint32_t> keep;
+      for (uint32_t i = 0; i < a.size(); ++i) {
+        if (pairs.contains((static_cast<uint64_t>(a[i]) << 32) | b[i])) {
+          keep.push_back(i);
+        }
+      }
+      c.table = c.table.SelectRows(keep);
+      RecordIntermediate(c.table.NumRows());
+      continue;
+    }
+
+    // Anchor on the side already assembled (prefer v1's component).
+    VertexId anchor = edge.v1, far = edge.v2;
+    size_t anchor_key = 0, far_key = 1;
+    if (c1 < 0) {
+      anchor = edge.v2;
+      far = edge.v1;
+      anchor_key = 1;
+      far_key = 0;
+    }
+    auto [ca, cola] = where[anchor];
+    auto [runs, ids] = build_runs(anchor_key);
+    Comp& a = comps[ca];
+    JoinPairs jp;
+    {
+      const std::vector<Pre>& acol = a.table.Col(cola);
+      const std::vector<Pre>& fcol = r.Col(far_key);
+      for (uint32_t row = 0; row < acol.size(); ++row) {
+        auto it = runs.find(acol[row]);
+        if (it == runs.end()) continue;
+        for (uint32_t j = 0; j < it->second.second; ++j) {
+          jp.left_rows.push_back(row);
+          jp.right_nodes.push_back(fcol[ids[it->second.first + j]]);
+        }
+      }
+    }
+
+    auto [cf, colf] = where[far];
+    Comp merged;
+    if (cf < 0) {
+      merged.table = ExtendTableWithPairs(a.table, jp);
+      merged.members = a.members;
+      merged.members.push_back(far);
+      a.active = false;
+    } else {
+      Comp& b = comps[cf];
+      merged.table = JoinTablesWithPairs(a.table, jp, b.table, colf);
+      merged.members = a.members;
+      merged.members.insert(merged.members.end(), b.members.begin(),
+                            b.members.end());
+      a.active = false;
+      b.active = false;
+    }
+    int id = static_cast<int>(comps.size());
+    for (size_t c = 0; c < merged.members.size(); ++c) {
+      where[merged.members[c]] = {id, c};
+    }
+    RecordIntermediate(merged.table.NumRows());
+    comps.push_back(std::move(merged));
+  }
+
+  int active = -1;
+  for (size_t i = 0; i < comps.size(); ++i) {
+    if (!comps[i].active) continue;
+    if (active >= 0) {
+      return Status::FailedPrecondition(
+          "assembly left multiple components (disconnected join graph)");
+    }
+    active = static_cast<int>(i);
+  }
+  if (active < 0) {
+    return Status::FailedPrecondition("nothing to assemble");
+  }
+  if (columns != nullptr) *columns = comps[active].members;
+  return std::move(comps[active].table);
+}
+
+bool RoxState::EquiJoinImplied(VertexId a, VertexId b) const {
+  if (a == b) return true;
+  std::vector<VertexId> stack = {a};
+  std::vector<bool> seen(graph_.VertexCount(), false);
+  seen[a] = true;
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    for (EdgeId e : graph_.IncidentEdges(v)) {
+      const Edge& ed = graph_.edge(e);
+      if (ed.type != EdgeType::kEquiJoin || !edges_[e].executed) continue;
+      VertexId o = ed.Other(v);
+      if (o == b) return true;
+      if (!seen[o]) {
+        seen[o] = true;
+        stack.push_back(o);
+      }
+    }
+  }
+  return false;
+}
+
+void RoxState::RecordIntermediate(uint64_t rows) {
+  stats_.cumulative_intermediate_rows += rows;
+  stats_.peak_intermediate_rows =
+      std::max(stats_.peak_intermediate_rows, rows);
+}
+
+// --- queries -------------------------------------------------------------------
+
+int RoxState::RemainingEdges() const {
+  int n = 0;
+  for (const EdgeState& es : edges_) {
+    if (!es.executed) ++n;
+  }
+  return n;
+}
+
+EdgeId RoxState::MinWeightEdge() const {
+  EdgeId best = kInvalidEdgeId;
+  double best_w = 0;
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (edges_[e].executed || edges_[e].weight < 0) continue;
+    if (best == kInvalidEdgeId || edges_[e].weight < best_w) {
+      best = e;
+      best_w = edges_[e].weight;
+    }
+  }
+  return best;
+}
+
+std::vector<EdgeId> RoxState::UnexecutedEdges(VertexId v) const {
+  std::vector<EdgeId> out;
+  for (EdgeId e : graph_.IncidentEdges(v)) {
+    if (!edges_[e].executed) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace rox

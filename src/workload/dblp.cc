@@ -1,0 +1,380 @@
+#include "workload/dblp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace rox {
+
+const char* AreaName(Area a) {
+  switch (a) {
+    case Area::kAI:
+      return "AI";
+    case Area::kBI:
+      return "BI";
+    case Area::kDM:
+      return "DM";
+    case Area::kIR:
+      return "IR";
+    case Area::kDB:
+      return "DB";
+  }
+  return "?";
+}
+
+const std::vector<DblpDocSpec>& Table3Documents() {
+  static const std::vector<DblpDocSpec>* kDocs = new std::vector<DblpDocSpec>{
+      {"FuzzyLogicAI", {Area::kAI}, 62},
+      {"AIinMedicine", {Area::kAI}, 2264},
+      {"AAAI", {Area::kAI}, 6832},
+      {"CANS", {Area::kAI, Area::kBI}, 214},
+      {"BMCBioinform", {Area::kBI}, 3547},
+      {"Bioinformatics", {Area::kBI}, 15019},
+      {"BIOKDD", {Area::kDM, Area::kBI}, 139},
+      {"MLDM", {Area::kDM}, 575},
+      {"ICDM", {Area::kDM}, 2205},
+      {"KDD", {Area::kDM}, 3201},
+      {"WSDM", {Area::kDM, Area::kIR}, 95},
+      {"INEX", {Area::kIR}, 342},
+      {"SPIRE", {Area::kIR}, 724},
+      {"TREC", {Area::kIR}, 2541},
+      {"SIGIR", {Area::kIR}, 4584},
+      {"ICME", {Area::kIR}, 5757},
+      {"ICIP", {Area::kIR}, 7935},
+      {"CIKM", {Area::kDB, Area::kIR}, 3684},
+      {"ADBIS", {Area::kDB}, 947},
+      {"EDBT", {Area::kDB}, 1340},
+      {"SIGMOD", {Area::kDB}, 5912},
+      {"ICDE", {Area::kDB}, 6169},
+      {"VLDB", {Area::kDB}, 6865},
+  };
+  return *kDocs;
+}
+
+namespace {
+
+// Scaled tag count for a document (at least 2).
+uint64_t ScaledTags(uint64_t base, double tag_scale) {
+  uint64_t t = static_cast<uint64_t>(std::llround(base * tag_scale));
+  return std::max<uint64_t>(t, 2);
+}
+
+struct Pools {
+  // Per-area list of author names.
+  std::array<std::vector<std::string>, kNumAreas> by_area;
+};
+
+Pools BuildPools(const DblpGenOptions& options) {
+  // Pool size per area from the full Table 3 (independent of subset).
+  std::array<uint64_t, kNumAreas> area_tags{};
+  for (const DblpDocSpec& spec : Table3Documents()) {
+    uint64_t tags = ScaledTags(spec.author_tags, options.tag_scale);
+    for (Area a : spec.areas) {
+      area_tags[static_cast<int>(a)] += tags / spec.areas.size();
+    }
+  }
+  Pools pools;
+  for (int a = 0; a < kNumAreas; ++a) {
+    uint64_t n = std::max<uint64_t>(
+        8, static_cast<uint64_t>(area_tags[a] / options.pool_div));
+    pools.by_area[a].reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      pools.by_area[a].push_back(
+          StrCat(AreaName(static_cast<Area>(a)), "_author_", i));
+    }
+  }
+  return pools;
+}
+
+// Per-document random permutations of each area pool (decorrelating the
+// Zipf popularity ranking between venues that share a pool) plus the
+// venue's celebrity-arc offsets.
+struct DocPerms {
+  std::array<std::vector<uint32_t>, kNumAreas> perm;
+  std::array<uint64_t, kNumAreas> celeb_offset;
+
+  DocPerms(const Pools& pools, Rng& rng) {
+    for (int a = 0; a < kNumAreas; ++a) {
+      perm[a].resize(pools.by_area[a].size());
+      for (uint32_t i = 0; i < perm[a].size(); ++i) perm[a][i] = i;
+      rng.Shuffle(perm[a]);
+      celeb_offset[a] = rng.Next();
+    }
+  }
+};
+
+// Number of celebrities of an area pool.
+uint64_t CelebCount(size_t pool_size, const DblpGenOptions& options) {
+  uint64_t celebs = std::max<uint64_t>(
+      8, static_cast<uint64_t>(pool_size / options.celeb_div));
+  return std::min<uint64_t>(celebs, pool_size);
+}
+
+// Draws one author name for a document of `spec`.
+const std::string& DrawAuthor(const DblpDocSpec& spec, const Pools& pools,
+                              const DocPerms& perms,
+                              const DblpGenOptions& options, Rng& rng) {
+  int area;
+  bool noise = rng.Bernoulli(options.cross_area_noise);
+  if (noise) {
+    area = static_cast<int>(rng.Below(kNumAreas));
+  } else {
+    // Uniformly one of the venue's own areas (two-area venues split
+    // their tags between both pools — that is what makes them bridges).
+    area = static_cast<int>(
+        spec.areas[rng.Below(spec.areas.size())]);
+  }
+  const std::vector<std::string>& pool = pools.by_area[area];
+  if (noise || rng.Bernoulli(options.global_share)) {
+    // Uniform over the venue's celebrity arc: a contiguous window of
+    // the area's celebrity ring, placed per (venue, area).
+    uint64_t celebs = CelebCount(pool.size(), options);
+    uint64_t arc = std::max<uint64_t>(
+        4, static_cast<uint64_t>(celebs * options.community_frac));
+    arc = std::min(arc, celebs);
+    uint64_t start = perms.celeb_offset[area] % celebs;
+    return pool[(start + rng.Below(arc)) % celebs];
+  }
+  uint64_t rank = rng.Zipf(pool.size(), options.zipf_s);
+  return pool[perms.perm[area][rank]];
+}
+
+struct Article {
+  std::vector<const std::string*> authors;  // pointers into the pools
+  std::string title;
+  int year;
+};
+
+// Base articles: distribute the scaled tag budget over articles with
+// 1..2*avg authors each.
+std::vector<Article> GenerateArticles(const DblpDocSpec& spec,
+                                      const Pools& pools,
+                                      const DblpGenOptions& options,
+                                      Rng& rng) {
+  uint64_t tags = ScaledTags(spec.author_tags, options.tag_scale);
+  std::vector<Article> base;
+  DocPerms perms(pools, rng);
+  uint64_t assigned = 0;
+  int article_no = 0;
+  while (assigned < tags) {
+    Article art;
+    uint64_t max_a = std::max<uint64_t>(
+        1, static_cast<uint64_t>(2 * options.authors_per_article) - 1);
+    uint64_t n = 1 + rng.Below(max_a);
+    n = std::min(n, tags - assigned);
+    for (uint64_t i = 0; i < n; ++i) {
+      art.authors.push_back(&DrawAuthor(spec, pools, perms, options, rng));
+    }
+    art.title = StrCat("A study in ", spec.name, " no ", article_no);
+    art.year = 1990 + (article_no % 20);
+    ++article_no;
+    assigned += n;
+    base.push_back(std::move(art));
+  }
+  return base;
+}
+
+// Suffix helper for the ×scale replication (§4.1: replicated articles
+// carry serial-number suffixes on author names and titles, preserving
+// the distribution while avoiding duplicates).
+std::string WithRep(const std::string& s, uint32_t rep, uint32_t scale) {
+  if (scale == 1) return s;
+  return StrCat(s, "#", rep);
+}
+
+std::string GenerateDocXml(const DblpDocSpec& spec,
+                           const std::vector<Article>& base,
+                           const DblpGenOptions& options) {
+  std::string xml;
+  xml.reserve(base.size() * options.scale * 96);
+  xml += StrCat("<venue name=\"", spec.name, "\">\n");
+  for (uint32_t rep = 0; rep < options.scale; ++rep) {
+    for (size_t i = 0; i < base.size(); ++i) {
+      const Article& art = base[i];
+      xml += StrCat("<article key=\"", spec.name, "/", i, "#", rep, "\">");
+      for (const std::string* a : art.authors) {
+        xml += StrCat("<author>", WithRep(*a, rep, options.scale),
+                      "</author>");
+      }
+      xml += StrCat("<title>", WithRep(art.title, rep, options.scale),
+                    "</title>");
+      xml += StrCat("<year>", art.year, "</year>");
+      xml += "</article>\n";
+    }
+  }
+  xml += "</venue>\n";
+  return xml;
+}
+
+Result<std::unique_ptr<Document>> GenerateDocDirect(
+    const DblpDocSpec& spec, const std::vector<Article>& base,
+    const DblpGenOptions& options, std::shared_ptr<StringPool> pool) {
+  DocumentBuilder b(spec.name, std::move(pool));
+  b.StartElement("venue");
+  b.Attribute("name", spec.name);
+  for (uint32_t rep = 0; rep < options.scale; ++rep) {
+    for (size_t i = 0; i < base.size(); ++i) {
+      const Article& art = base[i];
+      b.StartElement("article");
+      b.Attribute("key", StrCat(spec.name, "/", i, "#", rep));
+      for (const std::string* a : art.authors) {
+        b.StartElement("author");
+        b.Text(WithRep(*a, rep, options.scale));
+        b.EndElement();
+      }
+      b.StartElement("title");
+      b.Text(WithRep(art.title, rep, options.scale));
+      b.EndElement();
+      b.StartElement("year");
+      b.Text(StrCat(art.year));
+      b.EndElement();
+      b.EndElement();
+    }
+  }
+  b.EndElement();
+  return std::move(b).Finish();
+}
+
+}  // namespace
+
+Result<Corpus> GenerateDblpCorpus(const DblpGenOptions& options) {
+  std::vector<int> all(Table3Documents().size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  return GenerateDblpCorpus(options, all);
+}
+
+Result<Corpus> GenerateDblpCorpus(const DblpGenOptions& options,
+                                  const std::vector<int>& doc_indices) {
+  Pools pools = BuildPools(options);
+  Corpus corpus;
+  const std::vector<DblpDocSpec>& specs = Table3Documents();
+  for (int idx : doc_indices) {
+    if (idx < 0 || idx >= static_cast<int>(specs.size())) {
+      return Status::InvalidArgument(StrCat("bad document index ", idx));
+    }
+    // Per-document RNG derived from the corpus seed and the document
+    // identity, so a document's content does not depend on which other
+    // documents were generated.
+    Rng rng(options.seed ^ (0x9e3779b97f4a7c15ULL * (idx + 1)));
+    std::vector<Article> articles =
+        GenerateArticles(specs[idx], pools, options, rng);
+    if (options.via_xml_text) {
+      std::string xml = GenerateDocXml(specs[idx], articles, options);
+      ROX_RETURN_IF_ERROR(corpus.AddXml(xml, specs[idx].name).status());
+    } else {
+      ROX_ASSIGN_OR_RETURN(
+          std::unique_ptr<Document> doc,
+          GenerateDocDirect(specs[idx], articles, options, corpus.pool()));
+      ROX_RETURN_IF_ERROR(corpus.Add(std::move(doc)).status());
+    }
+  }
+  return corpus;
+}
+
+DblpQueryGraph BuildDblpJoinGraph(const Corpus& corpus,
+                                  const std::vector<DocId>& docs,
+                                  bool add_equivalence_closure,
+                                  bool prune_root_edges) {
+  DblpQueryGraph out;
+  StringId author = corpus.string_pool().Find("author");
+  ROX_CHECK(author != kInvalidStringId);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    DocId d = docs[i];
+    VertexId root = out.graph.AddRoot(d, StrCat("root(", corpus.doc(d).name(), ")"));
+    VertexId a = out.graph.AddElement(
+        d, author, StrCat("author@", corpus.doc(d).name()));
+    VertexId t = out.graph.AddText(d, ValuePredicate::None(),
+                                   StrCat("text()@", corpus.doc(d).name()));
+    out.graph.AddStep(root, Axis::kDescendant, a);
+    out.graph.AddStep(a, Axis::kChild, t);
+    out.roots.push_back(root);
+    out.authors.push_back(a);
+    out.texts.push_back(t);
+  }
+  // where $a1/text() = $ai/text() — a star from the first variable.
+  for (size_t i = 1; i < docs.size(); ++i) {
+    out.graph.AddEquiJoin(out.texts[0], out.texts[i]);
+  }
+  if (add_equivalence_closure) out.graph.AddEquivalenceClosure();
+  if (prune_root_edges) out.graph.PruneRedundantRootEdges();
+  return out;
+}
+
+std::vector<std::pair<StringId, uint32_t>> AuthorValueHistogram(
+    const Corpus& corpus, DocId doc_id) {
+  const Document& doc = corpus.doc(doc_id);
+  StringId author = corpus.string_pool().Find("author");
+  std::unordered_map<StringId, uint32_t> hist;
+  for (Pre p : corpus.element_index(doc_id).Lookup(author)) {
+    StringId v = doc.SingleTextChildValue(p);
+    if (v != kInvalidStringId) ++hist[v];
+  }
+  std::vector<std::pair<StringId, uint32_t>> out(hist.begin(), hist.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t PairJoinSize(const Corpus& corpus, DocId d1, DocId d2) {
+  auto h1 = AuthorValueHistogram(corpus, d1);
+  auto h2 = AuthorValueHistogram(corpus, d2);
+  uint64_t total = 0;
+  size_t i = 0, j = 0;
+  while (i < h1.size() && j < h2.size()) {
+    if (h1[i].first < h2[j].first) {
+      ++i;
+    } else if (h1[i].first > h2[j].first) {
+      ++j;
+    } else {
+      total += static_cast<uint64_t>(h1[i].second) * h2[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+double CorrelationC(const Corpus& corpus, const std::array<DocId, 4>& docs) {
+  // Author-tag counts.
+  std::array<double, 4> tags{};
+  StringId author = corpus.string_pool().Find("author");
+  for (int i = 0; i < 4; ++i) {
+    tags[i] =
+        static_cast<double>(corpus.element_index(docs[i]).Count(author));
+  }
+  std::vector<double> js;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      double join = static_cast<double>(PairJoinSize(corpus, docs[i], docs[j]));
+      js.push_back(join * 100.0 / std::max(tags[i], tags[j]));
+    }
+  }
+  double mean = 0;
+  for (double v : js) mean += v;
+  mean /= js.size();
+  double c = 0;
+  for (double v : js) c += (v - mean) * (v - mean);
+  return c / js.size();
+}
+
+std::string AreaGroup(const std::vector<DblpDocSpec>& specs,
+                      const std::array<int, 4>& spec_indices) {
+  std::array<int, kNumAreas> count{};
+  for (int idx : spec_indices) {
+    // Primary (first listed) area.
+    ++count[static_cast<int>(specs[idx].areas[0])];
+  }
+  std::vector<int> nonzero;
+  for (int c : count) {
+    if (c > 0) nonzero.push_back(c);
+  }
+  std::sort(nonzero.rbegin(), nonzero.rend());
+  if (nonzero.size() == 1) return "4:0";
+  if (nonzero.size() == 2 && nonzero[0] == 3) return "3:1";
+  if (nonzero.size() == 2 && nonzero[0] == 2) return "2:2";
+  return "";
+}
+
+}  // namespace rox

@@ -1,0 +1,149 @@
+// Synthetic DBLP-like corpus generator.
+//
+// The paper's experiments (§4.1) split the real DBLP dataset into ~4500
+// per-venue documents and select 23 "representative" documents from 5
+// research areas (Table 3), scaled ×1/×10/×100 by replicating articles
+// with serial-number suffixes on author names and titles. We do not
+// have DBLP, so we synthesize a corpus with the same observable
+// structure:
+//
+//  * the 23 documents of Table 3, with the same per-document
+//    author-tag counts (optionally down-scaled for quick runs),
+//  * per-area author pools with Zipf-distributed productivity, so that
+//    documents of the same area share many authors (high join hit
+//    ratios / correlation) while cross-area overlap comes only from a
+//    small interdisciplinary population — exactly the correlation
+//    structure the ROX experiments rely on,
+//  * the ×n scaling rule of the paper: every article is replicated n
+//    times with "#k" suffixes, preserving distribution and correlation.
+//
+// Document shape:
+//   <venue name="VLDB">
+//     <article key="VLDB/0">
+//       <author>NAME</author>...  <title>..</title>  <year>..</year>
+//     </article>...
+//   </venue>
+
+#ifndef ROX_WORKLOAD_DBLP_H_
+#define ROX_WORKLOAD_DBLP_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/join_graph.h"
+#include "index/corpus.h"
+
+namespace rox {
+
+// The five research areas of Table 3.
+enum class Area : uint8_t { kAI = 0, kBI, kDM, kIR, kDB };
+inline constexpr int kNumAreas = 5;
+const char* AreaName(Area a);
+
+// One venue/document of Table 3.
+struct DblpDocSpec {
+  std::string name;
+  std::vector<Area> areas;    // 1 or 2 areas
+  uint64_t author_tags;       // ×1 author-tag count from Table 3
+};
+
+// The 23 documents of Table 3 (names normalized to identifiers).
+const std::vector<DblpDocSpec>& Table3Documents();
+
+struct DblpGenOptions {
+  // Article replication factor (the paper's ×1 / ×10 / ×100).
+  uint32_t scale = 1;
+  // Multiplier on the Table 3 author-tag counts (e.g. 0.1 to shrink the
+  // corpus for fast CI runs while keeping relative sizes).
+  double tag_scale = 1.0;
+  // Average <author> tags per article (DBLP is ~2.5).
+  double authors_per_article = 2.5;
+  // Zipf exponent of author productivity within a venue's pool. Each
+  // document applies its own random permutation of the pool before the
+  // Zipf draw, so venues of one area share *authors* but not the exact
+  // popularity ranking — keeping multi-way join fan-out realistic.
+  double zipf_s = 0.7;
+  // Fraction of in-area draws taken uniformly from the area's small
+  // "celebrity" subset (the first pool_size/celeb_div pool entries):
+  // celebrities publish in every venue of their area with modest
+  // per-venue frequency, carrying the same-area correlation without
+  // blowing up multi-way join fan-out. Noise (cross-area) draws always
+  // target celebrities, so interdisciplinary matches exist but are rare.
+  double global_share = 0.15;
+  double celeb_div = 50.0;
+  // Each venue draws its celebrities from a random contiguous arc
+  // covering this fraction of the area's celebrity ring. Arc overlap
+  // between two venues varies from empty to complete, independent of
+  // venue size — the selectivity variance that burns a smallest-
+  // input-first classical optimizer exactly as §4.3 describes.
+  double community_frac = 0.5;
+  // Generate through XML text + parser instead of building the shredded
+  // document directly. Both paths produce identical documents; the text
+  // path exercises the parser, the direct path is ~4x faster and is the
+  // default for experiment harnesses.
+  bool via_xml_text = false;
+  // Fraction of a document's author tags drawn from pools of areas the
+  // venue does NOT belong to (background noise that keeps cross-area
+  // joins non-empty).
+  double cross_area_noise = 0.01;
+  // Pool sizing: distinct authors per area ≈ area_tag_total / pool_div.
+  double pool_div = 3.0;
+  uint64_t seed = 20090629;  // SIGMOD'09 started June 29
+};
+
+// Generates the full 23-document corpus.
+Result<Corpus> GenerateDblpCorpus(const DblpGenOptions& options);
+
+// Generates only the given subset of Table 3 documents (indices into
+// Table3Documents()); pools are still sized from the full table so
+// overlap statistics do not depend on the subset.
+Result<Corpus> GenerateDblpCorpus(const DblpGenOptions& options,
+                                  const std::vector<int>& doc_indices);
+
+// --- the 4-way author query of §4.1 -----------------------------------------
+
+// Join Graph of the DBLP query template (Figure 4): per document a
+// root --//-- author --/-- text() chain, plus equi-joins between the
+// text() vertices ($a1/text() = $ai/text()), optionally closed into the
+// full equivalence clique (the dotted edges) and with redundant root
+// steps pruned.
+struct DblpQueryGraph {
+  JoinGraph graph;
+  std::vector<VertexId> roots;
+  std::vector<VertexId> authors;
+  std::vector<VertexId> texts;
+};
+
+DblpQueryGraph BuildDblpJoinGraph(const Corpus& corpus,
+                                  const std::vector<DocId>& docs,
+                                  bool add_equivalence_closure = true,
+                                  bool prune_root_edges = true);
+
+// --- correlation machinery (§4.2) --------------------------------------------
+
+// Histogram of author text values of one document: value id -> tag count.
+std::vector<std::pair<StringId, uint32_t>> AuthorValueHistogram(
+    const Corpus& corpus, DocId doc);
+
+// |di ⋈ dj| — the author-text equi-join cardinality of two documents
+// (Σ_v f_i(v) · f_j(v)).
+uint64_t PairJoinSize(const Corpus& corpus, DocId d1, DocId d2);
+
+// The correlation measure C of §4.2: the variance of the pairwise join
+// selectivities js(di,dj) = |di ⋈ dj| * 100 / max(|di|,|dj|), where
+// |d| is the author-tag count of d.
+double CorrelationC(const Corpus& corpus, const std::array<DocId, 4>& docs);
+
+// Classifies a 4-document combination by its area distribution:
+// "2:2", "3:1", "4:0", or "" when it does not fall into the paper's
+// three groups (venues with two areas count once per area; the paper's
+// grouping uses the primary area, we use the first listed).
+std::string AreaGroup(const std::vector<DblpDocSpec>& specs,
+                      const std::array<int, 4>& spec_indices);
+
+}  // namespace rox
+
+#endif  // ROX_WORKLOAD_DBLP_H_

@@ -1,0 +1,124 @@
+#include "workload/xmark.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace rox {
+
+Result<DocId> GenerateXmarkDocument(Corpus& corpus,
+                                    const XmarkGenOptions& options,
+                                    std::string doc_name) {
+  Rng rng(options.seed);
+  std::string xml;
+  xml.reserve(options.open_auctions * 256);
+  xml += "<site>\n<regions>\n";
+  for (uint32_t i = 0; i < options.items; ++i) {
+    int quantity = rng.Bernoulli(options.quantity_one_prob)
+                       ? 1
+                       : static_cast<int>(2 + rng.Below(4));
+    xml += StrCat("<item id=\"item", i, "\"><quantity>", quantity,
+                  "</quantity><name>thing ", i,
+                  "</name><payment>Creditcard</payment></item>\n");
+  }
+  xml += "</regions>\n<people>\n";
+  for (uint32_t i = 0; i < options.persons; ++i) {
+    xml += StrCat("<person id=\"person", i, "\"><name>user ", i, "</name>");
+    if (rng.Bernoulli(options.education_prob)) {
+      xml += "<profile><education>Graduate School</education></profile>";
+    }
+    if (rng.Bernoulli(options.province_prob)) {
+      xml += StrCat("<province>prov", rng.Below(12), "</province>");
+    }
+    xml += "</person>\n";
+  }
+  xml += "</people>\n<open_auctions>\n";
+  for (uint32_t i = 0; i < options.open_auctions; ++i) {
+    double price = rng.NextDouble() * options.max_price;
+    // The injected correlation: expected bidder count grows with price.
+    double expected =
+        options.bidders_base +
+        options.bidders_slope * options.bidders_span *
+            std::pow(price / options.max_price, options.bidders_exponent);
+    int64_t jitter = rng.Between(-1, 1);
+    int bidders = static_cast<int>(std::llround(expected) + jitter);
+    if (bidders < 0) bidders = 0;
+    xml += StrCat("<open_auction id=\"open_auction", i, "\"><current>",
+                  static_cast<int>(price), "</current><itemref item=\"item",
+                  rng.Below(options.items), "\"/>");
+    for (int b = 0; b < bidders; ++b) {
+      xml += StrCat("<bidder><personref person=\"person",
+                    rng.Below(options.persons), "\"/><increase>",
+                    1 + rng.Below(9), "</increase></bidder>");
+    }
+    if (rng.Bernoulli(options.reserve_prob)) {
+      xml += StrCat("<reserve>", static_cast<int>(price * 0.8), "</reserve>");
+    }
+    xml += "</open_auction>\n";
+  }
+  xml += "</open_auctions>\n</site>\n";
+  return corpus.AddXml(xml, std::move(doc_name));
+}
+
+XmarkQ1Graph BuildXmarkQ1Graph(const Corpus& corpus, DocId doc,
+                               double price_threshold, bool less_than,
+                               bool prune_root_edges) {
+  Corpus& c = const_cast<Corpus&>(corpus);
+  auto name = [&](const char* s) { return c.Intern(s); };
+
+  XmarkQ1Graph g;
+  JoinGraph& jg = g.graph;
+  g.root = jg.AddRoot(doc, "root(xmark)");
+  g.open_auction = jg.AddElement(doc, name("open_auction"), "open_auction");
+  g.current = jg.AddElement(doc, name("current"), "current");
+  NumericRange range = less_than ? NumericRange::LessThan(price_threshold)
+                                 : NumericRange::GreaterThan(price_threshold);
+  g.current_text =
+      jg.AddText(doc, ValuePredicate::Range(range),
+                 StrCat("text()", less_than ? "<" : ">", price_threshold));
+  g.bidder = jg.AddElement(doc, name("bidder"), "bidder");
+  g.personref = jg.AddElement(doc, name("personref"), "personref");
+  g.at_person = jg.AddAttribute(doc, name("person"),
+                                ValuePredicate::None(), "@person");
+  g.itemref = jg.AddElement(doc, name("itemref"), "itemref");
+  g.at_item = jg.AddAttribute(doc, name("item"), ValuePredicate::None(),
+                              "@item");
+  g.person = jg.AddElement(doc, name("person"), "person");
+  g.province = jg.AddElement(doc, name("province"), "province");
+  g.person_id = jg.AddAttribute(doc, name("id"), ValuePredicate::None(),
+                                "@id(person)");
+  g.item = jg.AddElement(doc, name("item"), "item");
+  g.quantity = jg.AddElement(doc, name("quantity"), "quantity");
+  g.quantity_text = jg.AddText(
+      doc, ValuePredicate::Equals(c.Intern("1")), "text()=1");
+  g.item_id = jg.AddAttribute(doc, name("id"), ValuePredicate::None(),
+                              "@id(item)");
+
+  // Steps (Figure 3.1).
+  jg.AddStep(g.root, Axis::kDescendant, g.open_auction);
+  jg.AddStep(g.root, Axis::kDescendant, g.person);
+  jg.AddStep(g.root, Axis::kDescendant, g.item);
+  jg.AddStep(g.open_auction, Axis::kDescendant, g.current);
+  jg.AddStep(g.current, Axis::kChild, g.current_text);
+  jg.AddStep(g.open_auction, Axis::kDescendant, g.bidder);
+  jg.AddStep(g.bidder, Axis::kDescendant, g.personref);
+  jg.AddStep(g.personref, Axis::kChild, g.at_person);
+  jg.AddStep(g.open_auction, Axis::kDescendant, g.itemref);
+  jg.AddStep(g.itemref, Axis::kChild, g.at_item);
+  jg.AddStep(g.person, Axis::kDescendant, g.province);
+  jg.AddStep(g.person, Axis::kChild, g.person_id);
+  jg.AddStep(g.item, Axis::kChild, g.quantity);
+  jg.AddStep(g.quantity, Axis::kChild, g.quantity_text);
+  jg.AddStep(g.item, Axis::kChild, g.item_id);
+
+  // Value joins.
+  jg.AddEquiJoin(g.at_person, g.person_id);
+  jg.AddEquiJoin(g.at_item, g.item_id);
+
+  if (prune_root_edges) jg.PruneRedundantRootEdges();
+  return g;
+}
+
+}  // namespace rox

@@ -1,0 +1,102 @@
+// XMark-like auction document generator with an injected correlation
+// between the current price of an auction and its number of bidders.
+//
+// §3.2 of the paper builds its running example (queries Q1 / Qm1,
+// Figure 3, Table 2) on the XMark benchmark document and on the fact
+// that "the bigger the current price of an item, the higher the number
+// of bidders participating in the bid" — a correlation a static
+// optimizer cannot see. The generator makes that correlation explicit
+// and tunable.
+//
+// Document shape (a subset of XMark sufficient for Q1/Qm1):
+//   <site>
+//     <regions><item id="item0"><quantity>1</quantity>
+//              <name>..</name><payment>..</payment></item>...</regions>
+//     <people><person id="person0"><name>..</name>
+//             [<profile><education>..</education></profile>]
+//             [<province>..</province>]</person>...</people>
+//     <open_auctions><open_auction id="open_auction0">
+//        <current>137</current>
+//        <itemref item="item17"/>
+//        <bidder><personref person="person3"/><increase>3</increase>
+//        </bidder> × (correlated with current)
+//        [<reserve>..</reserve>]
+//     </open_auction>...</open_auctions>
+//   </site>
+
+#ifndef ROX_WORKLOAD_XMARK_H_
+#define ROX_WORKLOAD_XMARK_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/join_graph.h"
+#include "index/corpus.h"
+#include "index/value_index.h"
+
+namespace rox {
+
+// Entity proportions follow the paper's Figure 3.1 annotations
+// (auctions 24K, items 43.5K, persons 51K, province 11.2K, bidders
+// 133K), scaled down by default to 1/10.
+struct XmarkGenOptions {
+  uint32_t items = 4350;
+  uint32_t persons = 5100;
+  uint32_t open_auctions = 2400;
+  // Prices are uniform in [0, max_price].
+  double max_price = 250.0;
+  // Expected bidders of an auction priced p:
+  //   bidders_base + bidders_slope * bidders_span * (p/max_price)^bidders_exponent
+  // (plus ±1 noise). With the defaults, auctions below a 145 threshold
+  // average <1 bidder while auctions above it average ~6 — strong
+  // enough that the cheap side's bidder branch is the most selective
+  // route (executed early, Figure 3.3) while the expensive side's is
+  // the least (deferred, Figure 3.4).
+  double bidders_base = 1.5;
+  double bidders_span = 11.0;
+  double bidders_slope = 1.0;
+  double bidders_exponent = 2.0;
+  // Probability a person has a <province> / an <education> entry, and
+  // an item has quantity 1 (vs 2..5). Province is the *selective* end
+  // of the bidder route (11.2K of 51K persons in the paper's figure);
+  // quantity=1 is the mild end of the itemref route.
+  double province_prob = 0.22;
+  double education_prob = 0.5;
+  double quantity_one_prob = 0.8;
+  // Probability an auction has a <reserve>.
+  double reserve_prob = 0.6;
+  uint64_t seed = 0xabcdef12;
+};
+
+// Generates the auction document and adds it to `corpus` under
+// `doc_name` (default "xmark.xml").
+Result<DocId> GenerateXmarkDocument(Corpus& corpus,
+                                    const XmarkGenOptions& options,
+                                    std::string doc_name = "xmark.xml");
+
+// --- Join Graph of query Q1 / Qm1 (§3.2, Figure 3.1) -------------------------
+//
+// for $o in //open_auction[.//current/text() < P],
+//     $p in //person[.//province],
+//     $i in //item[./quantity = 1]
+// where $o//bidder//personref/@person = $p/@id
+//   and $o//itemref/@item = $i/@id
+// return $o
+//
+// `less_than` selects Q1 (text() < P) vs Qm1 (text() > P).
+struct XmarkQ1Graph {
+  JoinGraph graph;
+  VertexId root, open_auction, current, current_text;
+  VertexId bidder, personref, at_person;
+  VertexId itemref, at_item;
+  VertexId person, province, person_id;
+  VertexId item, quantity, quantity_text, item_id;
+};
+
+XmarkQ1Graph BuildXmarkQ1Graph(const Corpus& corpus, DocId doc,
+                               double price_threshold, bool less_than,
+                               bool prune_root_edges = true);
+
+}  // namespace rox
+
+#endif  // ROX_WORKLOAD_XMARK_H_

@@ -1,0 +1,161 @@
+#include "xml/document.h"
+
+#include "common/check.h"
+
+namespace rox {
+
+std::string Document::TypedValue(Pre p) const {
+  if (Kind(p) == NodeKind::kText || Kind(p) == NodeKind::kAttr) {
+    return std::string(ValueStr(p));
+  }
+  std::string out;
+  Pre end = p + Size(p);
+  for (Pre q = p + 1; q <= end; ++q) {
+    if (kind_[q] == NodeKind::kText) out += pool_->Get(value_id_[q]);
+  }
+  return out;
+}
+
+StringId Document::SingleTextChildValue(Pre p) const {
+  StringId found = kInvalidStringId;
+  Pre end = p + Size(p);
+  uint16_t child_level = static_cast<uint16_t>(level_[p] + 1);
+  for (Pre q = p + 1; q <= end; ++q) {
+    if (kind_[q] == NodeKind::kText && level_[q] == child_level) {
+      if (found != kInvalidStringId) return kInvalidStringId;  // >1 child
+      found = value_id_[q];
+    }
+    // Skip whole subtrees of non-matching children for speed.
+    if (level_[q] == child_level && kind_[q] == NodeKind::kElem) {
+      q += size_[q];
+    }
+  }
+  return found;
+}
+
+StringId Document::AttributeValue(Pre p, StringId qattr) const {
+  if (Kind(p) != NodeKind::kElem) return kInvalidStringId;
+  // Attributes are stored immediately after their owner element.
+  Pre end = p + Size(p);
+  for (Pre q = p + 1; q <= end; ++q) {
+    if (kind_[q] != NodeKind::kAttr) break;
+    if (name_id_[q] == qattr) return value_id_[q];
+  }
+  return kInvalidStringId;
+}
+
+uint64_t Document::SerializedSizeEstimate() const {
+  uint64_t bytes = 0;
+  for (Pre p = 0; p < NodeCount(); ++p) {
+    switch (kind_[p]) {
+      case NodeKind::kDoc:
+        break;
+      case NodeKind::kElem:
+        // <name> + </name>
+        bytes += 2 * pool_->Get(name_id_[p]).size() + 5;
+        break;
+      case NodeKind::kAttr:
+        bytes += pool_->Get(name_id_[p]).size() +
+                 pool_->Get(value_id_[p]).size() + 4;
+        break;
+      case NodeKind::kText:
+        bytes += pool_->Get(value_id_[p]).size();
+        break;
+      case NodeKind::kComment:
+        bytes += pool_->Get(value_id_[p]).size() + 7;
+        break;
+      case NodeKind::kPi:
+        bytes += pool_->Get(name_id_[p]).size() +
+                 pool_->Get(value_id_[p]).size() + 5;
+        break;
+    }
+  }
+  return bytes;
+}
+
+uint64_t Document::CountElements(StringId q) const {
+  uint64_t n = 0;
+  for (Pre p = 0; p < NodeCount(); ++p) {
+    if (kind_[p] == NodeKind::kElem && name_id_[p] == q) ++n;
+  }
+  return n;
+}
+
+// --- DocumentBuilder -------------------------------------------------------
+
+DocumentBuilder::DocumentBuilder(std::string name,
+                                 std::shared_ptr<StringPool> pool) {
+  if (!pool) pool = std::make_shared<StringPool>();
+  doc_ = std::unique_ptr<Document>(
+      new Document(std::move(name), std::move(pool)));
+  // The document node.
+  Pre root = AddNode(NodeKind::kDoc, kInvalidStringId, kInvalidStringId);
+  open_.push_back(root);
+}
+
+Pre DocumentBuilder::AddNode(NodeKind kind, StringId name, StringId value) {
+  Pre p = static_cast<Pre>(doc_->kind_.size());
+  doc_->kind_.push_back(kind);
+  doc_->size_.push_back(0);
+  doc_->level_.push_back(
+      open_.empty() ? 0 : static_cast<uint16_t>(open_.size()));
+  doc_->parent_.push_back(open_.empty() ? kInvalidPre : open_.back());
+  doc_->name_id_.push_back(name);
+  doc_->value_id_.push_back(value);
+  return p;
+}
+
+void DocumentBuilder::StartElement(std::string_view qname) {
+  StringId q = doc_->pool_->Intern(qname);
+  Pre p = AddNode(NodeKind::kElem, q, kInvalidStringId);
+  open_.push_back(p);
+  content_started_ = false;
+}
+
+void DocumentBuilder::Attribute(std::string_view qname,
+                                std::string_view value) {
+  ROX_CHECK(open_.size() > 1);  // inside some element
+  ROX_CHECK(!content_started_);
+  StringId q = doc_->pool_->Intern(qname);
+  StringId v = doc_->pool_->Intern(value);
+  AddNode(NodeKind::kAttr, q, v);
+}
+
+void DocumentBuilder::Text(std::string_view value) {
+  StringId v = doc_->pool_->Intern(value);
+  AddNode(NodeKind::kText, kInvalidStringId, v);
+  content_started_ = true;
+}
+
+void DocumentBuilder::Comment(std::string_view value) {
+  StringId v = doc_->pool_->Intern(value);
+  AddNode(NodeKind::kComment, kInvalidStringId, v);
+  content_started_ = true;
+}
+
+void DocumentBuilder::ProcessingInstruction(std::string_view target,
+                                            std::string_view value) {
+  StringId t = doc_->pool_->Intern(target);
+  StringId v = doc_->pool_->Intern(value);
+  AddNode(NodeKind::kPi, t, v);
+  content_started_ = true;
+}
+
+void DocumentBuilder::EndElement() {
+  ROX_CHECK(open_.size() > 1);
+  Pre p = open_.back();
+  open_.pop_back();
+  doc_->size_[p] = static_cast<Pre>(doc_->kind_.size()) - p - 1;
+  content_started_ = true;  // parent's content has started
+}
+
+Result<std::unique_ptr<Document>> DocumentBuilder::Finish() && {
+  if (open_.size() != 1) {
+    return Status::FailedPrecondition("unbalanced StartElement/EndElement");
+  }
+  Pre root = open_.back();
+  doc_->size_[root] = static_cast<Pre>(doc_->kind_.size()) - root - 1;
+  return std::move(doc_);
+}
+
+}  // namespace rox

@@ -1,0 +1,169 @@
+// Column-oriented shredded XML document storage.
+//
+// This is the MonetDB/XQuery-style pre/size/level relational encoding
+// (§2.2 of the paper): node `pre` ranks are assigned in document order
+// (opening-tag order), `size` is the number of nodes in the subtree
+// below a node, and `level` is the tree depth. Attribute nodes are
+// stored inline directly after their owner element (so `pre` stays a
+// single dense numbering), but are excluded from the child/descendant
+// axes by the axis semantics in exec/.
+//
+// The encoding supports O(1) containment tests:
+//   a is an ancestor of d  <=>  a.pre < d.pre <= a.pre + a.size
+// which is what makes the staircase join a single-pass algorithm.
+
+#ifndef ROX_XML_DOCUMENT_H_
+#define ROX_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/node.h"
+#include "xml/string_pool.h"
+
+namespace rox {
+
+// Dense per-corpus document identifier.
+using DocId = uint32_t;
+inline constexpr DocId kInvalidDocId = 0xffffffffu;
+
+// One shredded XML document. Immutable after construction (built through
+// DocumentBuilder). Owns its columns; shares the corpus StringPool.
+class Document {
+ public:
+  // Documents are heavyweight; move-only.
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  // --- identity ---------------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  DocId id() const { return id_; }
+  void set_id(DocId id) { id_ = id; }
+
+  const StringPool& pool() const { return *pool_; }
+  StringPool* mutable_pool() { return pool_.get(); }
+
+  // --- node columns ------------------------------------------------------
+
+  // Total node count, including the document root node (pre = 0).
+  Pre NodeCount() const { return static_cast<Pre>(kind_.size()); }
+
+  NodeKind Kind(Pre p) const { return kind_[p]; }
+  // Subtree size: number of nodes strictly below p (attributes included).
+  uint32_t Size(Pre p) const { return size_[p]; }
+  // Depth; the document node has level 0.
+  uint16_t Level(Pre p) const { return level_[p]; }
+  // Owner/parent node; kInvalidPre for the document node.
+  Pre Parent(Pre p) const { return parent_[p]; }
+  // Element/attribute qualified name id; kInvalidStringId otherwise.
+  StringId Name(Pre p) const { return name_id_[p]; }
+  // Text/attribute/comment/pi value id; kInvalidStringId otherwise.
+  StringId Value(Pre p) const { return value_id_[p]; }
+
+  std::string_view NameStr(Pre p) const { return pool_->Get(Name(p)); }
+  std::string_view ValueStr(Pre p) const { return pool_->Get(Value(p)); }
+
+  // Raw column access for tight operator loops.
+  const std::vector<NodeKind>& kinds() const { return kind_; }
+  const std::vector<uint32_t>& sizes() const { return size_; }
+  const std::vector<uint16_t>& levels() const { return level_; }
+  const std::vector<Pre>& parents() const { return parent_; }
+  const std::vector<StringId>& name_ids() const { return name_id_; }
+  const std::vector<StringId>& value_ids() const { return value_id_; }
+
+  // --- derived accessors --------------------------------------------------
+
+  // True iff `anc` is a proper ancestor of `desc`.
+  bool IsAncestor(Pre anc, Pre desc) const {
+    return anc < desc && desc <= anc + size_[anc];
+  }
+
+  // The typed value of an element: the concatenation of the values of its
+  // descendant text nodes (fn:data on an element). For the common case of
+  // a single text child this is that child's interned value; otherwise
+  // the strings are concatenated (rare in our workloads).
+  std::string TypedValue(Pre p) const;
+
+  // Value id of the single text child of element p, or kInvalidStringId
+  // if p has zero or more than one text child. Fast path for equality
+  // predicates on "element content".
+  StringId SingleTextChildValue(Pre p) const;
+
+  // Value of attribute `qattr` on element p, or kInvalidStringId.
+  StringId AttributeValue(Pre p, StringId qattr) const;
+
+  // Approximate serialized byte size (used to report Table 3-style
+  // document sizes without materializing the text).
+  uint64_t SerializedSizeEstimate() const;
+
+  // Number of element nodes with name `q` (linear scan; the element
+  // index in index/ provides the O(1) variant).
+  uint64_t CountElements(StringId q) const;
+
+ private:
+  friend class DocumentBuilder;
+  Document(std::string name, std::shared_ptr<StringPool> pool)
+      : name_(std::move(name)), pool_(std::move(pool)) {}
+
+  std::string name_;
+  DocId id_ = kInvalidDocId;
+  std::shared_ptr<StringPool> pool_;
+
+  std::vector<NodeKind> kind_;
+  std::vector<uint32_t> size_;
+  std::vector<uint16_t> level_;
+  std::vector<Pre> parent_;
+  std::vector<StringId> name_id_;
+  std::vector<StringId> value_id_;
+};
+
+// Push-based construction of a Document in document order.
+//
+// Usage:
+//   DocumentBuilder b("auction.xml", pool);
+//   b.StartElement("site");
+//     b.Attribute("id", "s1");
+//     b.Text("hello");
+//   b.EndElement();
+//   std::unique_ptr<Document> doc = std::move(b).Finish();
+class DocumentBuilder {
+ public:
+  // `pool` may be shared with other documents of the corpus; if null, a
+  // fresh pool is created.
+  DocumentBuilder(std::string name, std::shared_ptr<StringPool> pool);
+
+  // Opens an element. Must be balanced with EndElement().
+  void StartElement(std::string_view qname);
+
+  // Adds an attribute to the most recently opened element. Must be
+  // called before any child content of that element.
+  void Attribute(std::string_view qname, std::string_view value);
+
+  void Text(std::string_view value);
+  void Comment(std::string_view value);
+  void ProcessingInstruction(std::string_view target,
+                             std::string_view value);
+
+  void EndElement();
+
+  // Validates balance and returns the finished document.
+  Result<std::unique_ptr<Document>> Finish() &&;
+
+ private:
+  Pre AddNode(NodeKind kind, StringId name, StringId value);
+
+  std::unique_ptr<Document> doc_;
+  std::vector<Pre> open_;  // stack of currently open nodes (doc + elems)
+  bool content_started_ = false;  // attribute ordering guard
+};
+
+}  // namespace rox
+
+#endif  // ROX_XML_DOCUMENT_H_

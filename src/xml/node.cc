@@ -1,0 +1,118 @@
+#include "xml/node.h"
+
+namespace rox {
+
+const char* NodeKindName(NodeKind k) {
+  switch (k) {
+    case NodeKind::kDoc:
+      return "doc";
+    case NodeKind::kElem:
+      return "elem";
+    case NodeKind::kText:
+      return "text";
+    case NodeKind::kAttr:
+      return "attr";
+    case NodeKind::kComment:
+      return "comment";
+    case NodeKind::kPi:
+      return "pi";
+  }
+  return "?";
+}
+
+const char* KindTestName(KindTest t) {
+  switch (t) {
+    case KindTest::kAnyKind:
+      return "*";
+    case KindTest::kDoc:
+      return "doc";
+    case KindTest::kElem:
+      return "elem";
+    case KindTest::kText:
+      return "text";
+    case KindTest::kAttr:
+      return "attr";
+    case KindTest::kComment:
+      return "comment";
+    case KindTest::kPi:
+      return "pi";
+  }
+  return "?";
+}
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kPreceding:
+      return "preceding";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kAttribute:
+      return "attribute";
+  }
+  return "?";
+}
+
+Axis ReverseAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return Axis::kParent;
+    case Axis::kParent:
+      return Axis::kChild;
+    case Axis::kDescendant:
+      return Axis::kAncestor;
+    case Axis::kAncestor:
+      return Axis::kDescendant;
+    case Axis::kDescendantOrSelf:
+      return Axis::kAncestorOrSelf;
+    case Axis::kAncestorOrSelf:
+      return Axis::kDescendantOrSelf;
+    case Axis::kFollowing:
+      return Axis::kPreceding;
+    case Axis::kPreceding:
+      return Axis::kFollowing;
+    case Axis::kFollowingSibling:
+      return Axis::kPrecedingSibling;
+    case Axis::kPrecedingSibling:
+      return Axis::kFollowingSibling;
+    case Axis::kSelf:
+      return Axis::kSelf;
+    case Axis::kAttribute:
+      return Axis::kParent;  // parent of an attribute is its owner element
+  }
+  return axis;
+}
+
+bool IsForwardAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf:
+    case Axis::kFollowing:
+    case Axis::kFollowingSibling:
+    case Axis::kSelf:
+    case Axis::kAttribute:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace rox

@@ -1,0 +1,93 @@
+// Node kinds and identifiers of the shredded XML storage.
+
+#ifndef ROX_XML_NODE_H_
+#define ROX_XML_NODE_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace rox {
+
+// Node identifier: the node's `pre` rank (position of its opening tag in
+// the document, with attributes serialized directly after their owner
+// element's tag). Dense in [0, Document::NodeCount()).
+using Pre = uint32_t;
+
+inline constexpr Pre kInvalidPre = std::numeric_limits<Pre>::max();
+
+// XML node kinds (the paper's k ∈ {*,doc,elem,text,attr,comment,pi}).
+enum class NodeKind : uint8_t {
+  kDoc = 0,
+  kElem = 1,
+  kText = 2,
+  kAttr = 3,
+  kComment = 4,
+  kPi = 5,
+};
+
+// Kind test used by operators: kAnyKind matches every kind.
+enum class KindTest : uint8_t {
+  kAnyKind = 0,
+  kDoc,
+  kElem,
+  kText,
+  kAttr,
+  kComment,
+  kPi,
+};
+
+// True if node kind `k` satisfies the test `t`.
+inline bool MatchesKind(NodeKind k, KindTest t) {
+  switch (t) {
+    case KindTest::kAnyKind:
+      return true;
+    case KindTest::kDoc:
+      return k == NodeKind::kDoc;
+    case KindTest::kElem:
+      return k == NodeKind::kElem;
+    case KindTest::kText:
+      return k == NodeKind::kText;
+    case KindTest::kAttr:
+      return k == NodeKind::kAttr;
+    case KindTest::kComment:
+      return k == NodeKind::kComment;
+    case KindTest::kPi:
+      return k == NodeKind::kPi;
+  }
+  return false;
+}
+
+const char* NodeKindName(NodeKind k);
+const char* KindTestName(KindTest t);
+
+// The XPath axes supported by the staircase join (Table 1).
+enum class Axis : uint8_t {
+  kChild = 0,
+  kDescendant,
+  kDescendantOrSelf,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kFollowing,
+  kPreceding,
+  kFollowingSibling,
+  kPrecedingSibling,
+  kSelf,
+  kAttribute,  // child-range restricted to attribute nodes
+};
+
+const char* AxisName(Axis axis);
+
+// The axis that maps result back to context: desc <-> anc, child <->
+// parent, foll <-> prec, etc. Used when ROX executes a step edge in the
+// reverse direction (§2.1: "the algorithm may very well decide to execute
+// the step in the reverse direction").
+Axis ReverseAxis(Axis axis);
+
+// True for axes whose result set, for a duplicate-free context, needs no
+// per-pair deduplication when only distinct result nodes are requested.
+bool IsForwardAxis(Axis axis);
+
+}  // namespace rox
+
+#endif  // ROX_XML_NODE_H_

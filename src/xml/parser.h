@@ -1,0 +1,47 @@
+// A small, dependency-free XML parser producing shredded Documents.
+//
+// Supports the XML subset needed by the workloads: elements, attributes,
+// character data, CDATA sections, comments, processing instructions, the
+// five predefined entities and numeric character references. It does not
+// implement DTDs, namespaces-as-scoping (prefixes are kept verbatim in
+// qualified names), or external entities.
+
+#ifndef ROX_XML_PARSER_H_
+#define ROX_XML_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace rox {
+
+struct XmlParseOptions {
+  // Discard text nodes that consist solely of whitespace (typical for
+  // pretty-printed data documents; keeps shredded sizes honest).
+  bool skip_whitespace_text = true;
+  // Keep comments / processing instructions as nodes.
+  bool keep_comments = false;
+  bool keep_pis = false;
+};
+
+// Parses `xml` into a Document named `doc_name`, interning strings into
+// `pool` (shared across a corpus; a fresh pool is created when null).
+Result<std::unique_ptr<Document>> ParseXml(
+    std::string_view xml, std::string doc_name,
+    std::shared_ptr<StringPool> pool = nullptr,
+    const XmlParseOptions& options = {});
+
+// Serializes `doc` back to XML text (no pretty-printing; entities are
+// re-escaped). Round-trips documents produced by ParseXml up to
+// whitespace-only text nodes and attribute order.
+std::string SerializeXml(const Document& doc);
+
+// Serializes the subtree rooted at `p`.
+std::string SerializeSubtree(const Document& doc, Pre p);
+
+}  // namespace rox
+
+#endif  // ROX_XML_PARSER_H_

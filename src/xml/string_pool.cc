@@ -1,0 +1,51 @@
+#include "xml/string_pool.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace rox {
+
+namespace {
+
+double ParseNumeric(std::string_view s) {
+  if (s.empty()) return std::nan("");
+  // Full-string parse: trailing garbage disqualifies.
+  std::string buf(s);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nan("");
+  return v;
+}
+
+}  // namespace
+
+StringId StringPool::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  StringId id = static_cast<StringId>(strings_.size());
+  strings_.emplace_back(s);
+  numeric_.push_back(ParseNumeric(s));
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+StringId StringPool::Find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kInvalidStringId : it->second;
+}
+
+std::string_view StringPool::Get(StringId id) const {
+  ROX_CHECK(id < strings_.size());
+  return strings_[id];
+}
+
+std::optional<double> StringPool::NumericValue(StringId id) const {
+  ROX_CHECK(id < numeric_.size());
+  double v = numeric_[id];
+  if (std::isnan(v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace rox

@@ -1,0 +1,92 @@
+// Abstract syntax for the XQuery subset ROX optimizes.
+//
+// The frontend accepts the FLWOR shape used throughout the paper:
+//
+//   let $r := doc("auction.xml")
+//   for $a in $r//open_auction[./reserve]/bidder//personref,
+//       $b in doc("dblp.xml")//person[.//education]
+//   where $a/@person = $b/@id and ...
+//   return $a
+//
+// i.e. let-bindings of documents, for-bindings of path expressions with
+// structural and value predicates, a conjunctive where clause of value
+// equality comparisons, and a variable return. This is exactly the
+// fragment whose join graphs Pathfinder's Join Graph Isolation [18]
+// would hand to ROX; anything beyond it (arithmetic, FLWOR nesting,
+// node construction) is out of scope for the optimizer experiments.
+
+#ifndef ROX_XQ_AST_H_
+#define ROX_XQ_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xml/node.h"
+
+namespace rox::xq {
+
+// One location step: axis plus node test.
+struct AstStep {
+  enum class Test : uint8_t { kElement, kText, kAttribute, kAnyElement };
+  Axis axis = Axis::kChild;
+  Test test = Test::kElement;
+  std::string name;  // element/attribute name (empty for text()/*)
+};
+
+// Comparison operator of a value predicate.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+const char* CmpOpName(CmpOp op);
+
+// A predicate inside [...]: a relative path, optionally compared
+// against a literal. Without comparison it is an existence test.
+struct AstPredicate {
+  std::vector<AstStep> path;  // relative to the predicated node
+  std::optional<CmpOp> op;
+  std::string literal;   // raw literal text ("145", "dog")
+  bool literal_is_number = false;
+};
+
+// A path expression: a source (doc() call or variable reference)
+// followed by steps, each step optionally predicated.
+struct AstPathExpr {
+  std::string doc_url;   // non-empty when the source is doc("url")
+  std::string variable;  // non-empty when the source is $var
+  struct PredicatedStep {
+    AstStep step;
+    std::vector<AstPredicate> predicates;
+  };
+  std::vector<PredicatedStep> steps;
+};
+
+// let $v := <path>   (typically just doc("..."))
+struct AstLet {
+  std::string variable;
+  AstPathExpr value;
+};
+
+// for $v in <path>
+struct AstFor {
+  std::string variable;
+  AstPathExpr domain;
+};
+
+// where clause conjunct: <path> = <path>, where both sides start from
+// a bound variable.
+struct AstComparison {
+  AstPathExpr lhs;
+  AstPathExpr rhs;
+};
+
+// The whole query.
+struct AstQuery {
+  std::vector<AstLet> lets;
+  std::vector<AstFor> fors;
+  std::vector<AstComparison> where;  // conjunctive
+  std::string return_variable;
+};
+
+}  // namespace rox::xq
+
+#endif  // ROX_XQ_AST_H_

@@ -1,0 +1,302 @@
+#include "xq/compile.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "xq/parser.h"
+
+namespace rox::xq {
+
+namespace {
+
+// Tracks compilation state: vertices created so far, per-document root
+// vertices, variable bindings.
+class Compiler {
+ public:
+  Compiler(Corpus& corpus, const CompileOptions& options)
+      : corpus_(corpus), options_(options) {}
+
+  Result<CompiledQuery> Run(const AstQuery& q) {
+    for (const AstLet& let : q.lets) {
+      ROX_RETURN_IF_ERROR(CompileLet(let));
+    }
+    for (const AstFor& f : q.fors) {
+      ROX_ASSIGN_OR_RETURN(VertexId v, CompilePath(f.domain));
+      if (out_.variables.contains(f.variable)) {
+        return Status::InvalidArgument(
+            StrCat("variable $", f.variable, " bound twice"));
+      }
+      out_.variables.emplace(f.variable, v);
+      out_.for_vertices.push_back(v);
+    }
+    for (const AstComparison& cmp : q.where) {
+      ROX_ASSIGN_OR_RETURN(VertexId lhs, CompilePath(cmp.lhs));
+      ROX_ASSIGN_OR_RETURN(VertexId rhs, CompilePath(cmp.rhs));
+      out_.graph.AddEquiJoin(lhs, rhs);
+    }
+    auto it = out_.variables.find(q.return_variable);
+    if (it == out_.variables.end()) {
+      return Status::InvalidArgument(
+          StrCat("return variable $", q.return_variable, " is not bound"));
+    }
+    out_.return_vertex = it->second;
+    ROX_RETURN_IF_ERROR(out_.graph.Validate());
+    if (options_.add_equivalence_closure) out_.graph.AddEquivalenceClosure();
+    if (options_.prune_root_edges) out_.graph.PruneRedundantRootEdges();
+    return std::move(out_);
+  }
+
+ private:
+  Status CompileLet(const AstLet& let) {
+    if (let.value.doc_url.empty() || !let.value.steps.empty()) {
+      return Status::Unimplemented(
+          "let clauses must bind doc(\"...\") (path lets are future work)");
+    }
+    ROX_ASSIGN_OR_RETURN(VertexId root, RootFor(let.value.doc_url));
+    if (out_.variables.contains(let.variable)) {
+      return Status::InvalidArgument(
+          StrCat("variable $", let.variable, " bound twice"));
+    }
+    out_.variables.emplace(let.variable, root);
+    return Status::Ok();
+  }
+
+  Result<VertexId> RootFor(const std::string& url) {
+    auto it = roots_.find(url);
+    if (it != roots_.end()) return it->second;
+    ROX_ASSIGN_OR_RETURN(DocId doc, corpus_.Resolve(url));
+    VertexId root = out_.graph.AddRoot(doc, StrCat("root(", url, ")"));
+    roots_.emplace(url, root);
+    return root;
+  }
+
+  // Compiles a path expression; returns the vertex of its final step.
+  Result<VertexId> CompilePath(const AstPathExpr& p) {
+    VertexId cur;
+    if (!p.doc_url.empty()) {
+      ROX_ASSIGN_OR_RETURN(cur, RootFor(p.doc_url));
+    } else {
+      auto it = out_.variables.find(p.variable);
+      if (it == out_.variables.end()) {
+        return Status::InvalidArgument(
+            StrCat("unbound variable $", p.variable));
+      }
+      cur = it->second;
+    }
+    for (const auto& ps : p.steps) {
+      ROX_ASSIGN_OR_RETURN(
+          cur, AddStepVertex(cur, ps.step, ValuePredicate::None()));
+      for (const AstPredicate& pred : ps.predicates) {
+        ROX_RETURN_IF_ERROR(CompilePredicate(cur, pred));
+      }
+    }
+    return cur;
+  }
+
+  // Adds the vertex + step edge for one location step out of `from`.
+  Result<VertexId> AddStepVertex(VertexId from, const AstStep& step,
+                                 const ValuePredicate& pred) {
+    DocId doc = out_.graph.vertex(from).doc;
+    VertexId v = kInvalidVertexId;
+    switch (step.test) {
+      case AstStep::Test::kElement:
+        v = out_.graph.AddElement(doc, corpus_.Intern(step.name), step.name);
+        break;
+      case AstStep::Test::kAnyElement:
+        return Status::Unimplemented(
+            "wildcard element tests are not index-selectable; name the "
+            "element");
+      case AstStep::Test::kText:
+        v = out_.graph.AddText(doc, pred, DescribeTextVertex(pred));
+        break;
+      case AstStep::Test::kAttribute:
+        v = out_.graph.AddAttribute(doc, corpus_.Intern(step.name), pred,
+                                    StrCat("@", step.name));
+        break;
+    }
+    out_.graph.AddStep(from, step.axis, v);
+    return v;
+  }
+
+  std::string DescribeTextVertex(const ValuePredicate& pred) {
+    switch (pred.kind) {
+      case ValuePredicate::Kind::kNone:
+        return "text()";
+      case ValuePredicate::Kind::kEquals:
+        return StrCat("text()=", corpus_.string_pool().Get(pred.equals));
+      case ValuePredicate::Kind::kRange:
+        return "text() in range";
+    }
+    return "text()";
+  }
+
+  // Compiles a [...] predicate hanging off `anchor`.
+  Status CompilePredicate(VertexId anchor, const AstPredicate& pred) {
+    VertexId cur = anchor;
+    for (size_t i = 0; i < pred.path.size(); ++i) {
+      const AstStep& step = pred.path[i];
+      bool last = i + 1 == pred.path.size();
+      if (!last || !pred.op.has_value()) {
+        ROX_ASSIGN_OR_RETURN(
+            cur, AddStepVertex(cur, step, ValuePredicate::None()));
+        continue;
+      }
+      // Final step with a value comparison.
+      ROX_ASSIGN_OR_RETURN(ValuePredicate vp, MakeValuePredicate(pred));
+      if (step.test == AstStep::Test::kElement) {
+        // `[./quantity = 1]` — comparison on element content: lower to
+        // the element plus a predicated text() child (the shape of the
+        // paper's Figure 3.1 `quantity -> text()=1`).
+        ROX_ASSIGN_OR_RETURN(
+            cur, AddStepVertex(cur, step, ValuePredicate::None()));
+        AstStep text_step;
+        text_step.axis = Axis::kChild;
+        text_step.test = AstStep::Test::kText;
+        ROX_ASSIGN_OR_RETURN(cur, AddStepVertex(cur, text_step, vp));
+      } else {
+        ROX_ASSIGN_OR_RETURN(cur, AddStepVertex(cur, step, vp));
+      }
+    }
+    return Status::Ok();
+  }
+
+  Result<ValuePredicate> MakeValuePredicate(const AstPredicate& pred) {
+    CmpOp op = *pred.op;
+    if (op == CmpOp::kEq) {
+      return ValuePredicate::Equals(corpus_.Intern(pred.literal));
+    }
+    if (op == CmpOp::kNe) {
+      return Status::Unimplemented(
+          "!= predicates are not index-selectable");
+    }
+    if (!pred.literal_is_number) {
+      return Status::Unimplemented(
+          "range predicates require numeric literals");
+    }
+    double v = std::strtod(pred.literal.c_str(), nullptr);
+    switch (op) {
+      case CmpOp::kLt:
+        return ValuePredicate::Range(NumericRange::LessThan(v));
+      case CmpOp::kLe:
+        return ValuePredicate::Range(NumericRange::AtMost(v));
+      case CmpOp::kGt:
+        return ValuePredicate::Range(NumericRange::GreaterThan(v));
+      case CmpOp::kGe:
+        return ValuePredicate::Range(NumericRange::AtLeast(v));
+      default:
+        return Status::Internal("unhandled comparison");
+    }
+  }
+
+  Corpus& corpus_;
+  const CompileOptions& options_;
+  CompiledQuery out_;
+  std::unordered_map<std::string, VertexId> roots_;
+};
+
+}  // namespace
+
+Result<CompiledQuery> CompileXQuery(Corpus& corpus, const AstQuery& query,
+                                    const CompileOptions& options) {
+  Compiler compiler(corpus, options);
+  return compiler.Run(query);
+}
+
+Result<CompiledQuery> CompileXQuery(Corpus& corpus, std::string_view text,
+                                    const CompileOptions& options) {
+  ROX_ASSIGN_OR_RETURN(AstQuery ast, ParseXQuery(text));
+  return CompileXQuery(corpus, ast, options);
+}
+
+namespace {
+
+// Merges the counters of a sub-run into the aggregate stats.
+void MergeStats(RoxStats& into, const RoxStats& from) {
+  into.sampling_time.Merge(from.sampling_time);
+  into.execution_time.Merge(from.execution_time);
+  into.assembly_time.Merge(from.assembly_time);
+  into.edges_executed += from.edges_executed;
+  into.chain_sample_calls += from.chain_sample_calls;
+  into.chain_rounds += from.chain_rounds;
+  into.sampled_tuples += from.sampled_tuples;
+  into.operator_selections += from.operator_selections;
+  into.operator_overrides += from.operator_overrides;
+  into.cumulative_intermediate_rows += from.cumulative_intermediate_rows;
+  into.peak_intermediate_rows =
+      std::max(into.peak_intermediate_rows, from.peak_intermediate_rows);
+}
+
+}  // namespace
+
+Result<std::vector<Pre>> RunXQuery(const Corpus& corpus,
+                                   const CompiledQuery& compiled,
+                                   const RoxOptions& rox_options,
+                                   RoxStats* stats_out) {
+  // A query whose for-variables are never joined produces a
+  // disconnected graph; ROX optimizes each component separately (the
+  // paper's isolated Join Graphs, §2.1) and the results combine as a
+  // cross product.
+  std::vector<GraphComponent> comps =
+      SplitConnectedComponents(compiled.graph);
+  ResultTable combined;
+  std::vector<VertexId> combined_cols;  // original vertex ids
+  RoxStats stats;
+  bool first = true;
+  for (const GraphComponent& comp : comps) {
+    // Only components containing a for-variable contribute to the
+    // result (pruned roots end up isolated and are skipped).
+    bool needed = false;
+    for (VertexId orig : comp.orig_vertex) {
+      for (VertexId fv : compiled.for_vertices) needed |= fv == orig;
+    }
+    if (!needed) continue;
+    if (comp.graph.EdgeCount() == 0) {
+      return Status::Unimplemented(
+          "for-variable bound to a bare document root is not supported");
+    }
+    RoxOptimizer rox(corpus, comp.graph, rox_options);
+    ROX_ASSIGN_OR_RETURN(RoxResult result, rox.Run());
+    MergeStats(stats, result.stats);
+    std::vector<VertexId> cols;
+    for (VertexId v : result.columns) cols.push_back(comp.orig_vertex[v]);
+    if (first) {
+      combined = std::move(result.table);
+      combined_cols = std::move(cols);
+      first = false;
+    } else {
+      combined = CartesianProduct(combined, result.table);
+      combined_cols.insert(combined_cols.end(), cols.begin(), cols.end());
+    }
+  }
+  if (first) {
+    return Status::FailedPrecondition("query produced no joined component");
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+
+  // Plan tail (Figure 1): π(for-vars) -> δ -> τ(sort) -> π(return var).
+  auto column_of = [&](VertexId v) -> size_t {
+    for (size_t i = 0; i < combined_cols.size(); ++i) {
+      if (combined_cols[i] == v) return i;
+    }
+    return static_cast<size_t>(-1);
+  };
+  std::vector<size_t> for_cols;
+  size_t return_col_in_proj = 0;
+  for (size_t i = 0; i < compiled.for_vertices.size(); ++i) {
+    VertexId v = compiled.for_vertices[i];
+    size_t col = column_of(v);
+    if (col == static_cast<size_t>(-1)) {
+      return Status::Internal("for-variable vertex missing from result");
+    }
+    if (v == compiled.return_vertex) return_col_in_proj = i;
+    for_cols.push_back(col);
+  }
+  ResultTable tail = combined.Project(for_cols);
+  tail = tail.DistinctRows();
+  std::vector<size_t> sort_keys(for_cols.size());
+  for (size_t i = 0; i < sort_keys.size(); ++i) sort_keys[i] = i;
+  tail = tail.SortRows(sort_keys);
+  return tail.Col(return_col_in_proj);
+}
+
+}  // namespace rox::xq

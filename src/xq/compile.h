@@ -1,0 +1,64 @@
+// Lowering of parsed XQueries to Join Graphs — the stand-in for
+// Pathfinder's Join Graph Isolation [18].
+//
+// Every for-variable, path step and predicate step becomes a vertex;
+// steps become step edges, where-clause equalities become equi-join
+// edges. The compiler then (optionally) adds the equivalence closure
+// over the equi-join classes and prunes redundant descendant-from-root
+// edges, producing exactly the Join Graph shape ROX consumes (Figures
+// 1, 3.1 and 4 of the paper).
+
+#ifndef ROX_XQ_COMPILE_H_
+#define ROX_XQ_COMPILE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/join_graph.h"
+#include "index/corpus.h"
+#include "rox/optimizer.h"
+#include "xq/ast.h"
+
+namespace rox::xq {
+
+struct CompileOptions {
+  bool add_equivalence_closure = true;
+  bool prune_root_edges = true;
+};
+
+// A compiled query: the Join Graph plus the variable bindings needed to
+// interpret the joined relation.
+struct CompiledQuery {
+  JoinGraph graph;
+  // Variable name (without '$') -> its vertex.
+  std::unordered_map<std::string, VertexId> variables;
+  // The for-variables in declaration order: they define the duplicate/
+  // order semantics of the result (the τ numbering of the plan tail).
+  std::vector<VertexId> for_vertices;
+  VertexId return_vertex = kInvalidVertexId;
+};
+
+// Compiles `query` against `corpus` (doc() urls are resolved against
+// document names; literals are interned into the corpus pool).
+Result<CompiledQuery> CompileXQuery(Corpus& corpus, const AstQuery& query,
+                                    const CompileOptions& options = {});
+
+// Parses and compiles in one call.
+Result<CompiledQuery> CompileXQuery(Corpus& corpus, std::string_view text,
+                                    const CompileOptions& options = {});
+
+// Runs a compiled query through the ROX optimizer and applies the plan
+// tail of §2.1 / Figure 1: project onto the for-variables, remove
+// duplicate bindings, sort in document order, and project onto the
+// return variable. Returns the result node sequence (one Pre per
+// result item; items stem from the return variable's document).
+Result<std::vector<Pre>> RunXQuery(const Corpus& corpus,
+                                   const CompiledQuery& compiled,
+                                   const RoxOptions& rox_options = {},
+                                   RoxStats* stats_out = nullptr);
+
+}  // namespace rox::xq
+
+#endif  // ROX_XQ_COMPILE_H_

@@ -1,0 +1,18 @@
+// Recursive-descent parser for the XQuery subset (see ast.h).
+
+#ifndef ROX_XQ_PARSER_H_
+#define ROX_XQ_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xq/ast.h"
+
+namespace rox::xq {
+
+// Parses `text` into an AstQuery. Errors carry a line/column prefix.
+Result<AstQuery> ParseXQuery(std::string_view text);
+
+}  // namespace rox::xq
+
+#endif  // ROX_XQ_PARSER_H_

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+
+namespace rox::bench {
+namespace {
+
+TEST(FlagsTest, ParsesTypedFlags) {
+  const char* argv[] = {"prog", "--alpha=2.5", "--count=7", "--on",
+                        "--off=false"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetDouble("alpha", 0), 2.5);
+  EXPECT_EQ(flags.GetInt("count", 0), 7);
+  EXPECT_TRUE(flags.GetBool("on", false));
+  EXPECT_FALSE(flags.GetBool("off", true));
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+}
+
+TEST(SampleCombosTest, GroupsAndCaps) {
+  std::vector<Combo> combos = SampleCombos(5, 123);
+  int g22 = 0, g31 = 0, g40 = 0;
+  for (const Combo& c : combos) {
+    if (c.group == "2:2") ++g22;
+    if (c.group == "3:1") ++g31;
+    if (c.group == "4:0") ++g40;
+    // Indices strictly increasing and in range.
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_GE(c.spec_indices[i], 0);
+      EXPECT_LT(c.spec_indices[i], 23);
+      if (i > 0) {
+        EXPECT_LT(c.spec_indices[i - 1], c.spec_indices[i]);
+      }
+    }
+  }
+  EXPECT_EQ(g22 + g31 + g40, static_cast<int>(combos.size()));
+  EXPECT_LE(g22, 5);
+  EXPECT_LE(g31, 5);
+  EXPECT_LE(g40, 5);
+  EXPECT_GT(g40, 0);
+}
+
+TEST(SampleCombosTest, UnlimitedKeepsAllGroups) {
+  std::vector<Combo> all = SampleCombos(0, 1);
+  // 23 choose 4 = 8855 combinations total; only the three paper groups
+  // are kept. 4:0 alone has C(4,4)+C(5,4)+C(6,4)+C(6,4) = 36.
+  int g40 = 0;
+  for (const Combo& c : all) g40 += c.group == "4:0";
+  EXPECT_EQ(g40, 36);
+  EXPECT_GT(all.size(), 1000u);   // plenty of 2:2/3:1
+  EXPECT_LT(all.size(), 8855u);   // but not everything
+}
+
+TEST(SampleCombosTest, DeterministicPerSeed) {
+  auto a = SampleCombos(7, 99);
+  auto b = SampleCombos(7, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spec_indices, b[i].spec_indices);
+  }
+}
+
+TEST(MeasureComboTest, EndToEndOnOneCombo) {
+  // An all-DB combination with guaranteed overlap.
+  Combo combo;
+  combo.spec_indices = {19, 20, 21, 22};
+  combo.group = "4:0";
+  DblpGenOptions gen;
+  gen.tag_scale = 0.15;
+  auto corpus = ComboCorpus(combo, gen);
+  ASSERT_TRUE(corpus.ok());
+  RoxOptions opt;
+  auto m = MeasureCombo(*corpus, combo, opt);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_GT(m->result_rows, 0u);
+  EXPECT_GT(m->rox_full_ms, 0.0);
+  EXPECT_GE(m->rox_full_ms, m->rox_pure_ms);
+  EXPECT_GT(m->smallest_ms, 0.0);
+  EXPECT_GT(m->classical_ms, 0.0);
+  EXPECT_GT(m->largest_ms, 0.0);
+  EXPECT_GT(m->optimal_ms, 0.0);
+  EXPECT_LE(m->optimal_ms, m->classical_ms);
+  EXPECT_LE(m->optimal_ms, m->smallest_ms);
+  EXPECT_GT(m->combo.correlation, 0.0);
+  EXPECT_FALSE(m->rox_order_label.empty());
+}
+
+TEST(GeoMeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(GeoMean({4.0, 1.0}), 2.0);
+  EXPECT_EQ(GeoMean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace rox::bench

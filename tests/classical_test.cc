@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "classical/executor.h"
+#include "classical/plans.h"
+#include "workload/dblp.h"
+
+namespace rox {
+namespace {
+
+TEST(PlanEnumerationTest, EighteenOrders) {
+  auto orders = EnumerateJoinOrders4();
+  ASSERT_EQ(orders.size(), 18u);
+  std::set<std::string> labels;
+  for (const JoinOrder& o : orders) labels.insert(o.Label());
+  EXPECT_EQ(labels.size(), 18u);  // all distinct
+  // 6 bushy, 12 linear.
+  int bushy = 0;
+  for (const JoinOrder& o : orders) bushy += o.bushy;
+  EXPECT_EQ(bushy, 6);
+}
+
+TEST(PlanEnumerationTest, Labels) {
+  JoinOrder linear{1, 0, false, 2, 3};
+  EXPECT_EQ(linear.Label(), "(2-1)-3-4");
+  JoinOrder bushy{2, 3, true, 1, 0};
+  EXPECT_EQ(bushy.Label(), "(3-4)-(2-1)");
+}
+
+TEST(PlanEnumerationTest, PlacementNames) {
+  EXPECT_STREQ(StepPlacementName(StepPlacement::kSJ), "SJ");
+  EXPECT_STREQ(StepPlacementName(StepPlacement::kJS), "JS");
+  EXPECT_STREQ(StepPlacementName(StepPlacement::kS_J), "S_J");
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpGenOptions opt;
+    opt.tag_scale = 0.04;
+    // ADBIS, SIGMOD, ICDE, VLDB — all DB, lots of overlap.
+    auto r = GenerateDblpCorpus(opt, {18, 20, 21, 22});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    corpus_ = new Corpus(std::move(*r));
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  static std::vector<DocId> Docs() { return {0, 1, 2, 3}; }
+  static Corpus* corpus_;
+};
+
+Corpus* ExecutorTest::corpus_ = nullptr;
+
+TEST_F(ExecutorTest, AllPlansAgreeOnResultSize) {
+  CanonicalPlanExecutor exec(*corpus_, Docs());
+  std::set<uint64_t> sizes;
+  for (const JoinOrder& order : EnumerateJoinOrders4()) {
+    for (StepPlacement p : kAllPlacements) {
+      auto r = exec.Run(order, p);
+      ASSERT_TRUE(r.ok()) << order.Label() << " "
+                          << StepPlacementName(p) << ": "
+                          << r.status().ToString();
+      sizes.insert(r->result_rows);
+      EXPECT_EQ(r->join_result_sizes.size(), 3u);
+    }
+  }
+  // Every plan computes the same query.
+  EXPECT_EQ(sizes.size(), 1u);
+  EXPECT_GT(*sizes.begin(), 0u);
+}
+
+TEST_F(ExecutorTest, SjJoinSizesMatchHistogramPrediction) {
+  CanonicalPlanExecutor exec(*corpus_, Docs());
+  auto cards = ComputeOrderCardinalities(*corpus_, Docs());
+  ASSERT_EQ(cards.size(), 18u);
+  for (const OrderCardinality& oc : cards) {
+    auto r = exec.Run(oc.order, StepPlacement::kSJ);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->join_result_sizes, oc.join_sizes) << oc.order.Label();
+    EXPECT_EQ(r->cumulative_join_rows, oc.cumulative);
+  }
+}
+
+TEST_F(ExecutorTest, ClassicalOrderIsSmallestFirst) {
+  JoinOrder o = ClassicalJoinOrder(*corpus_, Docs());
+  EXPECT_FALSE(o.bushy);
+  StringId author = corpus_->Find("author");
+  auto count = [&](int i) {
+    return corpus_->element_index(Docs()[i]).Count(author);
+  };
+  EXPECT_LE(count(o.a), count(o.b));
+  EXPECT_LE(count(o.b), count(o.c));
+  EXPECT_LE(count(o.c), count(o.d));
+}
+
+TEST_F(ExecutorTest, BestPlacementNoSlowerThanEach) {
+  CanonicalPlanExecutor exec(*corpus_, Docs());
+  JoinOrder order = EnumerateJoinOrders4()[0];
+  auto best = exec.RunBestPlacement(order);
+  auto worst = exec.RunWorstPlacement(order);
+  ASSERT_TRUE(best.ok() && worst.ok());
+  EXPECT_LE(best->elapsed_ms, worst->elapsed_ms);
+  EXPECT_EQ(best->result_rows, worst->result_rows);
+}
+
+TEST_F(ExecutorTest, JsDefersStepsButMatches) {
+  CanonicalPlanExecutor exec(*corpus_, Docs());
+  JoinOrder order{0, 1, false, 2, 3};
+  auto sj = exec.Run(order, StepPlacement::kSJ);
+  auto js = exec.Run(order, StepPlacement::kJS);
+  auto s_j = exec.Run(order, StepPlacement::kS_J);
+  ASSERT_TRUE(sj.ok() && js.ok() && s_j.ok());
+  EXPECT_EQ(sj->result_rows, js->result_rows);
+  EXPECT_EQ(sj->result_rows, s_j->result_rows);
+  // JS joins see un-stepped (unfiltered) text on the probe side, so its
+  // intermediate join results can only be at least as large.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(js->join_result_sizes[i], sj->join_result_sizes[i]);
+  }
+}
+
+TEST(OrderCardinalityTest, TinyHandComputed) {
+  Corpus corpus;
+  ASSERT_TRUE(corpus
+                  .AddXml("<v><article><author>x</author></article>"
+                          "<article><author>y</author></article></v>",
+                          "d0")
+                  .ok());
+  ASSERT_TRUE(corpus
+                  .AddXml("<v><article><author>x</author></article>"
+                          "<article><author>x</author></article></v>",
+                          "d1")
+                  .ok());
+  ASSERT_TRUE(
+      corpus.AddXml("<v><article><author>x</author></article></v>", "d2")
+          .ok());
+  ASSERT_TRUE(
+      corpus.AddXml("<v><article><author>x</author></article></v>", "d3")
+          .ok());
+  auto cards = ComputeOrderCardinalities(corpus, {0, 1, 2, 3});
+  // Find ((0-1)-2)-3: joins x:1*2=2, then 2*1, then 2*1 -> cumulative 6.
+  for (const OrderCardinality& oc : cards) {
+    if (oc.order.Label() == "(1-2)-3-4") {
+      EXPECT_EQ(oc.join_sizes, (std::vector<uint64_t>{2, 2, 2}));
+      EXPECT_EQ(oc.cumulative, 6u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rox

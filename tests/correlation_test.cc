@@ -1,0 +1,93 @@
+// Tests of the §4.2 correlation measure C against hand-computed values,
+// and of the correlation-detection behavior that drives Figures 5-7.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/dblp.h"
+
+namespace rox {
+namespace {
+
+// Builds a corpus of four single-author-list documents with fully
+// controlled value frequencies.
+Corpus HandCorpus() {
+  Corpus corpus;
+  auto add = [&](const char* name, std::vector<const char*> authors) {
+    std::string xml = "<venue>";
+    for (const char* a : authors) {
+      xml += "<article><author>";
+      xml += a;
+      xml += "</author></article>";
+    }
+    xml += "</venue>";
+    EXPECT_TRUE(corpus.AddXml(xml, name).ok());
+  };
+  // d0 and d1 overlap heavily; d2 and d3 overlap d0/d1 in one value.
+  add("d0", {"x", "x", "y", "z"});   // 4 tags
+  add("d1", {"x", "y", "y"});        // 3 tags
+  add("d2", {"x", "q"});             // 2 tags
+  add("d3", {"p", "q"});             // 2 tags
+  return corpus;
+}
+
+TEST(CorrelationTest, PairJoinSizesHandComputed) {
+  Corpus corpus = HandCorpus();
+  // d0 ⋈ d1: x 2*1 + y 1*2 = 4.
+  EXPECT_EQ(PairJoinSize(corpus, 0, 1), 4u);
+  // d0 ⋈ d2: x 2*1 = 2.
+  EXPECT_EQ(PairJoinSize(corpus, 0, 2), 2u);
+  // d0 ⋈ d3: nothing shared.
+  EXPECT_EQ(PairJoinSize(corpus, 0, 3), 0u);
+  // d2 ⋈ d3: q 1*1 = 1.
+  EXPECT_EQ(PairJoinSize(corpus, 2, 3), 1u);
+  // Symmetry.
+  EXPECT_EQ(PairJoinSize(corpus, 1, 0), PairJoinSize(corpus, 0, 1));
+}
+
+TEST(CorrelationTest, CorrelationCFormula) {
+  Corpus corpus = HandCorpus();
+  // js(di,dj) = |di ⋈ dj| * 100 / max(|di|,|dj|):
+  //   js01 = 4*100/4 = 100;  js02 = 2*100/4 = 50;  js03 = 0
+  //   js12 = 1*100/3 = 33.33 (x: 1*1);  js13 = 0;  js23 = 1*100/2 = 50
+  double js01 = 100, js02 = 50, js03 = 0, js12 = 100.0 / 3, js13 = 0,
+         js23 = 50;
+  double mean = (js01 + js02 + js03 + js12 + js13 + js23) / 6.0;
+  double var = (std::pow(js01 - mean, 2) + std::pow(js02 - mean, 2) +
+                std::pow(js03 - mean, 2) + std::pow(js12 - mean, 2) +
+                std::pow(js13 - mean, 2) + std::pow(js23 - mean, 2)) /
+               6.0;
+  EXPECT_NEAR(CorrelationC(corpus, {0, 1, 2, 3}), var, 1e-9);
+}
+
+TEST(CorrelationTest, UniformOverlapMeansLowC) {
+  // Four identical documents: all pairwise selectivities equal -> C = 0.
+  Corpus corpus;
+  for (int i = 0; i < 4; ++i) {
+    std::string xml =
+        "<venue><article><author>same</author></article></venue>";
+    ASSERT_TRUE(corpus.AddXml(xml, "d" + std::to_string(i)).ok());
+  }
+  EXPECT_NEAR(CorrelationC(corpus, {0, 1, 2, 3}), 0.0, 1e-9);
+}
+
+TEST(CorrelationTest, GeneratedCorpusOrdersGroupsByC) {
+  // On the synthetic corpus, 4:0 combinations should on average carry
+  // higher correlation than 2:2 ones (the grouping assumption of §4.3).
+  DblpGenOptions opt;
+  opt.tag_scale = 0.05;
+  auto corpus = GenerateDblpCorpus(opt);
+  ASSERT_TRUE(corpus.ok());
+  auto resolve = [&](const char* n) { return *corpus->Resolve(n); };
+  double c_40 = CorrelationC(
+      *corpus, {resolve("VLDB"), resolve("SIGMOD"), resolve("ICDE"),
+                resolve("EDBT")});
+  double c_22 = CorrelationC(
+      *corpus, {resolve("VLDB"), resolve("SIGMOD"), resolve("AAAI"),
+                resolve("AIinMedicine")});
+  EXPECT_GT(c_40, c_22);
+}
+
+}  // namespace
+}  // namespace rox

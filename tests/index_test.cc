@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "index/corpus.h"
+#include "index/element_index.h"
+#include "index/value_index.h"
+#include "xml/parser.h"
+
+namespace rox {
+namespace {
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto id = corpus_.AddXml(
+        "<shop>"
+        "<item id=\"i1\" price=\"10\"><name>apple</name></item>"
+        "<item id=\"i2\" price=\"25\"><name>pear</name></item>"
+        "<item id=\"i3\" price=\"10\"><name>apple</name></item>"
+        "<box><item id=\"i4\" price=\"7\"><name>fig</name></item></box>"
+        "</shop>",
+        "shop.xml");
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    doc_ = *id;
+  }
+
+  Corpus corpus_;
+  DocId doc_ = 0;
+};
+
+TEST_F(IndexTest, ElementLookupAndCount) {
+  const ElementIndex& idx = corpus_.element_index(doc_);
+  StringId item = corpus_.Find("item");
+  EXPECT_EQ(idx.Count(item), 4u);
+  auto span = idx.Lookup(item);
+  // Document order and duplicate-free.
+  for (size_t i = 1; i < span.size(); ++i) EXPECT_LT(span[i - 1], span[i]);
+  EXPECT_EQ(idx.Count(corpus_.Find("name")), 4u);
+  EXPECT_EQ(idx.Count(corpus_.Find("box")), 1u);
+  EXPECT_EQ(idx.Lookup(kInvalidStringId - 1).size(), 0u);
+}
+
+TEST_F(IndexTest, ElementRangeLookup) {
+  const ElementIndex& idx = corpus_.element_index(doc_);
+  const Document& doc = corpus_.doc(doc_);
+  StringId item = corpus_.Find("item");
+  // Descendant range of <shop> (pre 1): everything.
+  auto all = idx.RangeLookup(item, 1, 1 + doc.Size(1));
+  EXPECT_EQ(all.size(), 4u);
+  // Descendant range of <box>: just the nested item.
+  StringId box = corpus_.Find("box");
+  Pre box_pre = idx.Lookup(box)[0];
+  auto nested = idx.RangeLookup(item, box_pre, box_pre + doc.Size(box_pre));
+  ASSERT_EQ(nested.size(), 1u);
+  EXPECT_EQ(doc.AttributeValue(nested[0], corpus_.Find("id")),
+            corpus_.Find("i4"));
+}
+
+TEST_F(IndexTest, ElementSampling) {
+  const ElementIndex& idx = corpus_.element_index(doc_);
+  Rng rng(5);
+  auto s = idx.Sample(corpus_.Find("item"), 2, rng);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_LT(s[0], s[1]);  // document order
+  // Oversampling returns everything.
+  EXPECT_EQ(idx.Sample(corpus_.Find("item"), 100, rng).size(), 4u);
+}
+
+TEST_F(IndexTest, AttrNameLookup) {
+  const ElementIndex& idx = corpus_.element_index(doc_);
+  EXPECT_EQ(idx.CountAttr(corpus_.Find("id")), 4u);
+  EXPECT_EQ(idx.CountAttr(corpus_.Find("price")), 4u);
+  EXPECT_EQ(idx.CountAttr(corpus_.Find("name")), 0u);  // element, not attr
+}
+
+TEST_F(IndexTest, TextValueLookup) {
+  const ValueIndex& idx = corpus_.value_index(doc_);
+  StringId apple = corpus_.Find("apple");
+  EXPECT_EQ(idx.TextLookup(apple).size(), 2u);
+  EXPECT_EQ(idx.TextLookup(corpus_.Find("fig")).size(), 1u);
+  EXPECT_EQ(idx.TextLookup(corpus_.Intern("kiwi")).size(), 0u);
+  EXPECT_EQ(idx.text_node_count(), 4u);
+}
+
+TEST_F(IndexTest, AttrValueLookup) {
+  const ValueIndex& idx = corpus_.value_index(doc_);
+  const Document& doc = corpus_.doc(doc_);
+  StringId ten = corpus_.Find("10");
+  EXPECT_EQ(idx.AttrLookup(ten).size(), 2u);
+  // Restricted to attribute name.
+  auto restricted =
+      idx.AttrLookup(doc, ten, corpus_.Find("price"), kInvalidStringId);
+  EXPECT_EQ(restricted.size(), 2u);
+  auto wrong_name =
+      idx.AttrLookup(doc, ten, corpus_.Find("id"), kInvalidStringId);
+  EXPECT_EQ(wrong_name.size(), 0u);
+}
+
+TEST_F(IndexTest, AttrOwnerLookup) {
+  const ValueIndex& idx = corpus_.value_index(doc_);
+  const Document& doc = corpus_.doc(doc_);
+  auto owners = idx.AttrOwnerLookup(doc, corpus_.Find("i4"),
+                                    corpus_.Find("item"), corpus_.Find("id"));
+  ASSERT_EQ(owners.size(), 1u);
+  EXPECT_EQ(doc.NameStr(owners[0]), "item");
+}
+
+TEST_F(IndexTest, NumericRangeLookups) {
+  const ValueIndex& idx = corpus_.value_index(doc_);
+  // Attribute prices: 10, 25, 10, 7.
+  EXPECT_EQ(idx.AttrRangeLookup(NumericRange::LessThan(11)).size(), 3u);
+  EXPECT_EQ(idx.AttrRangeLookup(NumericRange::GreaterThan(10)).size(), 1u);
+  EXPECT_EQ(idx.AttrRangeLookup(NumericRange::AtLeast(10)).size(), 3u);
+  EXPECT_EQ(idx.AttrRangeLookup(NumericRange::Exactly(7)).size(), 1u);
+  // Text nodes are non-numeric here.
+  EXPECT_EQ(idx.TextRangeCount(NumericRange::LessThan(1e9)), 0u);
+}
+
+TEST_F(IndexTest, RangeResultsInDocumentOrder) {
+  const ValueIndex& idx = corpus_.value_index(doc_);
+  auto r = idx.AttrRangeLookup(NumericRange::AtLeast(0));
+  for (size_t i = 1; i < r.size(); ++i) EXPECT_LT(r[i - 1], r[i]);
+}
+
+TEST(CorpusTest, ResolveAndDuplicates) {
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddXml("<a/>", "one.xml").ok());
+  ASSERT_TRUE(corpus.AddXml("<b/>", "two.xml").ok());
+  EXPECT_EQ(corpus.DocCount(), 2u);
+  auto r = corpus.Resolve("two.xml");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(corpus.doc(*r).name(), "two.xml");
+  EXPECT_FALSE(corpus.Resolve("three.xml").ok());
+  // Duplicate names rejected.
+  EXPECT_FALSE(corpus.AddXml("<c/>", "one.xml").ok());
+}
+
+TEST(CorpusTest, RejectsForeignPool) {
+  Corpus corpus;
+  auto foreign = ParseXml("<a/>", "f.xml");  // fresh private pool
+  ASSERT_TRUE(foreign.ok());
+  EXPECT_FALSE(corpus.Add(std::move(*foreign)).ok());
+}
+
+TEST(CorpusTest, SharedValueIdsAcrossDocs) {
+  Corpus corpus;
+  auto d1 = corpus.AddXml("<a>joe</a>", "d1");
+  auto d2 = corpus.AddXml("<b>joe</b>", "d2");
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  StringId joe = corpus.Find("joe");
+  EXPECT_EQ(corpus.value_index(*d1).TextLookup(joe).size(), 1u);
+  EXPECT_EQ(corpus.value_index(*d2).TextLookup(joe).size(), 1u);
+}
+
+}  // namespace
+}  // namespace rox

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "xml/node.h"
+
+namespace rox {
+namespace {
+
+constexpr Axis kAllAxes[] = {
+    Axis::kChild,         Axis::kDescendant,
+    Axis::kDescendantOrSelf, Axis::kParent,
+    Axis::kAncestor,      Axis::kAncestorOrSelf,
+    Axis::kFollowing,     Axis::kPreceding,
+    Axis::kFollowingSibling, Axis::kPrecedingSibling,
+    Axis::kSelf,          Axis::kAttribute,
+};
+
+TEST(AxisTest, ReverseIsInvolutionExceptAttribute) {
+  for (Axis a : kAllAxes) {
+    if (a == Axis::kAttribute) continue;  // reverse(attr) = parent
+    EXPECT_EQ(ReverseAxis(ReverseAxis(a)), a) << AxisName(a);
+  }
+  EXPECT_EQ(ReverseAxis(Axis::kAttribute), Axis::kParent);
+}
+
+TEST(AxisTest, ReversePairsAreCorrect) {
+  EXPECT_EQ(ReverseAxis(Axis::kChild), Axis::kParent);
+  EXPECT_EQ(ReverseAxis(Axis::kDescendant), Axis::kAncestor);
+  EXPECT_EQ(ReverseAxis(Axis::kDescendantOrSelf), Axis::kAncestorOrSelf);
+  EXPECT_EQ(ReverseAxis(Axis::kFollowing), Axis::kPreceding);
+  EXPECT_EQ(ReverseAxis(Axis::kFollowingSibling), Axis::kPrecedingSibling);
+  EXPECT_EQ(ReverseAxis(Axis::kSelf), Axis::kSelf);
+}
+
+TEST(AxisTest, NamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (Axis a : kAllAxes) names.insert(AxisName(a));
+  EXPECT_EQ(names.size(), std::size(kAllAxes));
+  EXPECT_STREQ(AxisName(Axis::kDescendantOrSelf), "descendant-or-self");
+}
+
+TEST(AxisTest, ForwardAxes) {
+  EXPECT_TRUE(IsForwardAxis(Axis::kChild));
+  EXPECT_TRUE(IsForwardAxis(Axis::kDescendant));
+  EXPECT_TRUE(IsForwardAxis(Axis::kFollowing));
+  EXPECT_FALSE(IsForwardAxis(Axis::kParent));
+  EXPECT_FALSE(IsForwardAxis(Axis::kAncestor));
+  EXPECT_FALSE(IsForwardAxis(Axis::kPreceding));
+  EXPECT_FALSE(IsForwardAxis(Axis::kPrecedingSibling));
+}
+
+TEST(KindTest, MatchMatrix) {
+  constexpr NodeKind kKinds[] = {NodeKind::kDoc,  NodeKind::kElem,
+                                 NodeKind::kText, NodeKind::kAttr,
+                                 NodeKind::kComment, NodeKind::kPi};
+  // kAnyKind matches all; each specific test matches exactly its kind.
+  for (NodeKind k : kKinds) {
+    EXPECT_TRUE(MatchesKind(k, KindTest::kAnyKind));
+  }
+  EXPECT_TRUE(MatchesKind(NodeKind::kElem, KindTest::kElem));
+  EXPECT_FALSE(MatchesKind(NodeKind::kText, KindTest::kElem));
+  EXPECT_TRUE(MatchesKind(NodeKind::kText, KindTest::kText));
+  EXPECT_FALSE(MatchesKind(NodeKind::kAttr, KindTest::kText));
+  EXPECT_TRUE(MatchesKind(NodeKind::kAttr, KindTest::kAttr));
+  EXPECT_TRUE(MatchesKind(NodeKind::kDoc, KindTest::kDoc));
+  EXPECT_TRUE(MatchesKind(NodeKind::kComment, KindTest::kComment));
+  EXPECT_TRUE(MatchesKind(NodeKind::kPi, KindTest::kPi));
+  EXPECT_FALSE(MatchesKind(NodeKind::kPi, KindTest::kComment));
+}
+
+TEST(KindTest, Names) {
+  EXPECT_STREQ(NodeKindName(NodeKind::kElem), "elem");
+  EXPECT_STREQ(KindTestName(KindTest::kAnyKind), "*");
+  EXPECT_STREQ(KindTestName(KindTest::kText), "text");
+}
+
+}  // namespace
+}  // namespace rox

@@ -1,0 +1,206 @@
+// Robustness and edge-case tests: the XML parser must reject arbitrary
+// garbage gracefully (Status, never a crash), round-trip random
+// documents, and the exec-layer combinators must handle degenerate
+// inputs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "exec/result_table.h"
+#include "exec/structural_join.h"
+#include "exec/value_join.h"
+#include "index/corpus.h"
+#include "xml/parser.h"
+
+namespace rox {
+namespace {
+
+// --- parser fuzz ----------------------------------------------------------------
+
+TEST(ParserRobustnessTest, RandomGarbageNeverCrashes) {
+  Rng rng(0xfadedcafe);
+  const char alphabet[] = "<>/=\"'abc &;#x![]-?";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string input;
+    size_t len = rng.Below(120);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(alphabet[rng.Below(sizeof(alphabet) - 1)]);
+    }
+    // Must return, never crash; most inputs fail to parse.
+    auto r = ParseXml(input, "fuzz.xml");
+    if (r.ok()) {
+      // If it parsed, it must serialize and re-parse consistently.
+      std::string out = SerializeXml(**r);
+      auto r2 = ParseXml(out, "fuzz2.xml");
+      EXPECT_TRUE(r2.ok()) << "round-trip failed for: " << out;
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, MutatedValidDocuments) {
+  // Take a valid document and flip random bytes: the parser must
+  // either parse or fail cleanly.
+  std::string base =
+      "<site><person id=\"p1\"><name>Ann &amp; Bob</name>"
+      "<age>42</age></person><empty/></site>";
+  Rng rng(4321);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = base;
+    int flips = 1 + static_cast<int>(rng.Below(3));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.Below(mutated.size());
+      mutated[pos] = static_cast<char>(32 + rng.Below(95));
+    }
+    auto r = ParseXml(mutated, "mut.xml");
+    (void)r;  // either outcome is fine; the test is "no crash/UB"
+  }
+}
+
+TEST(ParserRobustnessTest, DeeplyNestedDocument) {
+  std::string xml;
+  const int depth = 2000;
+  for (int i = 0; i < depth; ++i) xml += "<d>";
+  xml += "x";
+  for (int i = 0; i < depth; ++i) xml += "</d>";
+  auto r = ParseXml(xml, "deep.xml");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->NodeCount(), static_cast<Pre>(depth + 2));
+  EXPECT_EQ((*r)->Level(depth), depth);
+}
+
+TEST(ParserRobustnessTest, RandomDocumentRoundTrip) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random tree built through the builder, serialized, re-parsed.
+    DocumentBuilder b("rt.xml", nullptr);
+    int open = 0;
+    b.StartElement("root");
+    ++open;
+    // Avoid emitting adjacent text nodes: XML serialization merges
+    // them, so they cannot round-trip as separate nodes.
+    bool last_was_text = false;
+    for (int ops = 0; ops < 200; ++ops) {
+      switch (rng.Below(4)) {
+        case 0:
+          b.StartElement("n" + std::to_string(rng.Below(5)));
+          if (rng.Bernoulli(0.5)) {
+            b.Attribute("a", std::to_string(rng.Below(100)));
+          }
+          ++open;
+          last_was_text = false;
+          break;
+        case 1:
+          if (open > 1) {
+            b.EndElement();
+            --open;
+            last_was_text = false;
+          }
+          break;
+        default:
+          if (!last_was_text) {
+            b.Text("t" + std::to_string(rng.Below(50)));
+            last_was_text = true;
+          }
+      }
+    }
+    while (open-- > 0) b.EndElement();
+    auto doc = std::move(b).Finish();
+    ASSERT_TRUE(doc.ok());
+    std::string xml = SerializeXml(**doc);
+    auto reparsed = ParseXml(xml, "rt2.xml");
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_EQ(SerializeXml(**reparsed), xml);
+    EXPECT_EQ((*reparsed)->NodeCount(), (*doc)->NodeCount());
+  }
+}
+
+// --- exec edge cases -------------------------------------------------------------
+
+TEST(ExecEdgeCaseTest, EmptyContextInputs) {
+  Corpus corpus;
+  auto id = corpus.AddXml("<a><b>x</b></a>", "d");
+  ASSERT_TRUE(id.ok());
+  const Document& doc = corpus.doc(*id);
+  std::vector<Pre> empty;
+  JoinPairs p = StructuralJoinPairs(doc, empty, StepSpec::ChildText());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_FALSE(p.truncated);
+  EXPECT_EQ(p.EstimateFullCardinality(0), 0.0);
+  JoinPairs v = HashValueJoinPairs(doc, empty, doc, empty);
+  EXPECT_EQ(v.size(), 0u);
+  auto d = StructuralJoinDistinct(doc, empty, StepSpec::Descendant(0));
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(ExecEdgeCaseTest, ExpandPairsOverColumn) {
+  // distinct nodes {10, 20}; pairs: 10 -> {7, 8}, 20 -> {9}.
+  JoinPairs pairs;
+  pairs.left_rows = {0, 0, 1};
+  pairs.right_nodes = {7, 8, 9};
+  std::vector<Pre> distinct = {10, 20};
+  std::vector<Pre> column = {20, 10, 10, 30};
+  JoinPairs out = ExpandPairsOverColumn(pairs, distinct, column);
+  // Row 0 (20) -> 9; rows 1,2 (10) -> 7,8 each; row 3 (30) drops.
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out.left_rows[0], 0u);
+  EXPECT_EQ(out.right_nodes[0], 9u);
+  EXPECT_EQ(out.left_rows[1], 1u);
+  EXPECT_EQ(out.left_rows[3], 2u);
+}
+
+TEST(ExecEdgeCaseTest, CartesianProduct) {
+  ResultTable a = ResultTable::FromColumn({1, 2});
+  ResultTable b(2);
+  b.AppendRow(std::vector<Pre>{10, 20});
+  b.AppendRow(std::vector<Pre>{30, 40});
+  b.AppendRow(std::vector<Pre>{50, 60});
+  ResultTable p = CartesianProduct(a, b);
+  EXPECT_EQ(p.NumRows(), 6u);
+  EXPECT_EQ(p.NumCols(), 3u);
+  // Row 4 = (2, 30, 40).
+  EXPECT_EQ(p.Col(0)[4], 2u);
+  EXPECT_EQ(p.Col(1)[4], 30u);
+  EXPECT_EQ(p.Col(2)[4], 40u);
+  // Empty side yields empty product.
+  ResultTable empty(1);
+  EXPECT_EQ(CartesianProduct(a, empty).NumRows(), 0u);
+}
+
+TEST(ExecEdgeCaseTest, SelfLoopFreeMergeJoin) {
+  // Merge join where one side has no comparable values at all.
+  Corpus corpus;
+  auto id = corpus.AddXml("<a><b/><c/></a>", "d");  // elements, no text
+  ASSERT_TRUE(id.ok());
+  const Document& doc = corpus.doc(*id);
+  std::vector<Pre> elems = {1, 2, 3};
+  auto sorted = SortByValueId(doc, elems);
+  JoinPairs p = MergeValueJoinPairs(doc, sorted, doc, sorted);
+  EXPECT_EQ(p.size(), 0u);  // no values -> no matches
+}
+
+TEST(ExecEdgeCaseTest, DistinctRowsOnEmptyAndSingle) {
+  ResultTable t(2);
+  EXPECT_EQ(t.DistinctRows().NumRows(), 0u);
+  t.AppendRow(std::vector<Pre>{1, 2});
+  EXPECT_EQ(t.DistinctRows().NumRows(), 1u);
+}
+
+TEST(ExecEdgeCaseTest, NumericRangeBoundaries) {
+  NumericRange lt = NumericRange::LessThan(5);
+  EXPECT_TRUE(lt.Contains(4.999));
+  EXPECT_FALSE(lt.Contains(5.0));
+  NumericRange le = NumericRange::AtMost(5);
+  EXPECT_TRUE(le.Contains(5.0));
+  EXPECT_FALSE(le.Contains(5.0001));
+  NumericRange gt = NumericRange::GreaterThan(5);
+  EXPECT_FALSE(gt.Contains(5.0));
+  EXPECT_TRUE(gt.Contains(5.0001));
+  NumericRange eq = NumericRange::Exactly(5);
+  EXPECT_TRUE(eq.Contains(5.0));
+  EXPECT_FALSE(eq.Contains(4.999));
+}
+
+}  // namespace
+}  // namespace rox

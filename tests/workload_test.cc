@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/dblp.h"
+#include "xml/parser.h"
+#include "workload/xmark.h"
+
+namespace rox {
+namespace {
+
+TEST(DblpSpecTest, TableThreeShape) {
+  const auto& docs = Table3Documents();
+  ASSERT_EQ(docs.size(), 23u);
+  // Spot-check a few entries against the paper's Table 3.
+  EXPECT_EQ(docs[0].name, "FuzzyLogicAI");
+  EXPECT_EQ(docs[0].author_tags, 62u);
+  EXPECT_EQ(docs[22].name, "VLDB");
+  EXPECT_EQ(docs[22].author_tags, 6865u);
+  // CANS spans AI and BI; CIKM spans DB and IR.
+  EXPECT_EQ(docs[3].areas.size(), 2u);
+  EXPECT_EQ(docs[17].name, "CIKM");
+  EXPECT_EQ(docs[17].areas[0], Area::kDB);
+  uint64_t total = 0;
+  for (const auto& d : docs) total += d.author_tags;
+  EXPECT_GT(total, 80000u);  // ~81k author tags in Table 3
+}
+
+class DblpCorpusTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpGenOptions opt;
+    opt.tag_scale = 0.05;  // small corpus for tests
+    auto r = GenerateDblpCorpus(opt);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    corpus_ = new Corpus(std::move(*r));
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+  static Corpus* corpus_;
+};
+
+Corpus* DblpCorpusTest::corpus_ = nullptr;
+
+TEST_F(DblpCorpusTest, AuthorTagCountsTrackTable3) {
+  StringId author = corpus_->Find("author");
+  ASSERT_NE(author, kInvalidStringId);
+  const auto& specs = Table3Documents();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto id = corpus_->Resolve(specs[i].name);
+    ASSERT_TRUE(id.ok());
+    uint64_t tags = corpus_->element_index(*id).Count(author);
+    uint64_t want = std::max<uint64_t>(
+        2, static_cast<uint64_t>(std::llround(specs[i].author_tags * 0.05)));
+    EXPECT_EQ(tags, want) << specs[i].name;
+  }
+}
+
+TEST_F(DblpCorpusTest, SameAreaOverlapExceedsCrossArea) {
+  // VLDB vs ICDE (both DB) must share far more authors than VLDB vs
+  // AAAI (DB vs AI): this is the correlation the experiments rely on.
+  DocId vldb = *corpus_->Resolve("VLDB");
+  DocId icde = *corpus_->Resolve("ICDE");
+  DocId aaai = *corpus_->Resolve("AAAI");
+  uint64_t same = PairJoinSize(*corpus_, vldb, icde);
+  uint64_t cross = PairJoinSize(*corpus_, vldb, aaai);
+  EXPECT_GT(same, 4 * std::max<uint64_t>(cross, 1));
+  EXPECT_GT(same, 0u);
+}
+
+TEST_F(DblpCorpusTest, TwoAreaVenueBridges) {
+  // CIKM (DB+IR) should overlap both SIGMOD (DB) and SIGIR (IR)
+  // substantially.
+  DocId cikm = *corpus_->Resolve("CIKM");
+  DocId sigmod = *corpus_->Resolve("SIGMOD");
+  DocId sigir = *corpus_->Resolve("SIGIR");
+  DocId aaai = *corpus_->Resolve("AAAI");
+  uint64_t db_side = PairJoinSize(*corpus_, cikm, sigmod);
+  uint64_t ir_side = PairJoinSize(*corpus_, cikm, sigir);
+  uint64_t unrelated = PairJoinSize(*corpus_, cikm, aaai);
+  EXPECT_GT(db_side, unrelated);
+  EXPECT_GT(ir_side, unrelated);
+}
+
+TEST_F(DblpCorpusTest, CorrelationHigherForSameAreaCombos) {
+  std::array<DocId, 4> db_combo = {
+      *corpus_->Resolve("VLDB"), *corpus_->Resolve("ICDE"),
+      *corpus_->Resolve("SIGMOD"), *corpus_->Resolve("EDBT")};
+  std::array<DocId, 4> mixed = {
+      *corpus_->Resolve("VLDB"), *corpus_->Resolve("AAAI"),
+      *corpus_->Resolve("SIGIR"), *corpus_->Resolve("KDD")};
+  EXPECT_GT(CorrelationC(*corpus_, db_combo), CorrelationC(*corpus_, mixed));
+}
+
+TEST_F(DblpCorpusTest, HistogramSumsToTagCount) {
+  DocId vldb = *corpus_->Resolve("VLDB");
+  uint64_t total = 0;
+  for (auto [v, n] : AuthorValueHistogram(*corpus_, vldb)) total += n;
+  EXPECT_EQ(total,
+            corpus_->element_index(vldb).Count(corpus_->Find("author")));
+}
+
+TEST(DblpScaleTest, ScaleReplicatesTags) {
+  DblpGenOptions opt;
+  opt.tag_scale = 0.02;
+  std::vector<int> subset = {18};  // ADBIS
+  auto x1 = GenerateDblpCorpus(opt, subset);
+  opt.scale = 10;
+  auto x10 = GenerateDblpCorpus(opt, subset);
+  ASSERT_TRUE(x1.ok() && x10.ok());
+  StringId a1 = x1->Find("author");
+  StringId a10 = x10->Find("author");
+  uint64_t n1 = x1->element_index(0).Count(a1);
+  uint64_t n10 = x10->element_index(0).Count(a10);
+  EXPECT_EQ(n10, 10 * n1);
+}
+
+TEST(DblpScaleTest, ScalingPreservesJoinSelectivityShape) {
+  // js(x10) ≈ 10 × js(x1): each author value splits into 10 distinct
+  // suffixed values with the same per-replica frequencies, so the join
+  // size scales linearly (not quadratically) — the paper's "maintain
+  // the original data distribution and correlation".
+  DblpGenOptions opt;
+  opt.tag_scale = 0.02;
+  std::vector<int> subset = {20, 22};  // SIGMOD, VLDB
+  auto x1 = GenerateDblpCorpus(opt, subset);
+  opt.scale = 10;
+  auto x10 = GenerateDblpCorpus(opt, subset);
+  ASSERT_TRUE(x1.ok() && x10.ok());
+  uint64_t j1 = PairJoinSize(*x1, 0, 1);
+  uint64_t j10 = PairJoinSize(*x10, 0, 1);
+  ASSERT_GT(j1, 0u);
+  EXPECT_EQ(j10, 10 * j1);
+}
+
+TEST(DblpSubsetTest, SubsetIndependentContent) {
+  // A document's content must not depend on which other documents are
+  // generated alongside it.
+  DblpGenOptions opt;
+  opt.tag_scale = 0.02;
+  auto solo = GenerateDblpCorpus(opt, {22});
+  auto pair = GenerateDblpCorpus(opt, {0, 22});
+  ASSERT_TRUE(solo.ok() && pair.ok());
+  DocId v1 = *solo->Resolve("VLDB");
+  DocId v2 = *pair->Resolve("VLDB");
+  EXPECT_EQ(solo->doc(v1).NodeCount(), pair->doc(v2).NodeCount());
+}
+
+TEST(AreaGroupTest, Classification) {
+  const auto& specs = Table3Documents();
+  // VLDB, ICDE, SIGMOD, EDBT: all DB.
+  EXPECT_EQ(AreaGroup(specs, {22, 21, 20, 19}), "4:0");
+  // VLDB, ICDE, SIGMOD + AAAI: 3 DB + 1 AI.
+  EXPECT_EQ(AreaGroup(specs, {22, 21, 20, 2}), "3:1");
+  // VLDB, ICDE + AAAI, AIinMedicine: 2 DB + 2 AI.
+  EXPECT_EQ(AreaGroup(specs, {22, 21, 2, 1}), "2:2");
+  // VLDB + AAAI + SIGIR + KDD: 1+1+1+1 — none of the groups.
+  EXPECT_EQ(AreaGroup(specs, {22, 2, 14, 9}), "");
+}
+
+TEST(DblpGraphTest, FigureFourShape) {
+  DblpGenOptions opt;
+  opt.tag_scale = 0.01;
+  auto corpus = GenerateDblpCorpus(opt, {19, 20, 21, 22});
+  ASSERT_TRUE(corpus.ok());
+  DblpQueryGraph q = BuildDblpJoinGraph(*corpus, {0, 1, 2, 3});
+  // 12 vertices (4 × root/author/text); root steps pruned; 4 author/text
+  // steps + 6 equi-join clique edges.
+  EXPECT_EQ(q.graph.VertexCount(), 12u);
+  EXPECT_EQ(q.graph.EdgeCount(), 10u);
+  EXPECT_TRUE(q.graph.Validate().ok());
+  EXPECT_TRUE(q.graph.IsConnected());
+}
+
+
+TEST(DblpGenPathTest, DirectAndXmlTextPathsIdentical) {
+  // The builder-direct and XML-text generation paths must produce the
+  // same shredded document (the text path additionally exercises the
+  // parser).
+  DblpGenOptions opt;
+  opt.tag_scale = 0.02;
+  auto direct = GenerateDblpCorpus(opt, {20, 18});
+  opt.via_xml_text = true;
+  auto text = GenerateDblpCorpus(opt, {20, 18});
+  ASSERT_TRUE(direct.ok() && text.ok());
+  for (DocId d = 0; d < 2; ++d) {
+    ASSERT_EQ(direct->doc(d).NodeCount(), text->doc(d).NodeCount());
+    EXPECT_EQ(SerializeXml(direct->doc(d)), SerializeXml(text->doc(d)));
+  }
+}
+
+// --- XMark ---------------------------------------------------------------------
+
+TEST(XmarkTest, GeneratesValidDocument) {
+  Corpus corpus;
+  XmarkGenOptions opt;
+  opt.items = 50;
+  opt.persons = 60;
+  opt.open_auctions = 40;
+  auto doc = GenerateXmarkDocument(corpus, opt);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  StringId oa = corpus.Find("open_auction");
+  EXPECT_EQ(corpus.element_index(*doc).Count(oa), 40u);
+  EXPECT_EQ(corpus.element_index(*doc).Count(corpus.Find("item")), 50u);
+  EXPECT_EQ(corpus.element_index(*doc).Count(corpus.Find("person")), 60u);
+}
+
+TEST(XmarkTest, PriceBidderCorrelationPresent) {
+  Corpus corpus;
+  XmarkGenOptions opt;
+  opt.open_auctions = 400;
+  opt.items = 100;
+  opt.persons = 100;
+  auto doc_id = GenerateXmarkDocument(corpus, opt);
+  ASSERT_TRUE(doc_id.ok());
+  const Document& doc = corpus.doc(*doc_id);
+  StringId s_oa = corpus.Find("open_auction");
+  StringId s_bidder = corpus.Find("bidder");
+  StringId s_current = corpus.Find("current");
+  double cheap_bidders = 0, cheap_n = 0, rich_bidders = 0, rich_n = 0;
+  for (Pre p : corpus.element_index(*doc_id).Lookup(s_oa)) {
+    double price = -1;
+    uint64_t bidders = 0;
+    for (Pre q = p + 1; q <= p + doc.Size(p); ++q) {
+      if (doc.Kind(q) != NodeKind::kElem) continue;
+      if (doc.Name(q) == s_current) {
+        auto num = corpus.string_pool().NumericValue(
+            doc.SingleTextChildValue(q));
+        if (num) price = *num;
+      } else if (doc.Name(q) == s_bidder) {
+        ++bidders;
+      }
+    }
+    ASSERT_GE(price, 0.0);
+    if (price < 145) {
+      cheap_bidders += bidders;
+      ++cheap_n;
+    } else {
+      rich_bidders += bidders;
+      ++rich_n;
+    }
+  }
+  ASSERT_GT(cheap_n, 0);
+  ASSERT_GT(rich_n, 0);
+  // Expensive auctions attract clearly more bidders (§3.2's premise).
+  EXPECT_GT(rich_bidders / rich_n, 1.5 * (cheap_bidders / cheap_n));
+}
+
+TEST(XmarkTest, Q1GraphShape) {
+  Corpus corpus;
+  XmarkGenOptions opt;
+  opt.items = 20;
+  opt.persons = 20;
+  opt.open_auctions = 20;
+  auto doc = GenerateXmarkDocument(corpus, opt);
+  ASSERT_TRUE(doc.ok());
+  XmarkQ1Graph q = BuildXmarkQ1Graph(corpus, *doc, 145.0, true);
+  EXPECT_TRUE(q.graph.Validate().ok());
+  EXPECT_TRUE(q.graph.IsConnected());
+  // 16 vertices; 15 steps + 2 equi-joins - 3 pruned root edges = 14.
+  EXPECT_EQ(q.graph.VertexCount(), 16u);
+  EXPECT_EQ(q.graph.EdgeCount(), 14u);
+}
+
+}  // namespace
+}  // namespace rox

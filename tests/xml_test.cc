@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "xml/document.h"
+#include "xml/parser.h"
+#include "xml/string_pool.h"
+
+namespace rox {
+namespace {
+
+std::unique_ptr<Document> Parse(std::string_view xml,
+                                XmlParseOptions opts = {}) {
+  auto r = ParseXml(xml, "test.xml", nullptr, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(StringPoolTest, InternDedupes) {
+  StringPool pool;
+  StringId a = pool.Intern("hello");
+  StringId b = pool.Intern("world");
+  StringId c = pool.Intern("hello");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Get(a), "hello");
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(StringPoolTest, FindWithoutIntern) {
+  StringPool pool;
+  EXPECT_EQ(pool.Find("missing"), kInvalidStringId);
+  StringId a = pool.Intern("x");
+  EXPECT_EQ(pool.Find("x"), a);
+}
+
+TEST(StringPoolTest, NumericValues) {
+  StringPool pool;
+  EXPECT_EQ(pool.NumericValue(pool.Intern("145")), 145.0);
+  EXPECT_EQ(pool.NumericValue(pool.Intern("-2.5")), -2.5);
+  EXPECT_FALSE(pool.NumericValue(pool.Intern("12abc")).has_value());
+  EXPECT_FALSE(pool.NumericValue(pool.Intern("")).has_value());
+}
+
+TEST(StringPoolTest, ViewsSurviveGrowth) {
+  StringPool pool;
+  StringId first = pool.Intern("stable");
+  for (int i = 0; i < 10000; ++i) pool.Intern("filler_" + std::to_string(i));
+  // Re-interning must still find the original id.
+  EXPECT_EQ(pool.Intern("stable"), first);
+}
+
+TEST(DocumentBuilderTest, PreSizeLevel) {
+  DocumentBuilder b("d", nullptr);
+  b.StartElement("a");      // pre 1
+  b.StartElement("b");      // pre 2
+  b.Text("t");              // pre 3
+  b.EndElement();
+  b.StartElement("c");      // pre 4
+  b.EndElement();
+  b.EndElement();
+  auto doc = std::move(b).Finish();
+  ASSERT_TRUE(doc.ok());
+  const Document& d = **doc;
+  ASSERT_EQ(d.NodeCount(), 5u);
+  EXPECT_EQ(d.Kind(0), NodeKind::kDoc);
+  EXPECT_EQ(d.Size(0), 4u);
+  EXPECT_EQ(d.Level(0), 0);
+  EXPECT_EQ(d.Size(1), 3u);  // a contains b, t, c
+  EXPECT_EQ(d.Level(1), 1);
+  EXPECT_EQ(d.Size(2), 1u);  // b contains t
+  EXPECT_EQ(d.Level(3), 3);
+  EXPECT_EQ(d.Parent(4), 1u);
+  EXPECT_EQ(d.Parent(0), kInvalidPre);
+}
+
+TEST(DocumentBuilderTest, UnbalancedFails) {
+  DocumentBuilder b("d", nullptr);
+  b.StartElement("a");
+  auto doc = std::move(b).Finish();
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(DocumentBuilderTest, AttributesInlineAfterElement) {
+  DocumentBuilder b("d", nullptr);
+  b.StartElement("e");
+  b.Attribute("id", "42");
+  b.Attribute("name", "x");
+  b.Text("body");
+  b.EndElement();
+  auto doc = std::move(b).Finish();
+  ASSERT_TRUE(doc.ok());
+  const Document& d = **doc;
+  EXPECT_EQ(d.Kind(2), NodeKind::kAttr);
+  EXPECT_EQ(d.Kind(3), NodeKind::kAttr);
+  EXPECT_EQ(d.Kind(4), NodeKind::kText);
+  EXPECT_EQ(d.Parent(2), 1u);
+  EXPECT_EQ(d.NameStr(2), "id");
+  EXPECT_EQ(d.ValueStr(2), "42");
+  EXPECT_EQ(d.Size(1), 3u);
+}
+
+TEST(ParserTest, SimpleDocument) {
+  auto d = Parse("<a><b x='1'>hi</b><c/></a>");
+  ASSERT_EQ(d->NodeCount(), 6u);  // doc, a, b, @x, text, c
+  EXPECT_EQ(d->NameStr(1), "a");
+  EXPECT_EQ(d->NameStr(2), "b");
+  EXPECT_EQ(d->Kind(3), NodeKind::kAttr);
+  EXPECT_EQ(d->ValueStr(4), "hi");
+  EXPECT_EQ(d->NameStr(5), "c");
+}
+
+TEST(ParserTest, EntitiesAndCharRefs) {
+  auto d = Parse("<a>&lt;x&gt; &amp; &quot;y&quot; &#65;&#x42;</a>");
+  EXPECT_EQ(d->ValueStr(2), "<x> & \"y\" AB");
+}
+
+TEST(ParserTest, CdataSection) {
+  auto d = Parse("<a><![CDATA[<not-a-tag> & raw]]></a>");
+  EXPECT_EQ(d->ValueStr(2), "<not-a-tag> & raw");
+}
+
+TEST(ParserTest, WhitespaceTextSkippedByDefault) {
+  auto d = Parse("<a>\n  <b>x</b>\n</a>");
+  // doc, a, b, "x" — the whitespace runs are dropped.
+  EXPECT_EQ(d->NodeCount(), 4u);
+}
+
+TEST(ParserTest, WhitespaceKeptWhenRequested) {
+  XmlParseOptions opts;
+  opts.skip_whitespace_text = false;
+  auto d = Parse("<a> <b>x</b> </a>", opts);
+  EXPECT_EQ(d->NodeCount(), 6u);
+}
+
+TEST(ParserTest, CommentsAndPis) {
+  XmlParseOptions opts;
+  opts.keep_comments = true;
+  opts.keep_pis = true;
+  auto d = Parse("<?xml version='1.0'?><a><!--note--><?tgt data?></a>", opts);
+  EXPECT_EQ(d->Kind(2), NodeKind::kComment);
+  EXPECT_EQ(d->ValueStr(2), "note");
+  EXPECT_EQ(d->Kind(3), NodeKind::kPi);
+  EXPECT_EQ(d->NameStr(3), "tgt");
+}
+
+TEST(ParserTest, DoctypeSkipped) {
+  auto d = Parse("<!DOCTYPE a [<!ELEMENT a ANY>]><a>x</a>");
+  EXPECT_EQ(d->NameStr(1), "a");
+}
+
+TEST(ParserTest, MismatchedTagFails) {
+  auto r = ParseXml("<a><b></a></b>", "bad.xml");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, UnterminatedFails) {
+  EXPECT_FALSE(ParseXml("<a><b>", "bad.xml").ok());
+  EXPECT_FALSE(ParseXml("<a foo='1>x</a>", "bad.xml").ok());
+  EXPECT_FALSE(ParseXml("", "bad.xml").ok());
+}
+
+TEST(ParserTest, TrailingContentFails) {
+  EXPECT_FALSE(ParseXml("<a/><b/>", "bad.xml").ok());
+}
+
+TEST(SerializerTest, RoundTrip) {
+  const char* xml =
+      "<site><person id=\"p1\"><name>A &amp; B</name></person>"
+      "<empty/></site>";
+  auto d = Parse(xml);
+  std::string out = SerializeXml(*d);
+  // Re-parse the serialized form: structurally identical.
+  auto d2 = Parse(out);
+  EXPECT_EQ(d->NodeCount(), d2->NodeCount());
+  EXPECT_EQ(SerializeXml(*d2), out);
+}
+
+TEST(SerializerTest, SubtreeSerialization) {
+  auto d = Parse("<a><b>x</b><c>y</c></a>");
+  EXPECT_EQ(SerializeSubtree(*d, 2), "<b>x</b>");
+}
+
+TEST(DocumentTest, TypedValueConcatenatesDescendantText) {
+  auto d = Parse("<a>x<b>y</b>z</a>");
+  EXPECT_EQ(d->TypedValue(1), "xyz");
+}
+
+TEST(DocumentTest, SingleTextChildValue) {
+  auto d = Parse("<r><one>alpha</one><two>a<i>b</i></two><none/></r>");
+  const StringPool& pool = d->pool();
+  StringId v = d->SingleTextChildValue(2);  // <one>
+  ASSERT_NE(v, kInvalidStringId);
+  EXPECT_EQ(pool.Get(v), "alpha");
+  // <two> has a text child and an element child with its own text; only
+  // direct single text child counts, and "a" is its single direct text.
+  StringId v2 = d->SingleTextChildValue(4);
+  ASSERT_NE(v2, kInvalidStringId);
+  EXPECT_EQ(pool.Get(v2), "a");
+  // <none> has no text child.
+  Pre none = d->NodeCount() - 1;
+  EXPECT_EQ(d->SingleTextChildValue(none), kInvalidStringId);
+}
+
+TEST(DocumentTest, AttributeValue) {
+  auto d = Parse("<e a=\"1\" b=\"2\"><f c=\"3\"/></e>");
+  StringId a = d->pool().Find("a");
+  StringId b = d->pool().Find("b");
+  StringId c = d->pool().Find("c");
+  EXPECT_EQ(d->pool().Get(d->AttributeValue(1, a)), "1");
+  EXPECT_EQ(d->pool().Get(d->AttributeValue(1, b)), "2");
+  EXPECT_EQ(d->AttributeValue(1, c), kInvalidStringId);
+}
+
+TEST(DocumentTest, IsAncestor) {
+  auto d = Parse("<a><b><c/></b><d/></a>");
+  // pres: doc=0, a=1, b=2, c=3, d=4
+  EXPECT_TRUE(d->IsAncestor(1, 3));
+  EXPECT_TRUE(d->IsAncestor(2, 3));
+  EXPECT_FALSE(d->IsAncestor(3, 2));
+  EXPECT_FALSE(d->IsAncestor(2, 4));
+  EXPECT_FALSE(d->IsAncestor(2, 2));
+}
+
+TEST(DocumentTest, CountElements) {
+  auto d = Parse("<a><x/><x/><y><x/></y></a>");
+  StringId x = d->pool().Find("x");
+  EXPECT_EQ(d->CountElements(x), 3u);
+}
+
+TEST(DocumentTest, SharedPoolAcrossDocuments) {
+  auto pool = std::make_shared<StringPool>();
+  auto d1 = ParseXml("<a>shared</a>", "d1", pool);
+  auto d2 = ParseXml("<b>shared</b>", "d2", pool);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  // Same interned id for the same value in both documents.
+  EXPECT_EQ((*d1)->Value(2), (*d2)->Value(2));
+}
+
+}  // namespace
+}  // namespace rox
