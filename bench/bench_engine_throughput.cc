@@ -1,0 +1,235 @@
+// Engine throughput under concurrent load: sweeps RunBatch concurrency
+// {1, 4, 16} over a mixed XMark + DBLP query set served from one shared
+// corpus, and reports queries/sec, latency percentiles and cache hit
+// rates per level.
+//
+// Protocol. One Engine serves the whole sweep (a session), so the
+// first level pays the cold compiles/sampling and later levels benefit
+// from the plan/weight/result cache exactly as a long-running server
+// would — the per-level cache hit rates printed alongside make the
+// source of every speedup visible. A second sweep with result caching
+// disabled isolates the warm-start (plan + learned weight reuse)
+// contribution: every query executes, but Phase 1 sampling is
+// amortized. Pass --isolate=1 to instead give every level a fresh
+// engine (cold cache), which measures pure thread scaling.
+//
+//   $ ./bench_engine_throughput [--repeat=6] [--threads=16] [--tau=100]
+//        [--xmark_scale=0.4] [--dblp_tag_scale=0.2] [--isolate=0]
+//        [--skip_warm_sweep=0] [--seed=42]
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "engine/engine.h"
+#include "workload/dblp.h"
+#include "workload/xmark.h"
+
+namespace rox::bench {
+namespace {
+
+Result<Corpus> BuildMixedCorpus(double xmark_scale, double dblp_tag_scale,
+                                uint32_t dblp_scale) {
+  Corpus corpus;
+  XmarkGenOptions xmark;
+  xmark.items = static_cast<uint32_t>(4350 * xmark_scale);
+  xmark.persons = static_cast<uint32_t>(5100 * xmark_scale);
+  xmark.open_auctions = static_cast<uint32_t>(2400 * xmark_scale);
+  ROX_RETURN_IF_ERROR(GenerateXmarkDocument(corpus, xmark).status());
+
+  DblpGenOptions dblp;
+  dblp.scale = dblp_scale;
+  dblp.tag_scale = dblp_tag_scale;
+  // MLDM, INEX, SPIRE, ADBIS, EDBT, SIGMOD — two IR venues, three DB
+  // venues and one DM venue from Table 3, small enough for quick runs
+  // but with the same-area author overlap the ROX experiments rely on.
+  ROX_RETURN_IF_ERROR(
+      AddDblpDocuments(corpus, dblp, {7, 11, 12, 18, 19, 20}).status());
+  return corpus;
+}
+
+std::vector<std::string> DistinctQueries() {
+  return {
+      // XMark: the paper's Q1 (3-way, cheap side).
+      R"(let $d := doc("xmark.xml")
+         for $o in $d//open_auction[.//current/text() < 145],
+             $p in $d//person[.//province],
+             $i in $d//item[./quantity = 1]
+         where $o//bidder//personref/@person = $p/@id and
+               $o//itemref/@item = $i/@id
+         return $o)",
+      // XMark: Qm1 (expensive side of the correlation).
+      R"(let $d := doc("xmark.xml")
+         for $o in $d//open_auction[.//current/text() > 145],
+             $p in $d//person[.//province],
+             $i in $d//item[./quantity = 1]
+         where $o//bidder//personref/@person = $p/@id and
+               $o//itemref/@item = $i/@id
+         return $o)",
+      // XMark: bidder -> person lookup join.
+      R"(for $b in doc("xmark.xml")//bidder//personref,
+             $p in doc("xmark.xml")//person
+         where $b/@person = $p/@id
+         return $p)",
+      // XMark: selective single-document scans.
+      R"(for $p in doc("xmark.xml")//person[.//province] return $p)",
+      R"(for $i in doc("xmark.xml")//item[./quantity = 1] return $i)",
+      // DBLP: 2-way and 3-way author joins (Figure 4 shape).
+      R"(for $a in doc("SIGMOD")//author, $b in doc("EDBT")//author
+         where $a/text() = $b/text()
+         return $a)",
+      R"(for $a in doc("SIGMOD")//author, $b in doc("EDBT")//author,
+             $c in doc("ADBIS")//author
+         where $a/text() = $b/text() and $a/text() = $c/text()
+         return $a)",
+      R"(for $a in doc("SPIRE")//author, $b in doc("INEX")//author
+         where $a/text() = $b/text()
+         return $a)",
+  };
+}
+
+std::vector<std::string> BuildWorkload(int repeat, uint64_t seed) {
+  std::vector<std::string> distinct = DistinctQueries();
+  std::vector<std::string> workload;
+  for (int r = 0; r < repeat; ++r) {
+    workload.insert(workload.end(), distinct.begin(), distinct.end());
+  }
+  Rng rng(seed);
+  rng.Shuffle(workload);
+  return workload;
+}
+
+struct LevelResult {
+  size_t concurrency = 0;
+  double wall_ms = 0;
+  double qps = 0;
+  engine::EngineStats stats;
+};
+
+LevelResult RunLevel(engine::Engine& eng,
+                     const std::vector<std::string>& workload,
+                     size_t concurrency) {
+  eng.ResetStats();
+  StopWatch watch;
+  std::vector<engine::QueryResult> results =
+      eng.RunBatch(workload, concurrency);
+  LevelResult out;
+  out.concurrency = concurrency;
+  out.wall_ms = watch.ElapsedMillis();
+  out.qps = 1000.0 * static_cast<double>(workload.size()) / out.wall_ms;
+  out.stats = eng.Stats();
+  size_t failed = 0, items = 0;
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", r.status.ToString().c_str());
+      ++failed;
+    } else {
+      items += r.items->size();
+    }
+  }
+  if (failed > 0) {
+    std::fprintf(stderr, "%zu of %zu queries failed\n", failed,
+                 workload.size());
+  }
+  std::printf("  (checksum: %zu result items)\n", items);
+  return out;
+}
+
+void PrintSweep(const std::vector<LevelResult>& levels) {
+  std::printf(
+      "  conc |  wall ms |    q/s | speedup |  p50 ms |  p95 ms | plan hit | "
+      "result hit | warm runs\n");
+  double base_qps = levels.empty() ? 0 : levels.front().qps;
+  for (const LevelResult& lv : levels) {
+    std::printf(
+      "  %4zu | %8.1f | %6.1f |  %5.2fx | %7.2f | %7.2f | %7.0f%% | %9.0f%% "
+      "| %9llu\n",
+        lv.concurrency, lv.wall_ms, lv.qps, lv.qps / base_qps,
+        lv.stats.p50_ms, lv.stats.p95_ms, 100 * lv.stats.plan_hit_rate(),
+        100 * lv.stats.result_hit_rate(),
+        static_cast<unsigned long long>(lv.stats.warm_started_runs));
+  }
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int repeat = static_cast<int>(flags.GetInt("repeat", 6));
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 16));
+  const uint64_t tau = static_cast<uint64_t>(flags.GetInt("tau", 100));
+  const double xmark_scale = flags.GetDouble("xmark_scale", 0.4);
+  const double dblp_tag_scale = flags.GetDouble("dblp_tag_scale", 0.2);
+  const bool isolate = flags.GetBool("isolate", false);
+  const bool skip_warm_sweep = flags.GetBool("skip_warm_sweep", false);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  flags.FailOnUnused();
+
+  const std::vector<size_t> levels = {1, 4, 16};
+  std::vector<std::string> workload = BuildWorkload(repeat, seed);
+  std::printf(
+      "mixed XMark+DBLP workload: %zu distinct queries x %d = %zu instances, "
+      "pool of %zu threads\n",
+      DistinctQueries().size(), repeat, workload.size(), threads);
+
+  auto make_engine =
+      [&](bool cache_results) -> Result<std::unique_ptr<engine::Engine>> {
+    ROX_ASSIGN_OR_RETURN(Corpus corpus,
+                         BuildMixedCorpus(xmark_scale, dblp_tag_scale, 1));
+    engine::EngineOptions opts;
+    opts.num_threads = threads;
+    opts.cache_results = cache_results;
+    opts.rox.tau = tau;
+    opts.rox.seed = seed;
+    return std::make_unique<engine::Engine>(std::move(corpus), opts);
+  };
+
+  // --- sweep 1: full session cache (plans + weights + results) -----------
+  std::printf("\n== session sweep: plan/weight/result cache %s ==\n",
+              isolate ? "(fresh engine per level)" : "(shared across levels)");
+  {
+    std::vector<LevelResult> results;
+    auto eng = make_engine(/*cache_results=*/true);
+    if (!eng.ok()) {
+      std::fprintf(stderr, "corpus: %s\n", eng.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t c : levels) {
+      if (isolate && !results.empty()) {
+        eng = make_engine(true);
+        if (!eng.ok()) return 1;
+      }
+      results.push_back(RunLevel(**eng, workload, c));
+    }
+    PrintSweep(results);
+    double speedup4 = results[1].qps / results[0].qps;
+    std::printf("  -> %.2fx queries/sec at concurrency 4 vs 1 (%s)\n",
+                speedup4, speedup4 > 2.0 ? "PASS >2x" : "below 2x");
+  }
+
+  // --- sweep 2: warm-start only (every query executes) --------------------
+  if (!skip_warm_sweep) {
+    std::printf(
+        "\n== warm-start sweep: result cache off, plans + learned weights "
+        "reused ==\n");
+    std::vector<LevelResult> results;
+    auto eng = make_engine(/*cache_results=*/false);
+    if (!eng.ok()) return 1;
+    for (size_t c : levels) {
+      if (isolate && !results.empty()) {
+        eng = make_engine(false);
+        if (!eng.ok()) return 1;
+      }
+      results.push_back(RunLevel(**eng, workload, c));
+    }
+    PrintSweep(results);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rox::bench
+
+int main(int argc, char** argv) { return rox::bench::Main(argc, argv); }

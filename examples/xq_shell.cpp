@@ -1,25 +1,31 @@
-// Interactive XQuery shell over the ROX engine.
+// Interactive XQuery shell over the concurrent query engine.
 //
 //   $ ./xq_shell file1.xml file2.xml ...
 //
 // Loads the given XML files into a corpus (doc("<basename>") resolves
-// them), then reads XQueries from stdin (terminated by a line with just
-// ";") and executes each with run-time optimization, printing the
-// serialized result items and the optimizer statistics. With no files,
-// a demo XMark document is generated as doc("xmark.xml").
+// them), hands the corpus to an Engine, then reads XQueries from stdin
+// (terminated by a line with just ";") and executes each through the
+// engine — so repeated queries hit the plan/weight/result cache exactly
+// as they would on a server. With no files, a demo XMark document is
+// generated as doc("xmark.xml").
 //
-// Commands: \docs  (list documents)   \quit
+// Commands:
+//   \docs   list documents
+//   \stats  engine statistics (latency percentiles, cache hit rates)
+//   \cache  query cache contents (most recently used first)
+//   \quit
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "engine/engine.h"
 #include "index/corpus.h"
 #include "workload/xmark.h"
 #include "xml/parser.h"
-#include "xq/compile.h"
 
 namespace {
 
@@ -64,15 +70,48 @@ int main(int argc, char** argv) {
                 corpus.doc(*id).NodeCount());
   }
 
-  std::printf("enter an XQuery terminated by a ';' line (\\docs, \\quit)\n");
+  // The engine freezes the corpus; every query from here on is served
+  // through its cache and statistics layer.
+  engine::EngineOptions options;
+  options.num_threads = 4;
+  engine::Engine eng(std::move(corpus), options);
+
+  std::printf(
+      "enter an XQuery terminated by a ';' line "
+      "(\\docs, \\stats, \\cache, \\quit)\n");
   std::string query, line;
   while (std::printf("xq> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
     if (line == "\\quit" || line == "\\q") break;
     if (line == "\\docs") {
-      for (DocId d = 0; d < corpus.DocCount(); ++d) {
-        std::printf("  doc(\"%s\") — %u nodes\n",
-                    corpus.doc(d).name().c_str(), corpus.doc(d).NodeCount());
+      const Corpus& c = eng.corpus();
+      for (DocId d = 0; d < c.DocCount(); ++d) {
+        std::printf("  doc(\"%s\") — %u nodes\n", c.doc(d).name().c_str(),
+                    c.doc(d).NodeCount());
+      }
+      continue;
+    }
+    if (line == "\\stats") {
+      std::printf("%s\n", eng.Stats().ToString().c_str());
+      continue;
+    }
+    if (line == "\\cache") {
+      auto listing = eng.CacheContents();
+      if (listing.empty()) {
+        std::printf("  (cache empty)\n");
+        continue;
+      }
+      std::printf("  %zu of %zu entries, %llu evictions\n", listing.size(),
+                  eng.options().cache_capacity,
+                  static_cast<unsigned long long>(eng.CacheEvictions()));
+      for (const auto& entry : listing) {
+        std::string text = entry.key;
+        if (text.size() > 60) text = text.substr(0, 60) + "...";
+        std::printf("  [%llu hit%s]%s%s %s\n",
+                    static_cast<unsigned long long>(entry.hits),
+                    entry.hits == 1 ? "" : "s",
+                    entry.has_weights ? " +weights" : "",
+                    entry.has_result ? " +result" : "", text.c_str());
       }
       continue;
     }
@@ -81,37 +120,38 @@ int main(int argc, char** argv) {
       query += '\n';
       continue;
     }
-    // Execute the accumulated query.
-    auto compiled = xq::CompileXQuery(corpus, query);
+    // Execute the accumulated query through the engine.
+    engine::QueryResult r = eng.Run(query);
     query.clear();
-    if (!compiled.ok()) {
-      std::printf("error: %s\n", compiled.status().ToString().c_str());
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status.ToString().c_str());
       continue;
     }
-    RoxStats stats;
-    auto result = xq::RunXQuery(corpus, *compiled, {}, &stats);
-    if (!result.ok()) {
-      std::printf("error: %s\n", result.status().ToString().c_str());
-      continue;
-    }
-    DocId rdoc = compiled->graph.vertex(compiled->return_vertex).doc;
-    const Document& doc = corpus.doc(rdoc);
+    const Document& doc = eng.corpus().doc(r.result_doc);
     size_t shown = 0;
-    for (Pre p : *result) {
+    for (Pre p : *r.items) {
       if (shown++ == 20) {
-        std::printf("  ... (%zu more)\n", result->size() - 20);
+        std::printf("  ... (%zu more)\n", r.items->size() - 20);
         break;
       }
       std::string s = SerializeSubtree(doc, p);
       if (s.size() > 200) s = s.substr(0, 200) + "...";
       std::printf("  %s\n", s.c_str());
     }
-    std::printf("%zu items; %llu edges executed; sampling %.2f ms, "
-                "execution %.2f ms\n",
-                result->size(),
-                static_cast<unsigned long long>(stats.edges_executed),
-                stats.sampling_time.TotalMillis(),
-                stats.execution_time.TotalMillis());
+    if (r.result_cache_hit) {
+      std::printf("%zu items in %.2f ms (replayed from result cache)\n",
+                  r.items->size(), r.wall_ms);
+    } else {
+      std::printf(
+          "%zu items in %.2f ms; %llu edges executed%s; sampling %.2f ms, "
+          "execution %.2f ms%s\n",
+          r.items->size(), r.wall_ms,
+          static_cast<unsigned long long>(r.rox_stats.edges_executed),
+          r.plan_cache_hit ? " (cached plan)" : "",
+          r.rox_stats.sampling_time.TotalMillis(),
+          r.rox_stats.execution_time.TotalMillis(),
+          r.warm_started ? " (warm-started weights)" : "");
+    }
   }
   return 0;
 }

@@ -1,0 +1,216 @@
+#include "engine/engine.h"
+
+#include <cstdio>
+#include <semaphore>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace rox::engine {
+
+namespace {
+
+// SplitMix64 finalizer: decorrelates the per-query RNG streams derived
+// from (base seed, sequence number).
+uint64_t MixSeed(uint64_t base, uint64_t seq) {
+  uint64_t z = base + 0x9e3779b97f4a7c15ULL * (seq + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string EngineStats::ToString() const {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "queries: %llu ok, %llu failed in %.2fs (%.1f q/s)\n"
+      "latency: p50 %.2f ms, p95 %.2f ms, mean %.2f ms, max %.2f ms\n"
+      "plan cache: %llu hits / %llu misses (%.0f%% hit rate)\n"
+      "result cache: %llu replays (%.0f%% of completed)\n"
+      "warm starts: %llu runs reused %llu edge weights\n"
+      "optimizer: %llu edges executed, sampling %.1f ms, execution %.1f ms",
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(failed), wall_seconds, qps(), p50_ms,
+      p95_ms, mean_ms, max_ms,
+      static_cast<unsigned long long>(plan_cache_hits),
+      static_cast<unsigned long long>(plan_cache_misses),
+      100 * plan_hit_rate(),
+      static_cast<unsigned long long>(result_cache_hits),
+      100 * result_hit_rate(),
+      static_cast<unsigned long long>(warm_started_runs),
+      static_cast<unsigned long long>(warm_started_weights),
+      static_cast<unsigned long long>(edges_executed), sampling_ms,
+      execution_ms);
+  return buf;
+}
+
+Engine::Engine(Corpus corpus, EngineOptions options)
+    : corpus_(std::move(corpus)),
+      options_(options),
+      cache_(options.cache_capacity),
+      pool_(options.num_threads) {}
+
+Engine::~Engine() = default;
+
+std::future<QueryResult> Engine::Submit(std::string query_text) {
+  uint64_t seq = next_sequence_.fetch_add(1);
+  return pool_.Async([this, text = std::move(query_text), seq]() {
+    return Execute(text, seq);
+  });
+}
+
+QueryResult Engine::Run(std::string query_text) {
+  return Execute(query_text, next_sequence_.fetch_add(1));
+}
+
+std::vector<QueryResult> Engine::RunBatch(
+    const std::vector<std::string>& queries, size_t concurrency) {
+  if (concurrency == 0 || concurrency > pool_.num_threads()) {
+    concurrency = pool_.num_threads();
+  }
+  // Bounds the number of in-flight batch queries to `concurrency`.
+  std::counting_semaphore<> limiter(static_cast<std::ptrdiff_t>(concurrency));
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(queries.size());
+  for (const std::string& q : queries) {
+    // Sequence numbers are assigned here, in input order, so a batch is
+    // reproducible regardless of how the pool interleaves execution.
+    uint64_t seq = next_sequence_.fetch_add(1);
+    limiter.acquire();
+    futures.push_back(pool_.Async([this, &q, seq, &limiter]() {
+      // RAII so the slot frees even if Execute throws.
+      struct Slot {
+        std::counting_semaphore<>* limiter;
+        ~Slot() { limiter->release(); }
+      } slot{&limiter};
+      return Execute(q, seq);
+    }));
+  }
+  std::vector<QueryResult> out;
+  out.reserve(queries.size());
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
+  StopWatch watch;
+  QueryResult out;
+  out.sequence = seq;
+
+  const std::string key = QueryCache::Normalize(text);
+  std::shared_ptr<const xq::CompiledQuery> compiled;
+  std::vector<double> warm_weights;
+  bool have_warm = false;
+
+  if (options_.enable_cache) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (CacheEntry* entry = cache_.Lookup(key)) {
+      out.plan_cache_hit = true;
+      compiled = entry->compiled;
+      if (options_.cache_results && entry->result != nullptr) {
+        out.compiled = compiled;
+        out.items = entry->result;
+        out.result_doc =
+            compiled->graph.vertex(compiled->return_vertex).doc;
+        out.result_cache_hit = true;
+        out.wall_ms = watch.ElapsedMillis();
+        stats_.Record({.latency_ms = out.wall_ms,
+                       .plan_cache_hit = true,
+                       .result_cache_hit = true});
+        return out;
+      }
+      if (options_.warm_start && !entry->warm_edge_weights.empty()) {
+        warm_weights = entry->warm_edge_weights;  // copy out under lock
+        have_warm = true;
+      }
+    }
+  }
+
+  bool compiled_now = false;
+  if (compiled == nullptr) {
+    auto result = xq::CompileXQuery(corpus_, text, options_.compile);
+    if (!result.ok()) {
+      out.status = result.status();
+      out.wall_ms = watch.ElapsedMillis();
+      stats_.Record({.latency_ms = out.wall_ms,
+                     .failed = true,
+                     .plan_cache_miss = true});
+      return out;
+    }
+    compiled =
+        std::make_shared<const xq::CompiledQuery>(std::move(*result));
+    compiled_now = true;
+    if (options_.enable_cache) {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      // A concurrent miss on the same query may have raced us here and
+      // already run to completion — never replace an entry that exists,
+      // or its learned weights, memoized result and hit count are lost.
+      if (cache_.Lookup(key, /*count_hit=*/false) == nullptr) {
+        cache_.Insert(key, CacheEntry{compiled, {}, nullptr});
+      }
+    }
+  }
+  out.compiled = compiled;
+  out.result_doc = compiled->graph.vertex(compiled->return_vertex).doc;
+
+  RoxOptions rox = options_.rox;
+  rox.seed = MixSeed(options_.rox.seed, seq);
+  std::vector<double> learned;
+  RoxStats rox_stats;
+  auto items = xq::RunXQuery(corpus_, *compiled, rox, &rox_stats,
+                             have_warm ? &warm_weights : nullptr, &learned);
+  out.rox_stats = rox_stats;
+  out.warm_started = rox_stats.warm_started_weights > 0;
+  if (!items.ok()) {
+    out.status = items.status();
+    out.wall_ms = watch.ElapsedMillis();
+    stats_.Record({.latency_ms = out.wall_ms,
+                   .failed = true,
+                   .plan_cache_hit = out.plan_cache_hit,
+                   .plan_cache_miss = compiled_now});
+    return out;
+  }
+  out.items = std::make_shared<const std::vector<Pre>>(std::move(*items));
+
+  if (options_.enable_cache) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    CacheEntry* entry = cache_.Lookup(key, /*count_hit=*/false);
+    if (entry == nullptr) {
+      // Evicted while we ran; re-insert so the work is not lost.
+      entry = cache_.Insert(key, CacheEntry{compiled, {}, nullptr});
+    }
+    entry->warm_edge_weights = std::move(learned);
+    if (options_.cache_results) entry->result = out.items;
+  }
+
+  out.wall_ms = watch.ElapsedMillis();
+  stats_.Record({.latency_ms = out.wall_ms,
+                 .plan_cache_hit = out.plan_cache_hit,
+                 .plan_cache_miss = compiled_now,
+                 .rox = &rox_stats});
+  return out;
+}
+
+std::vector<QueryCache::Listing> Engine::CacheContents() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.List();
+}
+
+size_t Engine::CacheSize() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.size();
+}
+
+uint64_t Engine::CacheEvictions() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.evictions();
+}
+
+void Engine::ClearCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_.Clear();
+}
+
+}  // namespace rox::engine

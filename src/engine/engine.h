@@ -1,0 +1,142 @@
+// The concurrent query engine: a session layer over the single-query
+// ROX pipeline (parse -> compile -> run-time optimize -> plan tail).
+//
+// An Engine owns
+//   * an immutable Corpus, shared read-only by every in-flight query —
+//     immutability is what makes lock-free sharing sound: compilation
+//     only *looks up* names/literals in the string pool (see
+//     xq::CompileXQuery) and execution reads documents and indexes,
+//   * a fixed ThreadPool executing submitted queries,
+//   * an LRU QueryCache keyed by normalized query text, holding the
+//     compiled Join Graph, the edge weights learned by prior runs
+//     (warm-starting ROX's Phase 1, RoxOptions::use_warm_start), and
+//     optionally the final result sequence,
+//   * a StatsCollector aggregating latency/cache/optimizer statistics.
+//
+// Every in-flight query gets its own RoxState and an independently
+// seeded RNG stream (base seed mixed with the query's sequence number),
+// so concurrent runs never share mutable state. Result sequences are
+// deterministic regardless of seed or thread interleaving: ROX's join
+// order affects only performance, and the plan tail sorts in document
+// order.
+
+#ifndef ROX_ENGINE_ENGINE_H_
+#define ROX_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/engine_stats.h"
+#include "engine/query_cache.h"
+#include "index/corpus.h"
+#include "rox/options.h"
+#include "xq/compile.h"
+
+namespace rox::engine {
+
+struct EngineOptions {
+  // Worker threads of the owned pool. RunBatch can run at any
+  // concurrency up to this.
+  size_t num_threads = 8;
+
+  // LRU entries of the query cache; 0 behaves as 1.
+  size_t cache_capacity = 256;
+
+  // Master switch for the query cache (plans, weights, results).
+  bool enable_cache = true;
+
+  // Feed the edge weights learned by a prior run of the same query
+  // back into ROX's Phase 1 (also gated by rox.use_warm_start).
+  bool warm_start = true;
+
+  // Replay the memoized final item sequence for a repeated query
+  // without running it. Sound because the corpus is immutable.
+  bool cache_results = true;
+
+  // Base per-query optimizer options; each query's seed is derived
+  // from rox.seed and the query's sequence number.
+  RoxOptions rox;
+  xq::CompileOptions compile;
+};
+
+// Everything one query produced.
+struct QueryResult {
+  Status status = Status::Ok();
+  // The compiled query (shared with the cache); null on compile errors.
+  std::shared_ptr<const xq::CompiledQuery> compiled;
+  // The result node sequence; null on any error.
+  std::shared_ptr<const std::vector<Pre>> items;
+  // Document of the result items (the return variable's document).
+  DocId result_doc = kInvalidDocId;
+  // Optimizer statistics (zeroed for result-cache hits: nothing ran).
+  RoxStats rox_stats;
+  bool plan_cache_hit = false;
+  bool result_cache_hit = false;
+  bool warm_started = false;
+  double wall_ms = 0;
+  // Engine-assigned sequence number (also the query's RNG stream id).
+  uint64_t sequence = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
+class Engine {
+ public:
+  // Takes ownership of the corpus; it is frozen from here on.
+  explicit Engine(Corpus corpus, EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const Corpus& corpus() const { return corpus_; }
+  const EngineOptions& options() const { return options_; }
+
+  // Asynchronous execution on the owned pool.
+  std::future<QueryResult> Submit(std::string query_text);
+
+  // Synchronous execution on the calling thread (same cache/stats).
+  QueryResult Run(std::string query_text);
+
+  // Executes `queries` with at most `concurrency` in flight at a time
+  // (0 = pool size; capped at the pool size) and returns results in
+  // input order. Blocks until the whole batch is done.
+  std::vector<QueryResult> RunBatch(const std::vector<std::string>& queries,
+                                    size_t concurrency = 0);
+
+  // Statistics snapshot / reset (reset also restarts the qps clock).
+  EngineStats Stats() const { return stats_.Snapshot(); }
+  void ResetStats() { stats_.Reset(); }
+
+  // Cache inspection (the shell's \cache command).
+  std::vector<QueryCache::Listing> CacheContents() const;
+  size_t CacheSize() const;
+  uint64_t CacheEvictions() const;
+  void ClearCache();
+
+ private:
+  QueryResult Execute(const std::string& text, uint64_t seq);
+
+  Corpus corpus_;
+  EngineOptions options_;
+  StatsCollector stats_;
+
+  mutable std::mutex cache_mu_;
+  QueryCache cache_;
+
+  std::atomic<uint64_t> next_sequence_{0};
+
+  // Declared last: destroyed first, so workers drain while the corpus,
+  // cache and stats above are still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace rox::engine
+
+#endif  // ROX_ENGINE_ENGINE_H_

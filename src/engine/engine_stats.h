@@ -1,0 +1,166 @@
+// Aggregated statistics of an Engine: query counts, cache efficiency,
+// and a latency distribution (p50/p95) suitable for throughput
+// benchmarking and the shell's \stats command.
+//
+// StatsCollector is the thread-safe accumulator the Engine records
+// into; EngineStats is the immutable snapshot handed to callers.
+
+#ifndef ROX_ENGINE_ENGINE_STATS_H_
+#define ROX_ENGINE_ENGINE_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "rox/state.h"
+
+namespace rox::engine {
+
+struct EngineStats {
+  uint64_t completed = 0;  // queries finished successfully
+  uint64_t failed = 0;     // parse/compile/run errors
+
+  // Plan cache: hits found a compiled query under the normalized text.
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  // Result cache: hits served the final item sequence without running.
+  uint64_t result_cache_hits = 0;
+  // Runs that adopted at least one cached edge weight (skipped that
+  // part of Phase 1 sampling).
+  uint64_t warm_started_runs = 0;
+  uint64_t warm_started_weights = 0;
+
+  // Sums over all executed (non-result-cached) runs.
+  uint64_t edges_executed = 0;
+  double sampling_ms = 0;
+  double execution_ms = 0;
+
+  // Latency distribution over all finished queries (cache hits
+  // included — a hit's latency is real service latency).
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double mean_ms = 0;
+  double max_ms = 0;
+
+  // Wall-clock seconds since engine start (or ResetStats).
+  double wall_seconds = 0;
+
+  uint64_t total() const { return completed + failed; }
+  double qps() const {
+    return wall_seconds > 0 ? static_cast<double>(completed) / wall_seconds
+                            : 0.0;
+  }
+  double plan_hit_rate() const {
+    uint64_t lookups = plan_cache_hits + plan_cache_misses;
+    return lookups > 0 ? static_cast<double>(plan_cache_hits) / lookups : 0.0;
+  }
+  double result_hit_rate() const {
+    return completed > 0 ? static_cast<double>(result_cache_hits) / completed
+                         : 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+// What one finished query reports back to the collector.
+struct QueryRecord {
+  double latency_ms = 0;
+  bool failed = false;
+  bool plan_cache_hit = false;
+  bool plan_cache_miss = false;  // a compile happened
+  bool result_cache_hit = false;
+  const RoxStats* rox = nullptr;  // null for result-cache hits / failures
+};
+
+class StatsCollector {
+ public:
+  StatsCollector() = default;
+
+  void Record(const QueryRecord& r) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (r.failed) {
+      ++counters_.failed;
+    } else {
+      ++counters_.completed;
+    }
+    counters_.plan_cache_hits += r.plan_cache_hit ? 1 : 0;
+    counters_.plan_cache_misses += r.plan_cache_miss ? 1 : 0;
+    counters_.result_cache_hits += r.result_cache_hit ? 1 : 0;
+    if (r.rox != nullptr) {
+      counters_.edges_executed += r.rox->edges_executed;
+      counters_.warm_started_weights += r.rox->warm_started_weights;
+      counters_.warm_started_runs += r.rox->warm_started_weights > 0 ? 1 : 0;
+      counters_.sampling_ms += r.rox->sampling_time.TotalMillis();
+      counters_.execution_ms += r.rox->execution_time.TotalMillis();
+    }
+    if (!r.failed) RecordLatency(r.latency_ms);
+  }
+
+  EngineStats Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    EngineStats out = counters_;
+    out.wall_seconds = since_reset_.ElapsedSeconds();
+    if (!latencies_ms_.empty()) {
+      std::vector<double> sorted = latencies_ms_;
+      std::sort(sorted.begin(), sorted.end());
+      out.p50_ms = Quantile(sorted, 0.50);
+      out.p95_ms = Quantile(sorted, 0.95);
+      out.max_ms = sorted.back();
+      double sum = 0;
+      for (double v : sorted) sum += v;
+      out.mean_ms = sum / static_cast<double>(sorted.size());
+    }
+    return out;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_ = {};
+    latencies_ms_.clear();
+    latencies_seen_ = 0;
+    since_reset_.Restart();
+  }
+
+  // Nearest-rank quantile of an ascending-sorted sample.
+  static double Quantile(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0;
+    double rank = q * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  }
+
+ private:
+  // Latency samples are kept in a bounded reservoir (Vitter's
+  // Algorithm R): a long-running engine serves unbounded query counts,
+  // so storing every latency — and copy-sorting it per Snapshot —
+  // would grow without limit. Up to kMaxLatencySamples the percentiles
+  // are exact; beyond that they are over a uniform sample.
+  static constexpr size_t kMaxLatencySamples = 65536;
+
+  void RecordLatency(double ms) {
+    ++latencies_seen_;
+    if (latencies_ms_.size() < kMaxLatencySamples) {
+      latencies_ms_.push_back(ms);
+      return;
+    }
+    uint64_t slot = reservoir_rng_.Below(latencies_seen_);
+    if (slot < kMaxLatencySamples) latencies_ms_[slot] = ms;
+  }
+
+  mutable std::mutex mu_;
+  EngineStats counters_;  // latency/wall fields unused here
+  std::vector<double> latencies_ms_;
+  uint64_t latencies_seen_ = 0;
+  Rng reservoir_rng_{0x5747ca7515ULL};  // fixed seed: stats stay reproducible
+  StopWatch since_reset_;
+};
+
+}  // namespace rox::engine
+
+#endif  // ROX_ENGINE_ENGINE_STATS_H_

@@ -1,0 +1,75 @@
+#include "engine/query_cache.h"
+
+namespace rox::engine {
+
+std::string QueryCache::Normalize(std::string_view query) {
+  std::string out;
+  out.reserve(query.size());
+  char quote = 0;      // inside "..." or '...' when non-zero
+  bool pending = false;  // a whitespace run is waiting to be emitted
+  for (char c : query) {
+    if (quote != 0) {
+      out.push_back(c);
+      if (c == quote) quote = 0;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      if (pending && !out.empty()) out.push_back(' ');
+      pending = false;
+      out.push_back(c);
+      quote = c;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      pending = true;
+      continue;
+    }
+    if (pending && !out.empty()) out.push_back(' ');
+    pending = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+CacheEntry* QueryCache::Lookup(const std::string& key, bool count_hit) {
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  CacheEntry& e = lru_.front().entry;
+  if (count_hit) ++e.hits;
+  return &e;
+}
+
+CacheEntry* QueryCache::Insert(const std::string& key, CacheEntry entry) {
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    lru_.front().entry = std::move(entry);
+    return &lru_.front().entry;
+  }
+  lru_.push_front(Node{key, std::move(entry)});
+  by_key_.emplace(key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    by_key_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return &lru_.front().entry;
+}
+
+void QueryCache::Clear() {
+  lru_.clear();
+  by_key_.clear();
+}
+
+std::vector<QueryCache::Listing> QueryCache::List() const {
+  std::vector<Listing> out;
+  out.reserve(lru_.size());
+  for (const Node& n : lru_) {
+    out.push_back(Listing{n.key, n.entry.hits, !n.entry.warm_edge_weights.empty(),
+                          n.entry.result != nullptr});
+  }
+  return out;
+}
+
+}  // namespace rox::engine

@@ -1,0 +1,91 @@
+// LRU cache of compiled queries keyed by normalized query text.
+//
+// An entry carries (1) the immutable compiled Join Graph, shared by any
+// number of concurrent executions, (2) the edge weights the last
+// completed run learned — fed back as RoxOptions::warm_edge_weights so
+// a repeated query skips re-sampling what a prior run already measured
+// (the amortization argued for by Berkholz et al. for repeated queries
+// under a fixed database), and (3) optionally the final result
+// sequence, which is sound to replay verbatim because the engine's
+// corpus is immutable.
+//
+// The cache is NOT thread-safe: the Engine serializes access with its
+// own mutex and copies what an execution needs out under that lock.
+
+#ifndef ROX_ENGINE_QUERY_CACHE_H_
+#define ROX_ENGINE_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/node.h"
+#include "xq/compile.h"
+
+namespace rox::engine {
+
+struct CacheEntry {
+  std::shared_ptr<const xq::CompiledQuery> compiled;
+  // Learned per-edge weights of the last completed run (indexed by the
+  // compiled graph's edge ids); empty until a run finishes.
+  std::vector<double> warm_edge_weights;
+  // Final item sequence of the last completed run; null until then or
+  // when result caching is disabled.
+  std::shared_ptr<const std::vector<Pre>> result;
+  uint64_t hits = 0;
+};
+
+class QueryCache {
+ public:
+  explicit QueryCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Collapses whitespace runs to single spaces and trims, so layout
+  // variants of one query share a cache entry. Quoted literals are left
+  // untouched (whitespace inside "..."/'...' is significant).
+  static std::string Normalize(std::string_view query);
+
+  // Returns the entry for `key` and marks it most-recently-used, or
+  // nullptr. The pointer stays valid until the next Insert/Clear.
+  // `count_hit` is false for internal bookkeeping lookups (e.g. storing
+  // learned weights back after a run) that should not inflate the
+  // entry's hit counter.
+  CacheEntry* Lookup(const std::string& key, bool count_hit = true);
+
+  // Inserts (or replaces) the entry for `key`, evicting the least-
+  // recently-used entry if over capacity. Returns the stored entry.
+  CacheEntry* Insert(const std::string& key, CacheEntry entry);
+
+  void Clear();
+
+  size_t size() const { return lru_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t evictions() const { return evictions_; }
+
+  // One row of the shell's \cache listing, most-recently-used first.
+  struct Listing {
+    std::string key;
+    uint64_t hits = 0;
+    bool has_weights = false;
+    bool has_result = false;
+  };
+  std::vector<Listing> List() const;
+
+ private:
+  struct Node {
+    std::string key;
+    CacheEntry entry;
+  };
+
+  size_t capacity_;
+  uint64_t evictions_ = 0;
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Node>::iterator> by_key_;
+};
+
+}  // namespace rox::engine
+
+#endif  // ROX_ENGINE_QUERY_CACHE_H_

@@ -112,7 +112,12 @@ Result<RoxResult> RoxOptimizer::Run() {
 
   RoxResult out;
   ROX_ASSIGN_OR_RETURN(out.table, state_->AssembleFinal(&out.columns));
+  out.IndexColumns();
   out.stats = state_->stats();
+  out.final_edge_weights.reserve(graph_.EdgeCount());
+  for (EdgeId e = 0; e < graph_.EdgeCount(); ++e) {
+    out.final_edge_weights.push_back(state_->estate(e).weight);
+  }
   return out;
 }
 

@@ -9,7 +9,9 @@
 #ifndef ROX_ROX_OPTIMIZER_H_
 #define ROX_ROX_OPTIMIZER_H_
 
+#include <algorithm>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -28,15 +30,49 @@ struct RoxResult {
   ResultTable table;
   std::vector<VertexId> columns;
   RoxStats stats;
+  // w(e) as each edge last estimated it before execution — the learned
+  // weights. An engine cache can feed them back into a later run of the
+  // same graph via RoxOptions::warm_edge_weights (<0: never weighted).
+  std::vector<double> final_edge_weights;
 
   // Convenience: index of vertex `v`'s column, or npos.
   static constexpr size_t npos = static_cast<size_t>(-1);
   size_t ColumnOf(VertexId v) const {
+    if (column_index_.size() == columns.size()) {
+      auto it = std::lower_bound(
+          column_index_.begin(), column_index_.end(),
+          std::make_pair(v, static_cast<size_t>(0)),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      // The mapped-back check keeps lookups correct even if `columns`
+      // was mutated in place without IndexColumns() (the index is then
+      // stale but same-sized); such lookups fall through to the scan.
+      if (it != column_index_.end() && it->first == v &&
+          it->second < columns.size() && columns[it->second] == v) {
+        return it->second;
+      }
+    }
+    // Hand-built or stale-indexed results: linear scan.
     for (size_t i = 0; i < columns.size(); ++i) {
       if (columns[i] == v) return i;
     }
     return npos;
   }
+
+  // (Re)builds the sorted vertex -> column index behind ColumnOf.
+  // RoxOptimizer::Run calls this; call it again after mutating
+  // `columns` by hand.
+  void IndexColumns() {
+    column_index_.clear();
+    column_index_.reserve(columns.size());
+    for (size_t i = 0; i < columns.size(); ++i) {
+      column_index_.emplace_back(columns[i], i);
+    }
+    std::sort(column_index_.begin(), column_index_.end());
+  }
+
+ private:
+  // Sorted by vertex id; kept in sync with `columns` by IndexColumns().
+  std::vector<std::pair<VertexId, size_t>> column_index_;
 };
 
 class RoxOptimizer {

@@ -6,6 +6,7 @@
 #define ROX_ROX_OPTIONS_H_
 
 #include <cstdint>
+#include <vector>
 
 namespace rox {
 
@@ -49,6 +50,18 @@ struct RoxOptions {
   // much smaller intermediates — useful for cheap result-size
   // estimation; 0 disables (exact execution).
   double approximate_fraction = 0.0;
+
+  // Warm start (the engine's plan/weight cache). When `warm_edge_weights`
+  // is non-null, `use_warm_start` is true, and the vector is sized to the
+  // graph's edge count, Phase 1 adopts each cached entry >= 0 as the
+  // edge's initial weight instead of estimating it by sampled execution —
+  // reusing the weights a previous run of the same query learned.
+  // Ablation: set `use_warm_start` to false to always pay the full
+  // Phase 1 sampling cost even when cached weights are available.
+  // Warm starting never changes the query result, only which join order
+  // is explored first (see DESIGN.md §5/§6).
+  bool use_warm_start = true;
+  const std::vector<double>* warm_edge_weights = nullptr;
 
   // Seed for all sampling randomness; a fixed seed makes runs exactly
   // reproducible.

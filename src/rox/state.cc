@@ -169,8 +169,24 @@ void RoxState::InitializeSamplesAndWeights() {
         break;
     }
   }
+  const std::vector<double>* warm =
+      options_.use_warm_start ? options_.warm_edge_weights : nullptr;
+  if (warm != nullptr && warm->size() != graph_.EdgeCount()) warm = nullptr;
   for (EdgeId e = 0; e < graph_.EdgeCount(); ++e) {
-    edges_[e].weight = EstimateCardinalityLocked(e);
+    // Adopt a cached weight only where a cold Phase 1 would have
+    // estimated one: edges with at least one index-selectable (sampled)
+    // endpoint. Interior edges carry *final* weights from the prior run
+    // — post-reduction cardinalities so small that MinWeightEdge would
+    // schedule them before either endpoint can be materialized.
+    const Edge& edge = graph_.edge(e);
+    bool phase1_weightable = graph_.vertex(edge.v1).IndexSelectable() ||
+                             graph_.vertex(edge.v2).IndexSelectable();
+    if (warm != nullptr && (*warm)[e] >= 0 && phase1_weightable) {
+      edges_[e].weight = (*warm)[e];
+      ++stats_.warm_started_weights;
+    } else {
+      edges_[e].weight = EstimateCardinalityLocked(e);
+    }
   }
 }
 

@@ -44,6 +44,9 @@ struct RoxStats {
 
   uint64_t edges_executed = 0;
   uint64_t chain_sample_calls = 0;
+  // Edges whose initial weight came from RoxOptions::warm_edge_weights
+  // instead of Phase 1 sampling.
+  uint64_t warm_started_weights = 0;
   // Timed operator selections performed (§6 extension) and how often
   // they overrode the default (smaller-input / hash-join) choice.
   uint64_t operator_selections = 0;

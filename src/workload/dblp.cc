@@ -248,9 +248,19 @@ Result<Corpus> GenerateDblpCorpus(const DblpGenOptions& options) {
 
 Result<Corpus> GenerateDblpCorpus(const DblpGenOptions& options,
                                   const std::vector<int>& doc_indices) {
-  Pools pools = BuildPools(options);
   Corpus corpus;
+  ROX_RETURN_IF_ERROR(
+      AddDblpDocuments(corpus, options, doc_indices).status());
+  return corpus;
+}
+
+Result<std::vector<DocId>> AddDblpDocuments(
+    Corpus& corpus, const DblpGenOptions& options,
+    const std::vector<int>& doc_indices) {
+  Pools pools = BuildPools(options);
   const std::vector<DblpDocSpec>& specs = Table3Documents();
+  std::vector<DocId> out;
+  out.reserve(doc_indices.size());
   for (int idx : doc_indices) {
     if (idx < 0 || idx >= static_cast<int>(specs.size())) {
       return Status::InvalidArgument(StrCat("bad document index ", idx));
@@ -263,15 +273,17 @@ Result<Corpus> GenerateDblpCorpus(const DblpGenOptions& options,
         GenerateArticles(specs[idx], pools, options, rng);
     if (options.via_xml_text) {
       std::string xml = GenerateDocXml(specs[idx], articles, options);
-      ROX_RETURN_IF_ERROR(corpus.AddXml(xml, specs[idx].name).status());
+      ROX_ASSIGN_OR_RETURN(DocId id, corpus.AddXml(xml, specs[idx].name));
+      out.push_back(id);
     } else {
       ROX_ASSIGN_OR_RETURN(
           std::unique_ptr<Document> doc,
           GenerateDocDirect(specs[idx], articles, options, corpus.pool()));
-      ROX_RETURN_IF_ERROR(corpus.Add(std::move(doc)).status());
+      ROX_ASSIGN_OR_RETURN(DocId id, corpus.Add(std::move(doc)));
+      out.push_back(id);
     }
   }
-  return corpus;
+  return out;
 }
 
 DblpQueryGraph BuildDblpJoinGraph(const Corpus& corpus,

@@ -103,6 +103,16 @@ Result<Corpus> GenerateDblpCorpus(const DblpGenOptions& options);
 Result<Corpus> GenerateDblpCorpus(const DblpGenOptions& options,
                                   const std::vector<int>& doc_indices);
 
+// Adds the given Table 3 documents to an existing corpus (which may
+// already hold other documents, e.g. an XMark document — the engine
+// benches serve mixed workloads from one shared corpus). Document
+// content is identical to GenerateDblpCorpus's: each document's RNG is
+// derived from the seed and the document identity alone. Returns the
+// assigned DocIds in doc_indices order.
+Result<std::vector<DocId>> AddDblpDocuments(Corpus& corpus,
+                                            const DblpGenOptions& options,
+                                            const std::vector<int>& doc_indices);
+
 // --- the 4-way author query of §4.1 -----------------------------------------
 
 // Join Graph of the DBLP query template (Figure 4): per document a

@@ -26,6 +26,14 @@ using StringId = uint32_t;
 inline constexpr StringId kInvalidStringId =
     std::numeric_limits<StringId>::max();
 
+// A reserved id guaranteed never to be interned: index lookups with it
+// are empty and name comparisons are always false. Distinct from
+// kInvalidStringId, which the step-execution layer (StepSpec) reads as
+// "no name restriction" — the exact opposite. The read-only query
+// compiler maps names the corpus has never seen to this id so they
+// correctly match nothing.
+inline constexpr StringId kNoSuchStringId = kInvalidStringId - 1;
+
 // Append-only intern table. Not thread-safe; callers own synchronization.
 class StringPool {
  public:

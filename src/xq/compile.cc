@@ -13,7 +13,7 @@ namespace {
 // vertices, variable bindings.
 class Compiler {
  public:
-  Compiler(Corpus& corpus, const CompileOptions& options)
+  Compiler(const Corpus& corpus, const CompileOptions& options)
       : corpus_(corpus), options_(options) {}
 
   Result<CompiledQuery> Run(const AstQuery& q) {
@@ -93,6 +93,16 @@ class Compiler {
     return cur;
   }
 
+  // Find, not Intern: compilation never mutates the shared pool. A name
+  // the corpus has never seen maps to kNoSuchStringId, which stays
+  // index-selectable (with an empty lookup, so ROX sees cardinality 0)
+  // and never matches a node — kInvalidStringId would instead mean "no
+  // name restriction" to the step executor.
+  StringId FindName(std::string_view name) const {
+    StringId id = corpus_.Find(name);
+    return id == kInvalidStringId ? kNoSuchStringId : id;
+  }
+
   // Adds the vertex + step edge for one location step out of `from`.
   Result<VertexId> AddStepVertex(VertexId from, const AstStep& step,
                                  const ValuePredicate& pred) {
@@ -100,7 +110,7 @@ class Compiler {
     VertexId v = kInvalidVertexId;
     switch (step.test) {
       case AstStep::Test::kElement:
-        v = out_.graph.AddElement(doc, corpus_.Intern(step.name), step.name);
+        v = out_.graph.AddElement(doc, FindName(step.name), step.name);
         break;
       case AstStep::Test::kAnyElement:
         return Status::Unimplemented(
@@ -110,7 +120,7 @@ class Compiler {
         v = out_.graph.AddText(doc, pred, DescribeTextVertex(pred));
         break;
       case AstStep::Test::kAttribute:
-        v = out_.graph.AddAttribute(doc, corpus_.Intern(step.name), pred,
+        v = out_.graph.AddAttribute(doc, FindName(step.name), pred,
                                     StrCat("@", step.name));
         break;
     }
@@ -123,6 +133,9 @@ class Compiler {
       case ValuePredicate::Kind::kNone:
         return "text()";
       case ValuePredicate::Kind::kEquals:
+        if (pred.equals >= corpus_.string_pool().size()) {
+          return "text()=<unseen literal>";
+        }
         return StrCat("text()=", corpus_.string_pool().Get(pred.equals));
       case ValuePredicate::Kind::kRange:
         return "text() in range";
@@ -163,7 +176,7 @@ class Compiler {
   Result<ValuePredicate> MakeValuePredicate(const AstPredicate& pred) {
     CmpOp op = *pred.op;
     if (op == CmpOp::kEq) {
-      return ValuePredicate::Equals(corpus_.Intern(pred.literal));
+      return ValuePredicate::Equals(FindName(pred.literal));
     }
     if (op == CmpOp::kNe) {
       return Status::Unimplemented(
@@ -188,7 +201,7 @@ class Compiler {
     }
   }
 
-  Corpus& corpus_;
+  const Corpus& corpus_;
   const CompileOptions& options_;
   CompiledQuery out_;
   std::unordered_map<std::string, VertexId> roots_;
@@ -196,13 +209,15 @@ class Compiler {
 
 }  // namespace
 
-Result<CompiledQuery> CompileXQuery(Corpus& corpus, const AstQuery& query,
+Result<CompiledQuery> CompileXQuery(const Corpus& corpus,
+                                    const AstQuery& query,
                                     const CompileOptions& options) {
   Compiler compiler(corpus, options);
   return compiler.Run(query);
 }
 
-Result<CompiledQuery> CompileXQuery(Corpus& corpus, std::string_view text,
+Result<CompiledQuery> CompileXQuery(const Corpus& corpus,
+                                    std::string_view text,
                                     const CompileOptions& options) {
   ROX_ASSIGN_OR_RETURN(AstQuery ast, ParseXQuery(text));
   return CompileXQuery(corpus, ast, options);
@@ -215,6 +230,7 @@ void MergeStats(RoxStats& into, const RoxStats& from) {
   into.sampling_time.Merge(from.sampling_time);
   into.execution_time.Merge(from.execution_time);
   into.assembly_time.Merge(from.assembly_time);
+  into.warm_started_weights += from.warm_started_weights;
   into.edges_executed += from.edges_executed;
   into.chain_sample_calls += from.chain_sample_calls;
   into.chain_rounds += from.chain_rounds;
@@ -231,7 +247,16 @@ void MergeStats(RoxStats& into, const RoxStats& from) {
 Result<std::vector<Pre>> RunXQuery(const Corpus& corpus,
                                    const CompiledQuery& compiled,
                                    const RoxOptions& rox_options,
-                                   RoxStats* stats_out) {
+                                   RoxStats* stats_out,
+                                   const std::vector<double>* warm_edge_weights,
+                                   std::vector<double>* learned_weights_out) {
+  if (warm_edge_weights != nullptr &&
+      warm_edge_weights->size() != compiled.graph.EdgeCount()) {
+    warm_edge_weights = nullptr;  // stale cache entry: ignore
+  }
+  if (learned_weights_out != nullptr) {
+    learned_weights_out->assign(compiled.graph.EdgeCount(), -1.0);
+  }
   // A query whose for-variables are never joined produces a
   // disconnected graph; ROX optimizes each component separately (the
   // paper's isolated Join Graphs, §2.1) and the results combine as a
@@ -254,8 +279,24 @@ Result<std::vector<Pre>> RunXQuery(const Corpus& corpus,
       return Status::Unimplemented(
           "for-variable bound to a bare document root is not supported");
     }
-    RoxOptimizer rox(corpus, comp.graph, rox_options);
+    // Gather/scatter warm weights through the component's edge mapping.
+    RoxOptions comp_options = rox_options;
+    std::vector<double> comp_warm;
+    if (warm_edge_weights != nullptr) {
+      comp_warm.reserve(comp.orig_edge.size());
+      for (EdgeId orig : comp.orig_edge) {
+        comp_warm.push_back((*warm_edge_weights)[orig]);
+      }
+      comp_options.warm_edge_weights = &comp_warm;
+    }
+    RoxOptimizer rox(corpus, comp.graph, comp_options);
     ROX_ASSIGN_OR_RETURN(RoxResult result, rox.Run());
+    if (learned_weights_out != nullptr) {
+      for (EdgeId e = 0; e < comp.orig_edge.size(); ++e) {
+        (*learned_weights_out)[comp.orig_edge[e]] =
+            result.final_edge_weights[e];
+      }
+    }
     MergeStats(stats, result.stats);
     std::vector<VertexId> cols;
     for (VertexId v : result.columns) cols.push_back(comp.orig_vertex[v]);

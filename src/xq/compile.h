@@ -41,12 +41,19 @@ struct CompiledQuery {
 };
 
 // Compiles `query` against `corpus` (doc() urls are resolved against
-// document names; literals are interned into the corpus pool).
-Result<CompiledQuery> CompileXQuery(Corpus& corpus, const AstQuery& query,
+// document names). Compilation is strictly read-only on the corpus:
+// element/attribute names and value literals are *looked up* in the
+// string pool, never interned. A name or literal the corpus has never
+// seen cannot match any node, so it lowers to a vertex that is
+// correctly empty — this is what lets an engine share one immutable
+// corpus across concurrent compilations and executions without locks.
+Result<CompiledQuery> CompileXQuery(const Corpus& corpus,
+                                    const AstQuery& query,
                                     const CompileOptions& options = {});
 
 // Parses and compiles in one call.
-Result<CompiledQuery> CompileXQuery(Corpus& corpus, std::string_view text,
+Result<CompiledQuery> CompileXQuery(const Corpus& corpus,
+                                    std::string_view text,
                                     const CompileOptions& options = {});
 
 // Runs a compiled query through the ROX optimizer and applies the plan
@@ -54,10 +61,20 @@ Result<CompiledQuery> CompileXQuery(Corpus& corpus, std::string_view text,
 // duplicate bindings, sort in document order, and project onto the
 // return variable. Returns the result node sequence (one Pre per
 // result item; items stem from the return variable's document).
-Result<std::vector<Pre>> RunXQuery(const Corpus& corpus,
-                                   const CompiledQuery& compiled,
-                                   const RoxOptions& rox_options = {},
-                                   RoxStats* stats_out = nullptr);
+//
+// `warm_edge_weights`, when non-null and sized to
+// compiled.graph.EdgeCount(), warm-starts each connected component's
+// ROX run with the given per-edge weights (subject to
+// rox_options.use_warm_start; entries < 0 are estimated normally).
+// `learned_weights_out`, when non-null, receives the weights the run
+// learned, indexed by the compiled graph's edge ids (-1 for edges of
+// components that did not execute) — feed them back as
+// `warm_edge_weights` of the next run of the same compiled query.
+Result<std::vector<Pre>> RunXQuery(
+    const Corpus& corpus, const CompiledQuery& compiled,
+    const RoxOptions& rox_options = {}, RoxStats* stats_out = nullptr,
+    const std::vector<double>* warm_edge_weights = nullptr,
+    std::vector<double>* learned_weights_out = nullptr);
 
 }  // namespace rox::xq
 

@@ -1,0 +1,301 @@
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/query_cache.h"
+#include "workload/xmark.h"
+#include "xq/compile.h"
+
+namespace rox::engine {
+namespace {
+
+// --- QueryCache --------------------------------------------------------------
+
+TEST(QueryCacheTest, NormalizeCollapsesWhitespace) {
+  EXPECT_EQ(QueryCache::Normalize("for  $a\n in\t doc(\"d\")//x\n"),
+            "for $a in doc(\"d\")//x");
+  EXPECT_EQ(QueryCache::Normalize("  a  b  "), "a b");
+  EXPECT_EQ(QueryCache::Normalize(""), "");
+}
+
+TEST(QueryCacheTest, NormalizePreservesQuotedWhitespace) {
+  EXPECT_EQ(QueryCache::Normalize("doc(\"a  b\")  //x"), "doc(\"a  b\") //x");
+  EXPECT_EQ(QueryCache::Normalize("x = 'two  spaces'"), "x = 'two  spaces'");
+}
+
+TEST(QueryCacheTest, LruEvictsOldest) {
+  QueryCache cache(2);
+  cache.Insert("q1", {});
+  cache.Insert("q2", {});
+  EXPECT_NE(cache.Lookup("q1"), nullptr);  // q1 now most recent
+  cache.Insert("q3", {});                  // evicts q2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Lookup("q2"), nullptr);
+  EXPECT_NE(cache.Lookup("q1"), nullptr);
+  EXPECT_NE(cache.Lookup("q3"), nullptr);
+}
+
+TEST(QueryCacheTest, HitsCountedOnlyForRealLookups) {
+  QueryCache cache(4);
+  cache.Insert("q", {});
+  cache.Lookup("q", /*count_hit=*/false);
+  cache.Lookup("q");
+  auto listing = cache.List();
+  ASSERT_EQ(listing.size(), 1u);
+  EXPECT_EQ(listing[0].hits, 1u);
+}
+
+// --- Engine ------------------------------------------------------------------
+
+constexpr char kJoinQuery[] = R"(
+  for $b in doc("xmark.xml")//bidder//personref,
+      $p in doc("xmark.xml")//person
+  where $b/@person = $p/@id
+  return $p
+)";
+
+constexpr char kQ1Query[] = R"(
+  let $d := doc("xmark.xml")
+  for $o in $d//open_auction[.//current/text() < 145],
+      $p in $d//person[.//province],
+      $i in $d//item[./quantity = 1]
+  where $o//bidder//personref/@person = $p/@id and
+        $o//itemref/@item = $i/@id
+  return $o
+)";
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static Corpus MakeCorpus() {
+    Corpus corpus;
+    XmarkGenOptions gen;
+    gen.items = 400;
+    gen.persons = 500;
+    gen.open_auctions = 250;
+    auto id = GenerateXmarkDocument(corpus, gen);
+    EXPECT_TRUE(id.ok());
+    return corpus;
+  }
+
+  // Ground truth via the single-query pipeline.
+  static std::vector<Pre> Direct(const Corpus& corpus, const char* query) {
+    auto compiled = xq::CompileXQuery(corpus, query);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    RoxOptions rox;
+    rox.tau = 50;
+    auto result = xq::RunXQuery(corpus, *compiled, rox);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *result;
+  }
+};
+
+TEST_F(EngineTest, SingleQueryMatchesDirectPipeline) {
+  Corpus corpus = MakeCorpus();
+  std::vector<Pre> expected = Direct(corpus, kJoinQuery);
+  Engine engine(MakeCorpus());
+  QueryResult r = engine.Run(kJoinQuery);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(*r.items, expected);
+  EXPECT_FALSE(r.plan_cache_hit);
+  EXPECT_NE(r.compiled, nullptr);
+  EXPECT_EQ(r.result_doc, 0u);
+}
+
+// The satellite requirement: N identical queries through RunBatch on
+// >= 4 threads produce byte-identical results, and the second batch
+// runs against a warm cache.
+TEST_F(EngineTest, ConcurrentIdenticalQueriesAreDeterministic) {
+  Corpus reference = MakeCorpus();
+  std::vector<Pre> expected = Direct(reference, kJoinQuery);
+
+  EngineOptions options;
+  options.num_threads = 4;
+  options.rox.tau = 50;
+  Engine engine(MakeCorpus(), options);
+
+  std::vector<std::string> batch(12, kJoinQuery);
+  std::vector<QueryResult> first = engine.RunBatch(batch, 4);
+  ASSERT_EQ(first.size(), batch.size());
+  for (const QueryResult& r : first) {
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    EXPECT_EQ(*r.items, expected);  // identical element-for-element
+  }
+
+  std::vector<QueryResult> second = engine.RunBatch(batch, 4);
+  size_t warm_hits = 0;
+  for (const QueryResult& r : second) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r.items, expected);
+    warm_hits += r.plan_cache_hit ? 1 : 0;
+  }
+  // Every query of the second batch must find the cached plan.
+  EXPECT_EQ(warm_hits, batch.size());
+  EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GT(stats.plan_cache_hits, 0u);
+}
+
+TEST_F(EngineTest, ConcurrencySafeWithCacheDisabled) {
+  // Every run executes the full pipeline concurrently over the shared
+  // corpus with its own RNG stream; results must still be identical.
+  Corpus reference = MakeCorpus();
+  std::vector<Pre> expected = Direct(reference, kJoinQuery);
+
+  EngineOptions options;
+  options.num_threads = 4;
+  options.enable_cache = false;
+  options.rox.tau = 50;
+  Engine engine(MakeCorpus(), options);
+
+  std::vector<QueryResult> results =
+      engine.RunBatch(std::vector<std::string>(8, kJoinQuery), 4);
+  for (const QueryResult& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    EXPECT_EQ(*r.items, expected);
+    EXPECT_FALSE(r.plan_cache_hit);
+  }
+}
+
+TEST_F(EngineTest, ResultCacheReplaysWithoutExecution) {
+  EngineOptions options;
+  options.rox.tau = 50;
+  Engine engine(MakeCorpus(), options);
+
+  QueryResult cold = engine.Run(kJoinQuery);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.result_cache_hit);
+
+  QueryResult hot = engine.Run(kJoinQuery);
+  ASSERT_TRUE(hot.ok());
+  EXPECT_TRUE(hot.result_cache_hit);
+  EXPECT_TRUE(hot.plan_cache_hit);
+  // Replays share the memoized sequence, they do not recompute it.
+  EXPECT_EQ(hot.items.get(), cold.items.get());
+  EXPECT_EQ(hot.rox_stats.edges_executed, 0u);
+  EXPECT_EQ(engine.Stats().result_cache_hits, 1u);
+}
+
+TEST_F(EngineTest, WarmStartReusesLearnedWeights) {
+  EngineOptions options;
+  options.cache_results = false;  // force re-execution
+  options.rox.tau = 50;
+  Engine engine(MakeCorpus(), options);
+
+  QueryResult cold = engine.Run(kQ1Query);
+  ASSERT_TRUE(cold.ok()) << cold.status.ToString();
+  EXPECT_FALSE(cold.warm_started);
+
+  QueryResult warm = engine.Run(kQ1Query);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.plan_cache_hit);
+  EXPECT_FALSE(warm.result_cache_hit);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_GT(warm.rox_stats.warm_started_weights, 0u);
+  EXPECT_EQ(*warm.items, *cold.items);  // warm start never changes results
+
+  EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.warm_started_runs, 1u);
+}
+
+TEST_F(EngineTest, WarmStartAblationFlagDisablesReuse) {
+  EngineOptions options;
+  options.cache_results = false;
+  options.rox.tau = 50;
+  options.rox.use_warm_start = false;  // the DESIGN.md §5 ablation flag
+  Engine engine(MakeCorpus(), options);
+
+  ASSERT_TRUE(engine.Run(kQ1Query).ok());
+  QueryResult second = engine.Run(kQ1Query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.warm_started);
+  EXPECT_EQ(second.rox_stats.warm_started_weights, 0u);
+}
+
+TEST_F(EngineTest, WhitespaceVariantsShareOneCacheEntry) {
+  EngineOptions options;
+  options.rox.tau = 50;
+  Engine engine(MakeCorpus(), options);
+  ASSERT_TRUE(
+      engine.Run("for $i in doc(\"xmark.xml\")//item return $i").ok());
+  QueryResult r = engine.Run(
+      "for   $i in\n  doc(\"xmark.xml\")//item\n   return   $i");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.plan_cache_hit);
+  EXPECT_EQ(engine.CacheSize(), 1u);
+}
+
+TEST_F(EngineTest, CompileErrorsAreReportedAndCounted) {
+  Engine engine(MakeCorpus());
+  QueryResult r = engine.Run("this is not xquery");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(engine.Stats().failed, 1u);
+}
+
+TEST_F(EngineTest, UnknownNamesYieldEmptyResultsNotErrors) {
+  // Read-only compilation: a name the corpus never saw cannot match.
+  Engine engine(MakeCorpus());
+  QueryResult r =
+      engine.Run("for $x in doc(\"xmark.xml\")//nonexistent_tag return $x");
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.items->empty());
+}
+
+TEST_F(EngineTest, SubmitRunsAsynchronously) {
+  EngineOptions options;
+  options.rox.tau = 50;
+  Engine engine(MakeCorpus(), options);
+  auto f1 = engine.Submit(kJoinQuery);
+  auto f2 = engine.Submit(kJoinQuery);
+  QueryResult r1 = f1.get();
+  QueryResult r2 = f2.get();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1.items, *r2.items);
+  EXPECT_NE(r1.sequence, r2.sequence);
+}
+
+TEST_F(EngineTest, CacheEvictionKeepsServingCorrectResults) {
+  EngineOptions options;
+  options.cache_capacity = 1;  // every distinct query evicts the last
+  options.rox.tau = 50;
+  Engine engine(MakeCorpus(), options);
+  const char* queries[] = {
+      "for $i in doc(\"xmark.xml\")//item return $i",
+      "for $p in doc(\"xmark.xml\")//person return $p",
+  };
+  for (int round = 0; round < 2; ++round) {
+    for (const char* q : queries) {
+      QueryResult r = engine.Run(q);
+      ASSERT_TRUE(r.ok()) << r.status.ToString();
+      EXPECT_FALSE(r.items->empty());
+    }
+  }
+  EXPECT_EQ(engine.CacheSize(), 1u);
+  EXPECT_GT(engine.CacheEvictions(), 0u);
+}
+
+TEST_F(EngineTest, StatsPercentilesAndToString) {
+  EngineOptions options;
+  options.rox.tau = 50;
+  Engine engine(MakeCorpus(), options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.Run(kJoinQuery).ok());
+  }
+  EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_GT(stats.p50_ms, 0.0);
+  EXPECT_GE(stats.p95_ms, stats.p50_ms);
+  EXPECT_GE(stats.max_ms, stats.p95_ms);
+  EXPECT_GT(stats.qps(), 0.0);
+  EXPECT_NE(stats.ToString().find("plan cache"), std::string::npos);
+
+  engine.ResetStats();
+  EXPECT_EQ(engine.Stats().total(), 0u);
+}
+
+}  // namespace
+}  // namespace rox::engine

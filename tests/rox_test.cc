@@ -185,6 +185,78 @@ TEST(RoxOptimizerTest, StatsPopulated) {
   EXPECT_GT(s.execution_time.TotalNanos(), 0);
 }
 
+TEST(RoxResultTest, ColumnOfUsesSortedIndex) {
+  // Regression: ColumnOf was a linear scan; it is now backed by a
+  // sorted (vertex, column) index built by IndexColumns(). Vertex ids
+  // are deliberately unsorted and non-dense.
+  RoxResult result;
+  result.columns = {42, 7, 99, 0, 13};
+  // Without IndexColumns() the linear fallback must still be correct.
+  EXPECT_EQ(result.ColumnOf(99), 2u);
+  result.IndexColumns();
+  EXPECT_EQ(result.ColumnOf(42), 0u);
+  EXPECT_EQ(result.ColumnOf(7), 1u);
+  EXPECT_EQ(result.ColumnOf(99), 2u);
+  EXPECT_EQ(result.ColumnOf(0), 3u);
+  EXPECT_EQ(result.ColumnOf(13), 4u);
+  EXPECT_EQ(result.ColumnOf(1), RoxResult::npos);
+  EXPECT_EQ(result.ColumnOf(100), RoxResult::npos);
+  // Mutating columns and re-indexing keeps lookups in sync.
+  result.columns.push_back(55);
+  result.IndexColumns();
+  EXPECT_EQ(result.ColumnOf(55), 5u);
+  // Same-size in-place mutation without re-indexing must still be
+  // correct (the stale index entry fails its mapped-back check and the
+  // lookup falls through to the scan).
+  result.columns[2] = 77;
+  EXPECT_EQ(result.ColumnOf(77), 2u);
+  EXPECT_EQ(result.ColumnOf(99), RoxResult::npos);
+}
+
+TEST(RoxOptimizerTest, FinalEdgeWeightsWarmStartSecondRun) {
+  Corpus corpus = TinyCorpus();
+  DblpQueryGraph q = BuildDblpJoinGraph(corpus, {0, 1, 2, 3});
+  auto cold = RoxOptimizer(corpus, q.graph, {.tau = 4}).Run();
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->final_edge_weights.size(), q.graph.EdgeCount());
+  EXPECT_EQ(cold->stats.warm_started_weights, 0u);
+
+  RoxOptions warm_options{.tau = 4};
+  warm_options.warm_edge_weights = &cold->final_edge_weights;
+  auto warm = RoxOptimizer(corpus, q.graph, warm_options).Run();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GT(warm->stats.warm_started_weights, 0u);
+  // Warm starting changes only the sampling work, never the result.
+  EXPECT_EQ(warm->table.NumRows(), cold->table.NumRows());
+
+  // The ablation flag restores cold behavior.
+  warm_options.use_warm_start = false;
+  auto ablated = RoxOptimizer(corpus, q.graph, warm_options).Run();
+  ASSERT_TRUE(ablated.ok());
+  EXPECT_EQ(ablated->stats.warm_started_weights, 0u);
+}
+
+TEST(RoxOptimizerTest, WarmStartIgnoresInteriorEdgeWeights) {
+  // Regression: the learned weight of an *interior* edge (neither
+  // endpoint index-selectable — here the text()=text() equi-joins) is a
+  // post-reduction cardinality. Adopting it would make MinWeightEdge
+  // schedule that edge before either endpoint can be materialized
+  // ("neither endpoint is materializable"). Warm weights of zero on
+  // every edge are the adversarial case: interior edges tie for the
+  // minimum.
+  Corpus corpus = TinyCorpus();
+  DblpQueryGraph q = BuildDblpJoinGraph(corpus, {0, 1, 2, 3});
+  auto cold = RoxOptimizer(corpus, q.graph, {.tau = 4}).Run();
+  ASSERT_TRUE(cold.ok());
+
+  std::vector<double> adversarial(q.graph.EdgeCount(), 0.0);
+  RoxOptions warm_options{.tau = 4};
+  warm_options.warm_edge_weights = &adversarial;
+  auto warm = RoxOptimizer(corpus, q.graph, warm_options).Run();
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->table.NumRows(), cold->table.NumRows());
+}
+
 TEST(RoxOptimizerTest, ColumnsCoverJoinedVertices) {
   Corpus corpus = TinyCorpus();
   DblpQueryGraph q = BuildDblpJoinGraph(corpus, {0, 1, 2, 3});
