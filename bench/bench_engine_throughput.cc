@@ -15,7 +15,13 @@
 //
 //   $ ./bench_engine_throughput [--repeat=6] [--threads=16] [--tau=100]
 //        [--xmark_scale=0.4] [--dblp_tag_scale=0.2] [--isolate=0]
-//        [--skip_warm_sweep=0] [--seed=42]
+//        [--skip_warm_sweep=0] [--seed=42] [--num_shards=1]
+//        [--min_qps=0]
+//
+// Exit status: 0 only when every query of every level succeeded and
+// every level reached --min_qps queries/sec (so a CI smoke run fails
+// on broken flags or a silently failing workload instead of printing
+// a zero-throughput table and exiting 0).
 
 #include <cstdio>
 #include <memory>
@@ -107,6 +113,7 @@ struct LevelResult {
   size_t concurrency = 0;
   double wall_ms = 0;
   double qps = 0;
+  size_t failed = 0;
   engine::EngineStats stats;
 };
 
@@ -122,17 +129,17 @@ LevelResult RunLevel(engine::Engine& eng,
   out.wall_ms = watch.ElapsedMillis();
   out.qps = 1000.0 * static_cast<double>(workload.size()) / out.wall_ms;
   out.stats = eng.Stats();
-  size_t failed = 0, items = 0;
+  size_t items = 0;
   for (const auto& r : results) {
     if (!r.ok()) {
       std::fprintf(stderr, "query failed: %s\n", r.status.ToString().c_str());
-      ++failed;
+      ++out.failed;
     } else {
       items += r.items->size();
     }
   }
-  if (failed > 0) {
-    std::fprintf(stderr, "%zu of %zu queries failed\n", failed,
+  if (out.failed > 0) {
+    std::fprintf(stderr, "%zu of %zu queries failed\n", out.failed,
                  workload.size());
   }
   std::printf("  (checksum: %zu result items)\n", items);
@@ -165,10 +172,21 @@ int Main(int argc, char** argv) {
   const bool isolate = flags.GetBool("isolate", false);
   const bool skip_warm_sweep = flags.GetBool("skip_warm_sweep", false);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const size_t num_shards =
+      static_cast<size_t>(flags.GetInt("num_shards", 1));
+  const double min_qps = flags.GetDouble("min_qps", 0.0);
   flags.FailOnUnused();
 
   const std::vector<size_t> levels = {1, 4, 16};
   std::vector<std::string> workload = BuildWorkload(repeat, seed);
+  size_t total_failed = 0;
+  double slowest_qps = -1.0;
+  auto account = [&](const std::vector<LevelResult>& results) {
+    for (const LevelResult& lv : results) {
+      total_failed += lv.failed;
+      if (slowest_qps < 0 || lv.qps < slowest_qps) slowest_qps = lv.qps;
+    }
+  };
   std::printf(
       "mixed XMark+DBLP workload: %zu distinct queries x %d = %zu instances, "
       "pool of %zu threads\n",
@@ -181,6 +199,7 @@ int Main(int argc, char** argv) {
     engine::EngineOptions opts;
     opts.num_threads = threads;
     opts.cache_results = cache_results;
+    opts.num_shards = num_shards;
     opts.rox.tau = tau;
     opts.rox.seed = seed;
     return std::make_unique<engine::Engine>(std::move(corpus), opts);
@@ -203,6 +222,7 @@ int Main(int argc, char** argv) {
       }
       results.push_back(RunLevel(**eng, workload, c));
     }
+    account(results);
     PrintSweep(results);
     double speedup4 = results[1].qps / results[0].qps;
     std::printf("  -> %.2fx queries/sec at concurrency 4 vs 1 (%s)\n",
@@ -224,7 +244,18 @@ int Main(int argc, char** argv) {
       }
       results.push_back(RunLevel(**eng, workload, c));
     }
+    account(results);
     PrintSweep(results);
+  }
+
+  if (total_failed > 0) {
+    std::fprintf(stderr, "FAIL: %zu queries failed\n", total_failed);
+    return 1;
+  }
+  if (min_qps > 0 && slowest_qps < min_qps) {
+    std::fprintf(stderr, "FAIL: slowest level ran %.2f q/s < --min_qps=%.2f\n",
+                 slowest_qps, min_qps);
+    return 1;
   }
   return 0;
 }

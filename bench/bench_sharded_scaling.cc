@@ -1,0 +1,231 @@
+// Single-query scaling with sharded intra-query execution: sweeps the
+// shard count over {1, 2, 4, 8} (configurable) on the XMark workload
+// and reports the per-query wall time and the speedup over the 1-shard
+// run. 1 shard takes the exact pre-sharding code path, and every
+// level's result item sequence is compared against an unsharded
+// baseline run — the sweep measures wall-clock only, the results must
+// be bit-identical (the process exits 1 when they are not).
+//
+//   $ ./bench_sharded_scaling [--xmark_scale=1.0] [--shards=1,2,4,8]
+//        [--repeat=5] [--tau=100] [--seed=42] [--shard_threads=0]
+//        [--require_speedup=0] [--sample_shard=-1]
+//
+// --require_speedup=R additionally fails the run unless the 4-shard
+// level (or the largest level when 4 is not swept) reaches an RxB
+// speedup — used to gate multi-core performance runs; CI smoke runs
+// leave it off since shared runners have unpredictable core counts.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "index/sharded_corpus.h"
+#include "rox/options.h"
+#include "workload/xmark.h"
+#include "xq/compile.h"
+
+namespace rox::bench {
+namespace {
+
+std::vector<std::string> ScalingQueries() {
+  return {
+      // Q1: the cheap side of the price/bidder correlation.
+      R"(let $d := doc("xmark.xml")
+         for $o in $d//open_auction[.//current/text() < 145],
+             $p in $d//person[.//province],
+             $i in $d//item[./quantity = 1]
+         where $o//bidder//personref/@person = $p/@id and
+               $o//itemref/@item = $i/@id
+         return $o)",
+      // Qm1: the expensive side (the bidder route joins ~6x the rows).
+      R"(let $d := doc("xmark.xml")
+         for $o in $d//open_auction[.//current/text() > 145],
+             $p in $d//person[.//province],
+             $i in $d//item[./quantity = 1]
+         where $o//bidder//personref/@person = $p/@id and
+               $o//itemref/@item = $i/@id
+         return $o)",
+  };
+}
+
+struct QueryRun {
+  double best_ms = 0;
+  std::vector<Pre> items;
+  RoxStats stats;
+};
+
+// Runs `compiled` `repeat` times with the given sharding (null = the
+// unsharded pre-PR executor) and keeps the fastest run.
+Result<QueryRun> RunOne(const Corpus& corpus,
+                        const xq::CompiledQuery& compiled,
+                        const RoxOptions& base, const ShardedExec* sharded,
+                        int repeat) {
+  QueryRun out;
+  for (int r = 0; r < repeat; ++r) {
+    RoxOptions rox = base;
+    rox.sharded = sharded;
+    RoxStats stats;
+    StopWatch watch;
+    auto items = xq::RunXQuery(corpus, compiled, rox, &stats);
+    double ms = watch.ElapsedMillis();
+    ROX_RETURN_IF_ERROR(items.status());
+    if (r == 0 || ms < out.best_ms) {
+      out.best_ms = ms;
+      out.stats = stats;
+    }
+    if (r == 0) {
+      out.items = std::move(*items);
+    } else if (*items != out.items) {
+      return Status::Internal(
+          "result items differ between repeats of the same configuration");
+    }
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double xmark_scale = flags.GetDouble("xmark_scale", 1.0);
+  const std::vector<int64_t> shard_levels =
+      flags.GetIntList("shards", {1, 2, 4, 8});
+  const int repeat = static_cast<int>(flags.GetInt("repeat", 5));
+  const uint64_t tau = static_cast<uint64_t>(flags.GetInt("tau", 100));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const size_t shard_threads =
+      static_cast<size_t>(flags.GetInt("shard_threads", 0));
+  const double require_speedup = flags.GetDouble("require_speedup", 0.0);
+  const int sample_shard =
+      static_cast<int>(flags.GetInt("sample_shard", ShardedExec::kSampleUnion));
+  flags.FailOnUnused();
+  for (int64_t k : shard_levels) {
+    if (k < 1 || k > 1024) {
+      std::fprintf(stderr,
+                   "bad value for --shards: %lld (want 1..1024 per level)\n",
+                   static_cast<long long>(k));
+      return 2;
+    }
+  }
+  if (shard_threads > 64) {
+    std::fprintf(stderr, "bad value for --shard_threads: %zu (want <= 64)\n",
+                 shard_threads);
+    return 2;
+  }
+
+  Corpus corpus;
+  XmarkGenOptions gen;
+  gen.items = static_cast<uint32_t>(4350 * xmark_scale);
+  gen.persons = static_cast<uint32_t>(5100 * xmark_scale);
+  gen.open_auctions = static_cast<uint32_t>(2400 * xmark_scale);
+  auto doc = GenerateXmarkDocument(corpus, gen);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("XMark scale %.2f: %u nodes; %d repeats per level\n",
+              xmark_scale, corpus.doc(*doc).NodeCount(), repeat);
+
+  std::vector<std::string> queries = ScalingQueries();
+  std::vector<xq::CompiledQuery> compiled;
+  for (const std::string& q : queries) {
+    auto c = xq::CompileXQuery(corpus, q);
+    if (!c.ok()) {
+      std::fprintf(stderr, "compile: %s\n", c.status().ToString().c_str());
+      return 1;
+    }
+    compiled.push_back(std::move(*c));
+  }
+
+  RoxOptions rox;
+  rox.tau = tau;
+  rox.seed = seed;
+
+  // Unsharded baseline: the executor exactly as it was before sharding
+  // existed. All sweep levels are checked against its items.
+  std::vector<QueryRun> baseline;
+  double baseline_total = 0;
+  for (size_t q = 0; q < compiled.size(); ++q) {
+    auto run = RunOne(corpus, compiled[q], rox, nullptr, repeat);
+    if (!run.ok()) {
+      std::fprintf(stderr, "baseline: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    baseline_total += run->best_ms;
+    baseline.push_back(std::move(*run));
+  }
+  std::printf("unsharded baseline: %.1f ms total (%zu + %zu items)\n\n",
+              baseline_total, baseline[0].items.size(),
+              baseline[1].items.size());
+
+  std::printf(
+      " shards | total ms | speedup | sampling ms | exec ms | fan-outs | "
+      "identical results\n");
+  bool all_identical = true;
+  double speedup_at_gate = 0;
+  int64_t gate_level = 0;
+  for (int64_t k : shard_levels) {
+    if (k == 4 || (gate_level != 4 && k > gate_level)) gate_level = k;
+  }
+  for (int64_t k : shard_levels) {
+    if (k < 1) continue;
+    size_t workers = shard_threads > 0 ? shard_threads
+                                       : static_cast<size_t>(k);
+    workers = std::min<size_t>(workers, 64);  // same cap as the Engine
+    ThreadPool pool(workers);
+    ShardedCorpus shards(corpus, static_cast<size_t>(k), &pool);
+    ShardedExec ex;
+    ex.shards = &shards;
+    ex.pool = &pool;
+    ex.sample_shard = sample_shard;
+    double total_ms = 0, sampling_ms = 0, exec_ms = 0;
+    uint64_t fanouts = 0;
+    bool identical = true;
+    for (size_t q = 0; q < compiled.size(); ++q) {
+      auto run = RunOne(corpus, compiled[q], rox, &ex, repeat);
+      if (!run.ok()) {
+        std::fprintf(stderr, "%lld shards: %s\n",
+                     static_cast<long long>(k),
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      total_ms += run->best_ms;
+      sampling_ms += run->stats.sampling_time.TotalMillis();
+      exec_ms += run->stats.execution_time.TotalMillis();
+      fanouts += run->stats.sharded.fanouts;
+      identical &= run->items == baseline[q].items;
+    }
+    all_identical &= identical;
+    double speedup = total_ms > 0 ? baseline_total / total_ms : 0;
+    if (k == gate_level) speedup_at_gate = speedup;
+    std::printf("  %5lld | %8.1f |  %5.2fx | %11.1f | %7.1f | %8llu | %s\n",
+                static_cast<long long>(k), total_ms, speedup, sampling_ms,
+                exec_ms, static_cast<unsigned long long>(fanouts),
+                identical ? "yes" : "NO");
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: sharded results differ from the unsharded baseline\n");
+    return 1;
+  }
+  if (require_speedup > 0 && speedup_at_gate < require_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: %.2fx speedup at %lld shards < required %.2fx\n",
+                 speedup_at_gate, static_cast<long long>(gate_level),
+                 require_speedup);
+    return 1;
+  }
+  std::printf("\nall levels returned results identical to the unsharded "
+              "baseline\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rox::bench
+
+int main(int argc, char** argv) { return rox::bench::Main(argc, argv); }

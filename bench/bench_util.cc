@@ -28,11 +28,41 @@ Flags::Flags(int argc, char** argv) {
   used_.assign(kv_.size(), false);
 }
 
+namespace {
+
+// Exits with the usage status when a flag value fails to parse.
+[[noreturn]] void BadFlagValue(const std::string& key,
+                               const std::string& value, const char* want) {
+  std::fprintf(stderr, "bad value for --%s: \"%s\" (want %s)\n", key.c_str(),
+               value.c_str(), want);
+  std::exit(2);
+}
+
+double ParseDoubleOrDie(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0') {
+    BadFlagValue(key, value, "a number");
+  }
+  return v;
+}
+
+int64_t ParseIntOrDie(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  int64_t v = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end == nullptr || *end != '\0') {
+    BadFlagValue(key, value, "an integer");
+  }
+  return v;
+}
+
+}  // namespace
+
 double Flags::GetDouble(const std::string& key, double def) const {
   for (size_t i = 0; i < kv_.size(); ++i) {
     if (kv_[i].first == key) {
       used_[i] = true;
-      return std::strtod(kv_[i].second.c_str(), nullptr);
+      return ParseDoubleOrDie(key, kv_[i].second);
     }
   }
   return def;
@@ -42,7 +72,7 @@ int64_t Flags::GetInt(const std::string& key, int64_t def) const {
   for (size_t i = 0; i < kv_.size(); ++i) {
     if (kv_[i].first == key) {
       used_[i] = true;
-      return std::strtoll(kv_[i].second.c_str(), nullptr, 10);
+      return ParseIntOrDie(key, kv_[i].second);
     }
   }
   return def;
@@ -52,8 +82,30 @@ bool Flags::GetBool(const std::string& key, bool def) const {
   for (size_t i = 0; i < kv_.size(); ++i) {
     if (kv_[i].first == key) {
       used_[i] = true;
-      return kv_[i].second != "false" && kv_[i].second != "0";
+      const std::string& v = kv_[i].second;
+      if (v == "true" || v == "1") return true;
+      if (v == "false" || v == "0") return false;
+      BadFlagValue(key, v, "true/false/1/0");
     }
+  }
+  return def;
+}
+
+std::vector<int64_t> Flags::GetIntList(
+    const std::string& key, const std::vector<int64_t>& def) const {
+  for (size_t i = 0; i < kv_.size(); ++i) {
+    if (kv_[i].first != key) continue;
+    used_[i] = true;
+    std::vector<int64_t> out;
+    const std::string& v = kv_[i].second;
+    size_t start = 0;
+    while (start <= v.size()) {
+      size_t comma = v.find(',', start);
+      if (comma == std::string::npos) comma = v.size();
+      out.push_back(ParseIntOrDie(key, v.substr(start, comma - start)));
+      start = comma + 1;
+    }
+    return out;
   }
   return def;
 }

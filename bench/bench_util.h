@@ -19,7 +19,11 @@
 
 namespace rox::bench {
 
-// Minimal --key=value flag parser; unknown flags abort with usage.
+// Minimal --key=value flag parser. Malformed arguments, unparsable
+// numeric/bool values and (via FailOnUnused) unknown flags all exit
+// with status 2, so CI smoke steps fail fast on a typo instead of
+// silently benchmarking with a default-ish garbage value (strtod on
+// "abc" is 0.0).
 class Flags {
  public:
   Flags(int argc, char** argv);
@@ -27,6 +31,9 @@ class Flags {
   double GetDouble(const std::string& key, double def) const;
   int64_t GetInt(const std::string& key, int64_t def) const;
   bool GetBool(const std::string& key, bool def) const;
+  // Comma-separated integer list, e.g. --shards=1,2,4,8.
+  std::vector<int64_t> GetIntList(const std::string& key,
+                                  const std::vector<int64_t>& def) const;
 
   // Flags that were consumed via Get* (for usage checking).
   void FailOnUnused() const;

@@ -1,13 +1,16 @@
 // Interactive XQuery shell over the concurrent query engine.
 //
-//   $ ./xq_shell file1.xml file2.xml ...
+//   $ ./xq_shell [--num_shards=K] file1.xml file2.xml ...
 //
 // Loads the given XML files into a corpus (doc("<basename>") resolves
 // them), hands the corpus to an Engine, then reads XQueries from stdin
 // (terminated by a line with just ";") and executes each through the
 // engine — so repeated queries hit the plan/weight/result cache exactly
 // as they would on a server. With no files, a demo XMark document is
-// generated as doc("xmark.xml").
+// generated as doc("xmark.xml"). --num_shards=K (default 1) turns on
+// sharded intra-query execution: each query's materialization steps
+// fan out over K corpus shards (\stats shows the per-shard row
+// counts).
 //
 // Commands:
 //   \docs   list documents
@@ -16,11 +19,13 @@
 //   \quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "engine/engine.h"
 #include "index/corpus.h"
@@ -40,18 +45,38 @@ int main(int argc, char** argv) {
   using namespace rox;
   Corpus corpus;
 
-  if (argc > 1) {
-    for (int i = 1; i < argc; ++i) {
-      std::ifstream in(argv[i]);
+  size_t num_shards = 1;
+  std::vector<char*> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--num_shards=";
+    if (arg.rfind(prefix, 0) == 0) {
+      char* end = nullptr;
+      long v = std::strtol(arg.c_str() + prefix.size(), &end, 10);
+      if (end == nullptr || *end != '\0' || v < 1 || v > 1024) {
+        std::fprintf(stderr,
+                     "invalid %s (want a positive integer <= 1024)\n",
+                     arg.c_str());
+        return 2;
+      }
+      num_shards = static_cast<size_t>(v);
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+
+  if (!files.empty()) {
+    for (char* file : files) {
+      std::ifstream in(file);
       if (!in) {
-        std::fprintf(stderr, "cannot open %s\n", argv[i]);
+        std::fprintf(stderr, "cannot open %s\n", file);
         return 1;
       }
       std::stringstream buf;
       buf << in.rdbuf();
-      auto id = corpus.AddXml(buf.str(), Basename(argv[i]));
+      auto id = corpus.AddXml(buf.str(), Basename(file));
       if (!id.ok()) {
-        std::fprintf(stderr, "%s: %s\n", argv[i],
+        std::fprintf(stderr, "%s: %s\n", file,
                      id.status().ToString().c_str());
         return 1;
       }
@@ -74,7 +99,11 @@ int main(int argc, char** argv) {
   // through its cache and statistics layer.
   engine::EngineOptions options;
   options.num_threads = 4;
+  options.num_shards = num_shards;
   engine::Engine eng(std::move(corpus), options);
+  if (num_shards > 1) {
+    std::printf("sharded execution: %zu shards per document\n", num_shards);
+  }
 
   std::printf(
       "enter an XQuery terminated by a ';' line "

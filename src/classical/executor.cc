@@ -8,6 +8,7 @@
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "exec/result_table.h"
+#include "exec/sharded_exec.h"
 #include "exec/structural_join.h"
 #include "exec/value_join.h"
 #include "workload/dblp.h"
@@ -32,8 +33,9 @@ struct Partition {
 }  // namespace
 
 CanonicalPlanExecutor::CanonicalPlanExecutor(const Corpus& corpus,
-                                             std::vector<DocId> docs)
-    : corpus_(corpus), docs_(std::move(docs)) {
+                                             std::vector<DocId> docs,
+                                             const ShardedExec* sharded)
+    : corpus_(corpus), docs_(std::move(docs)), sharded_(sharded) {
   author_ = corpus_.string_pool().Find("author");
   ROX_CHECK(author_ != kInvalidStringId);
   ROX_CHECK(docs_.size() == 4);
@@ -53,8 +55,8 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
     const Document& doc = corpus_.doc(d);
     auto authors_span = corpus_.element_index(d).Lookup(author_);
     std::vector<Pre> authors(authors_span.begin(), authors_span.end());
-    JoinPairs pairs =
-        StructuralJoinPairs(doc, authors, StepSpec::ChildText(), kNoLimit);
+    JoinPairs pairs = ShardedStructuralJoinPairs(
+        sharded_, d, doc, authors, StepSpec::ChildText(), nullptr, nullptr);
     Partition part;
     part.table = ResultTable(2);
     for (uint64_t k = 0; k < pairs.size(); ++k) {
@@ -92,9 +94,10 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
   auto join_with_unstepped = [&](Partition part, int i) -> Partition {
     DocId d = docs_[i];
     const Document& part_doc = corpus_.doc(docs_[part.docs[0]]);
-    JoinPairs pairs = ValueIndexJoinPairs(
-        part_doc, part.table.Col(part.join_value_col), corpus_.doc(d),
-        corpus_.value_index(d), ValueProbeSpec::Text(), kNoLimit);
+    JoinPairs pairs = ShardedValueIndexJoinPairs(
+        sharded_, part_doc, part.table.Col(part.join_value_col),
+        corpus_.doc(d), corpus_.value_index(d), ValueProbeSpec::Text(),
+        nullptr);
     Partition out;
     out.table = ExtendTableWithPairs(part.table, pairs);
     out.docs = part.docs;
@@ -111,8 +114,8 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
     const Document& yd = corpus_.doc(docs_[y.docs[0]]);
     // Probe with x's value column against y's distinct value column.
     std::vector<Pre> inner = y.table.DistinctColumn(y.join_value_col);
-    JoinPairs pairs = HashValueJoinPairs(xd, x.table.Col(x.join_value_col),
-                                         yd, inner);
+    JoinPairs pairs = ShardedHashValueJoinPairs(
+        sharded_, xd, x.table.Col(x.join_value_col), yd, inner, nullptr);
     Partition out;
     out.table =
         JoinTablesWithPairs(x.table, pairs, y.table, y.join_value_col);

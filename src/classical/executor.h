@@ -15,6 +15,7 @@
 #include "classical/plans.h"
 #include "common/status.h"
 #include "index/corpus.h"
+#include "index/sharded_corpus.h"
 
 namespace rox {
 
@@ -35,7 +36,13 @@ struct PlanRunStats {
 // over exactly 4 documents.
 class CanonicalPlanExecutor {
  public:
-  CanonicalPlanExecutor(const Corpus& corpus, std::vector<DocId> docs);
+  // `sharded`, when non-null and covering >1 shard, fans the author
+  // steps and value joins of every plan out per shard — the fixed
+  // *logical* plan (join order, step placement) is untouched, so the
+  // measured plan-class ratios stay comparable; only wall-clock
+  // changes. Must outlive the executor.
+  CanonicalPlanExecutor(const Corpus& corpus, std::vector<DocId> docs,
+                        const ShardedExec* sharded = nullptr);
 
   // Runs one (join order, step placement) plan.
   Result<PlanRunStats> Run(const JoinOrder& order,
@@ -51,6 +58,7 @@ class CanonicalPlanExecutor {
   const Corpus& corpus_;
   std::vector<DocId> docs_;
   StringId author_;
+  const ShardedExec* sharded_;
 };
 
 // Cumulative join cardinality of a join order computed purely from the

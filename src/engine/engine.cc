@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <semaphore>
 #include <utility>
@@ -43,14 +44,45 @@ std::string EngineStats::ToString() const {
       static_cast<unsigned long long>(warm_started_weights),
       static_cast<unsigned long long>(edges_executed), sampling_ms,
       execution_ms);
-  return buf;
+  std::string out = buf;
+  if (num_shards > 1) {
+    std::snprintf(buf, sizeof(buf),
+                  "\nshards: %zu, %llu fan-out steps; rows per shard:",
+                  num_shards,
+                  static_cast<unsigned long long>(sharded.fanouts));
+    out += buf;
+    for (uint64_t rows : sharded.shard_rows) {
+      std::snprintf(buf, sizeof(buf), " %llu",
+                    static_cast<unsigned long long>(rows));
+      out += buf;
+    }
+  }
+  return out;
 }
 
 Engine::Engine(Corpus corpus, EngineOptions options)
     : corpus_(std::move(corpus)),
       options_(options),
       cache_(options.cache_capacity),
-      pool_(options.num_threads) {}
+      pool_(options.num_threads) {
+  if (options_.num_shards > 1) {
+    size_t workers = options_.shard_threads > 0 ? options_.shard_threads
+                                                : options_.num_shards;
+    // An absurd shard count must not translate into an absurd thread
+    // count: std::thread construction throws on resource exhaustion
+    // and nothing above us could do better than crash. ParallelFor
+    // queues the excess iterations, so capping workers only bounds
+    // parallelism, never correctness.
+    constexpr size_t kMaxShardWorkers = 64;
+    workers = std::min(workers, kMaxShardWorkers);
+    shard_pool_ = std::make_unique<ThreadPool>(workers);
+    sharded_corpus_ = std::make_unique<ShardedCorpus>(
+        corpus_, options_.num_shards, shard_pool_.get());
+    sharded_exec_.shards = sharded_corpus_.get();
+    sharded_exec_.pool = shard_pool_.get();
+    sharded_exec_.sample_shard = options_.sample_shard;
+  }
+}
 
 Engine::~Engine() = default;
 
@@ -157,6 +189,7 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
 
   RoxOptions rox = options_.rox;
   rox.seed = MixSeed(options_.rox.seed, seq);
+  if (sharded_corpus_ != nullptr) rox.sharded = &sharded_exec_;
   std::vector<double> learned;
   RoxStats rox_stats;
   auto items = xq::RunXQuery(corpus_, *compiled, rox, &rox_stats,

@@ -35,6 +35,7 @@
 #include "engine/engine_stats.h"
 #include "engine/query_cache.h"
 #include "index/corpus.h"
+#include "index/sharded_corpus.h"
 #include "rox/options.h"
 #include "xq/compile.h"
 
@@ -58,6 +59,24 @@ struct EngineOptions {
   // Replay the memoized final item sequence for a repeated query
   // without running it. Sound because the corpus is immutable.
   bool cache_results = true;
+
+  // Corpus shards for parallel *intra*-query execution: every document's
+  // node-id range is split into `num_shards` contiguous pieces with
+  // their own indexes, and each full materialization step of a query
+  // fans out per shard on a dedicated shard pool. 1 (the default) is
+  // today's monolithic executor; results are identical for every value.
+  size_t num_shards = 1;
+
+  // Workers of the shard pool (0 = num_shards). Kept separate from the
+  // query pool so a query thread waiting on its fan-out can never
+  // starve the fan-out of workers.
+  size_t shard_threads = 0;
+
+  // Which shard serves ROX Phase-1 sample draws;
+  // ShardedExec::kSampleUnion (the default) draws from the full
+  // indexes, keeping optimizer behavior identical to the unsharded
+  // engine (see index/sharded_corpus.h).
+  int sample_shard = ShardedExec::kSampleUnion;
 
   // Base per-query optimizer options; each query's seed is derived
   // from rox.seed and the query's sequence number.
@@ -98,6 +117,9 @@ class Engine {
   const Corpus& corpus() const { return corpus_; }
   const EngineOptions& options() const { return options_; }
 
+  // The sharded view, or null when num_shards <= 1.
+  const ShardedCorpus* sharded_corpus() const { return sharded_corpus_.get(); }
+
   // Asynchronous execution on the owned pool.
   std::future<QueryResult> Submit(std::string query_text);
 
@@ -111,7 +133,11 @@ class Engine {
                                     size_t concurrency = 0);
 
   // Statistics snapshot / reset (reset also restarts the qps clock).
-  EngineStats Stats() const { return stats_.Snapshot(); }
+  EngineStats Stats() const {
+    EngineStats out = stats_.Snapshot();
+    out.num_shards = options_.num_shards > 0 ? options_.num_shards : 1;
+    return out;
+  }
   void ResetStats() { stats_.Reset(); }
 
   // Cache inspection (the shell's \cache command).
@@ -129,6 +155,12 @@ class Engine {
 
   mutable std::mutex cache_mu_;
   QueryCache cache_;
+
+  // Sharded intra-query execution (null / unused when num_shards <= 1).
+  // Declared before pool_ so in-flight queries drain first on teardown.
+  std::unique_ptr<ThreadPool> shard_pool_;
+  std::unique_ptr<ShardedCorpus> sharded_corpus_;
+  ShardedExec sharded_exec_;
 
   std::atomic<uint64_t> next_sequence_{0};
 

@@ -39,6 +39,12 @@ struct EngineStats {
   double sampling_ms = 0;
   double execution_ms = 0;
 
+  // Sharded execution: the engine's shard count plus the fan-out step
+  // and per-shard row counters aggregated over all runs (zero/empty
+  // when num_shards <= 1).
+  size_t num_shards = 1;
+  ShardFanoutStats sharded;
+
   // Latency distribution over all finished queries (cache hits
   // included — a hit's latency is real service latency).
   double p50_ms = 0;
@@ -96,6 +102,7 @@ class StatsCollector {
       counters_.warm_started_runs += r.rox->warm_started_weights > 0 ? 1 : 0;
       counters_.sampling_ms += r.rox->sampling_time.TotalMillis();
       counters_.execution_ms += r.rox->execution_time.TotalMillis();
+      counters_.sharded.Merge(r.rox->sharded);
     }
     if (!r.failed) RecordLatency(r.latency_ms);
   }

@@ -1,0 +1,122 @@
+#include "exec/sharded_exec.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
+namespace rox {
+
+namespace {
+
+// Concatenates per-part pair lists, shifting each part's left_rows by
+// the part's start offset in the original input, and accumulates the
+// per-lane row counts. Parts must be in input order.
+JoinPairs MergeParts(std::vector<JoinPairs>& parts,
+                     std::span<const uint32_t> offsets, uint64_t outer_total,
+                     ShardFanoutStats* stats) {
+  if (stats != nullptr) {
+    ++stats->fanouts;
+    if (stats->shard_rows.size() < parts.size()) {
+      stats->shard_rows.resize(parts.size(), 0);
+    }
+  }
+  size_t total = 0;
+  for (const JoinPairs& p : parts) total += p.right_nodes.size();
+  JoinPairs out;
+  out.left_rows.reserve(total);
+  out.right_nodes.reserve(total);
+  for (size_t s = 0; s < parts.size(); ++s) {
+    JoinPairs& p = parts[s];
+    if (stats != nullptr) stats->shard_rows[s] += p.right_nodes.size();
+    uint32_t off = offsets[s];
+    for (uint32_t row : p.left_rows) out.left_rows.push_back(row + off);
+    out.right_nodes.insert(out.right_nodes.end(), p.right_nodes.begin(),
+                           p.right_nodes.end());
+  }
+  out.truncated = false;
+  out.outer_consumed = outer_total;
+  return out;
+}
+
+// Shared scaffolding of the equi-join fan-outs: splits [0, n) into K
+// contiguous, order-preserving chunks, runs `probe(lo, hi)` per
+// non-empty chunk on the pool, and merges. The probe side of an
+// equi-join may be an unsorted intermediate column, so chunking is
+// positional rather than by shard node-id range.
+template <typename Probe>
+JoinPairs ChunkedProbe(const ShardedExec& ex, size_t n, const Probe& probe,
+                       ShardFanoutStats* stats) {
+  size_t k = ex.shards->num_shards();
+  std::vector<JoinPairs> results(k);
+  std::vector<uint32_t> offsets(k);
+  ParallelFor(ex.pool, k, [&](size_t s) {
+    uint32_t lo = static_cast<uint32_t>(n * s / k);
+    uint32_t hi = static_cast<uint32_t>(n * (s + 1) / k);
+    offsets[s] = lo;
+    if (lo < hi) results[s] = probe(lo, hi);
+  });
+  return MergeParts(results, offsets, n, stats);
+}
+
+}  // namespace
+
+JoinPairs ShardedStructuralJoinPairs(const ShardedExec* ex, DocId ctx_doc,
+                                     const Document& target_doc,
+                                     std::span<const Pre> context,
+                                     const StepSpec& step,
+                                     const ElementIndex* index,
+                                     ShardFanoutStats* stats) {
+  if (ex == nullptr || !ex->Enabled() || context.size() < 2) {
+    return StructuralJoinPairs(target_doc, context, step, kNoLimit, index);
+  }
+  std::vector<std::span<const Pre>> parts;
+  std::vector<uint32_t> offsets;
+  ex->shards->Partition(ctx_doc, context, &parts, &offsets);
+  std::vector<JoinPairs> results(parts.size());
+  ParallelFor(ex->pool, parts.size(), [&](size_t s) {
+    if (parts[s].empty()) return;
+    results[s] =
+        StructuralJoinPairs(target_doc, parts[s], step, kNoLimit, index);
+  });
+  return MergeParts(results, offsets, context.size(), stats);
+}
+
+JoinPairs ShardedHashValueJoinPairs(const ShardedExec* ex,
+                                    const Document& outer_doc,
+                                    std::span<const Pre> outer,
+                                    const Document& inner_doc,
+                                    std::span<const Pre> inner,
+                                    ShardFanoutStats* stats) {
+  if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
+    return HashValueJoinPairs(outer_doc, outer, inner_doc, inner);
+  }
+  ValueHashTable table(inner_doc, inner);
+  return ChunkedProbe(
+      *ex, outer.size(),
+      [&](uint32_t lo, uint32_t hi) {
+        return table.Probe(outer_doc, outer.subspan(lo, hi - lo));
+      },
+      stats);
+}
+
+JoinPairs ShardedValueIndexJoinPairs(const ShardedExec* ex,
+                                     const Document& outer_doc,
+                                     std::span<const Pre> outer,
+                                     const Document& inner_doc,
+                                     const ValueIndex& inner_index,
+                                     const ValueProbeSpec& spec,
+                                     ShardFanoutStats* stats) {
+  if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
+    return ValueIndexJoinPairs(outer_doc, outer, inner_doc, inner_index,
+                               spec, kNoLimit);
+  }
+  return ChunkedProbe(
+      *ex, outer.size(),
+      [&](uint32_t lo, uint32_t hi) {
+        return ValueIndexJoinPairs(outer_doc, outer.subspan(lo, hi - lo),
+                                   inner_doc, inner_index, spec, kNoLimit);
+      },
+      stats);
+}
+
+}  // namespace rox

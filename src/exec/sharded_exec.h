@@ -1,0 +1,85 @@
+// Per-shard fan-out wrappers around the physical join operators.
+//
+// A full (un-cut-off) materialization step takes a document-ordered
+// context/probe node list and produces a JoinPairs. The wrappers here
+// split that input — at the shard node-id boundaries for structural
+// joins (pre-locality), into K order-preserving chunks for value joins
+// (the probe side of an equi-join is sometimes an intermediate column
+// that is not pre-sorted) — run the underlying operator per part on
+// the shard pool, and merge the partial results by concatenation with
+// a row-offset fix-up.
+//
+// Because each part processes a disjoint, order-contiguous slice of
+// the input and the underlying operators emit pairs grouped by input
+// row, the merged JoinPairs is byte-for-byte the sequential operator's
+// output: sharded execution changes wall-clock time, never results.
+//
+// Cut-off (sampled) executions are deliberately NOT fanned out: their
+// outputs are bounded by tau and the cut-off protocol ("stop after l
+// tuples") is inherently sequential.
+
+#ifndef ROX_EXEC_SHARDED_EXEC_H_
+#define ROX_EXEC_SHARDED_EXEC_H_
+
+#include <span>
+#include <vector>
+
+#include "exec/structural_join.h"
+#include "exec/value_join.h"
+#include "index/sharded_corpus.h"
+
+namespace rox {
+
+// Fan-out counters: how many materialization steps actually fanned out
+// and how many rows each shard (or chunk) lane produced across them.
+// The sequential fallbacks leave the stats untouched, so `fanouts`
+// counts real parallel executions only.
+struct ShardFanoutStats {
+  uint64_t fanouts = 0;
+  std::vector<uint64_t> shard_rows;
+
+  void Merge(const ShardFanoutStats& other) {
+    fanouts += other.fanouts;
+    if (shard_rows.size() < other.shard_rows.size()) {
+      shard_rows.resize(other.shard_rows.size(), 0);
+    }
+    for (size_t s = 0; s < other.shard_rows.size(); ++s) {
+      shard_rows[s] += other.shard_rows[s];
+    }
+  }
+};
+
+// Structural join fanned out at the shard boundaries of `ctx_doc` (the
+// document the context nodes belong to; for step edges it equals the
+// target document). `context` must be pre-sorted — vertex tables T(v)
+// always are. Falls back to the sequential operator when `ex` is null
+// or has a single shard.
+JoinPairs ShardedStructuralJoinPairs(const ShardedExec* ex, DocId ctx_doc,
+                                     const Document& target_doc,
+                                     std::span<const Pre> context,
+                                     const StepSpec& step,
+                                     const ElementIndex* index,
+                                     ShardFanoutStats* stats);
+
+// Hash equi-join with a single shared build side and per-chunk
+// parallel probes. The probe side need not be sorted.
+JoinPairs ShardedHashValueJoinPairs(const ShardedExec* ex,
+                                    const Document& outer_doc,
+                                    std::span<const Pre> outer,
+                                    const Document& inner_doc,
+                                    std::span<const Pre> inner,
+                                    ShardFanoutStats* stats);
+
+// Index nested-loop equi-join with per-chunk parallel probes into the
+// (full) inner value index.
+JoinPairs ShardedValueIndexJoinPairs(const ShardedExec* ex,
+                                     const Document& outer_doc,
+                                     std::span<const Pre> outer,
+                                     const Document& inner_doc,
+                                     const ValueIndex& inner_index,
+                                     const ValueProbeSpec& spec,
+                                     ShardFanoutStats* stats);
+
+}  // namespace rox
+
+#endif  // ROX_EXEC_SHARDED_EXEC_H_

@@ -79,22 +79,23 @@ JoinPairs ValueIndexJoinPairs(const Document& outer_doc,
   return out;
 }
 
-JoinPairs HashValueJoinPairs(const Document& outer_doc,
-                             std::span<const Pre> outer,
-                             const Document& inner_doc,
-                             std::span<const Pre> inner) {
-  std::unordered_map<StringId, std::vector<Pre>> table;
-  table.reserve(inner.size());
+ValueHashTable::ValueHashTable(const Document& inner_doc,
+                               std::span<const Pre> inner) {
+  by_value_.reserve(inner.size());
   for (Pre s : inner) {
     StringId v = NodeValue(inner_doc, s);
-    if (v != kInvalidStringId) table[v].push_back(s);
+    if (v != kInvalidStringId) by_value_[v].push_back(s);
   }
+}
+
+JoinPairs ValueHashTable::Probe(const Document& outer_doc,
+                                std::span<const Pre> outer) const {
   JoinPairs out;
   for (size_t i = 0; i < outer.size(); ++i) {
     StringId v = NodeValue(outer_doc, outer[i]);
     if (v == kInvalidStringId) continue;
-    auto it = table.find(v);
-    if (it == table.end()) continue;
+    auto it = by_value_.find(v);
+    if (it == by_value_.end()) continue;
     for (Pre s : it->second) {
       out.left_rows.push_back(static_cast<uint32_t>(i));
       out.right_nodes.push_back(s);
@@ -103,6 +104,13 @@ JoinPairs HashValueJoinPairs(const Document& outer_doc,
   out.truncated = false;
   out.outer_consumed = outer.size();
   return out;
+}
+
+JoinPairs HashValueJoinPairs(const Document& outer_doc,
+                             std::span<const Pre> outer,
+                             const Document& inner_doc,
+                             std::span<const Pre> inner) {
+  return ValueHashTable(inner_doc, inner).Probe(outer_doc, outer);
 }
 
 std::vector<Pre> SortByValueId(const Document& doc,

@@ -17,6 +17,7 @@
 #define ROX_EXEC_VALUE_JOIN_H_
 
 #include <span>
+#include <unordered_map>
 
 #include "exec/join_result.h"
 #include "index/value_index.h"
@@ -58,6 +59,22 @@ JoinPairs HashValueJoinPairs(const Document& outer_doc,
                              std::span<const Pre> outer,
                              const Document& inner_doc,
                              std::span<const Pre> inner);
+
+// The build side of the hash equi-join, split out so a sharded
+// execution can build the table once and probe it from several threads
+// concurrently (Probe is const and allocation-free on the table).
+class ValueHashTable {
+ public:
+  ValueHashTable(const Document& inner_doc, std::span<const Pre> inner);
+
+  // Probes with `outer`; identical to the probe loop of
+  // HashValueJoinPairs. Emitted left_rows index into `outer`.
+  JoinPairs Probe(const Document& outer_doc,
+                  std::span<const Pre> outer) const;
+
+ private:
+  std::unordered_map<StringId, std::vector<Pre>> by_value_;
+};
 
 // Merge equi-join over inputs that the caller pre-sorted with
 // SortByValueId. Produces the same pair multiset as the hash join.

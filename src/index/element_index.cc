@@ -4,10 +4,11 @@
 
 namespace rox {
 
-ElementIndex::ElementIndex(const Document& doc) {
+ElementIndex::ElementIndex(const Document& doc, Pre lo, Pre hi) {
   const auto& kinds = doc.kinds();
   const auto& names = doc.name_ids();
-  for (Pre p = 0; p < doc.NodeCount(); ++p) {
+  hi = std::min(hi, doc.NodeCount());
+  for (Pre p = lo; p < hi; ++p) {
     StringId q = names[p];
     if (kinds[p] == NodeKind::kElem) {
       if (q >= by_name_.size()) by_name_.resize(q + 1);

@@ -1,0 +1,58 @@
+#include "index/sharded_corpus.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
+namespace rox {
+
+ShardedCorpus::ShardedCorpus(const Corpus& corpus, size_t num_shards,
+                             ThreadPool* pool)
+    : corpus_(&corpus), num_shards_(std::max<size_t>(num_shards, 1)) {
+  shards_.resize(corpus.DocCount());
+  for (DocId d = 0; d < corpus.DocCount(); ++d) {
+    shards_[d].resize(num_shards_);
+    Pre n = corpus.doc(d).NodeCount();
+    for (size_t s = 0; s < num_shards_; ++s) {
+      // Near-equal node counts; a document smaller than K leaves the
+      // tail shards empty, which every consumer tolerates.
+      shards_[d][s].range.begin = static_cast<Pre>(
+          static_cast<uint64_t>(n) * s / num_shards_);
+      shards_[d][s].range.end = static_cast<Pre>(
+          static_cast<uint64_t>(n) * (s + 1) / num_shards_);
+    }
+  }
+  // Index builds are independent per (document, shard); flatten them
+  // into one parallel loop.
+  ParallelFor(pool, corpus.DocCount() * num_shards_, [&](size_t i) {
+    DocId d = static_cast<DocId>(i / num_shards_);
+    size_t s = i % num_shards_;
+    DocumentShard& shard = shards_[d][s];
+    const Document& doc = corpus_->doc(d);
+    shard.element =
+        std::make_unique<ElementIndex>(doc, shard.range.begin,
+                                       shard.range.end);
+    shard.value = std::make_unique<ValueIndex>(doc, shard.range.begin,
+                                               shard.range.end);
+  });
+}
+
+void ShardedCorpus::Partition(DocId d, std::span<const Pre> nodes,
+                              std::vector<std::span<const Pre>>* parts,
+                              std::vector<uint32_t>* offsets) const {
+  parts->clear();
+  offsets->clear();
+  parts->reserve(num_shards_);
+  offsets->reserve(num_shards_);
+  size_t lo = 0;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    const ShardRange& r = shards_[d][s].range;
+    auto end_it = std::lower_bound(nodes.begin() + lo, nodes.end(), r.end);
+    size_t hi = static_cast<size_t>(end_it - nodes.begin());
+    offsets->push_back(static_cast<uint32_t>(lo));
+    parts->push_back(nodes.subspan(lo, hi - lo));
+    lo = hi;
+  }
+}
+
+}  // namespace rox

@@ -1,0 +1,116 @@
+// A sharded view over a frozen Corpus for parallel intra-query
+// execution.
+//
+// Every document's node-id (pre) range [0, NodeCount) is partitioned
+// into K contiguous shards of near-equal node count; each shard owns
+// its own element and value indexes, built by scanning only the
+// shard's range. Because shard ranges are disjoint and contiguous,
+//  * a per-shard index lookup, concatenated in shard order, reproduces
+//    the full-document lookup exactly (document order preserved), and
+//  * per-shard partial join results merge by plain concatenation — no
+//    deduplication, no re-sort of the pair lists.
+// The documents themselves stay whole and shared: a shard restricts
+// which nodes *drive* an operator, while structural navigation (parent
+// chains, subtree ranges) still sees the full tree, so cross-shard
+// axis results and cross-shard value-join matches are never lost.
+//
+// The sharding is an execution accelerator only: node ids, query
+// compilation and result semantics are untouched, which is what makes
+// 1-shard execution bit-identical to the unsharded executor and
+// K-shard execution produce identical final item sequences.
+
+#ifndef ROX_INDEX_SHARDED_CORPUS_H_
+#define ROX_INDEX_SHARDED_CORPUS_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "index/corpus.h"
+
+namespace rox {
+
+class ThreadPool;
+
+// Half-open pre range [begin, end) of one shard of one document.
+struct ShardRange {
+  Pre begin = 0;
+  Pre end = 0;
+
+  uint32_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+  bool Contains(Pre p) const { return begin <= p && p < end; }
+};
+
+class ShardedCorpus {
+ public:
+  // Partitions every document of `corpus` into `num_shards` contiguous
+  // ranges and builds the per-shard indexes, in parallel on `pool`
+  // (inline when null). The corpus must outlive this view and must not
+  // change afterwards (the Engine freezes it before sharding).
+  ShardedCorpus(const Corpus& corpus, size_t num_shards, ThreadPool* pool);
+
+  ShardedCorpus(const ShardedCorpus&) = delete;
+  ShardedCorpus& operator=(const ShardedCorpus&) = delete;
+
+  const Corpus& corpus() const { return *corpus_; }
+  size_t num_shards() const { return num_shards_; }
+
+  const ShardRange& range(DocId d, size_t s) const {
+    return shards_[d][s].range;
+  }
+  const ElementIndex& element_index(DocId d, size_t s) const {
+    return *shards_[d][s].element;
+  }
+  const ValueIndex& value_index(DocId d, size_t s) const {
+    return *shards_[d][s].value;
+  }
+
+  // Splits a pre-sorted node list of document `d` at the shard
+  // boundaries: parts->at(s) is the (possibly empty) subspan of nodes
+  // inside range(d, s) and offsets->at(s) its start position in
+  // `nodes`. The concatenation of all parts is `nodes` itself.
+  void Partition(DocId d, std::span<const Pre> nodes,
+                 std::vector<std::span<const Pre>>* parts,
+                 std::vector<uint32_t>* offsets) const;
+
+ private:
+  struct DocumentShard {
+    ShardRange range;
+    std::unique_ptr<ElementIndex> element;
+    std::unique_ptr<ValueIndex> value;
+  };
+
+  const Corpus* corpus_;
+  size_t num_shards_;
+  std::vector<std::vector<DocumentShard>> shards_;  // [doc][shard]
+};
+
+// Everything a sharded fan-out needs, bundled so it can thread through
+// RoxOptions as one pointer. The pool must be distinct from the pool
+// whose workers wait on queries (the Engine keeps a dedicated
+// shard pool), though ParallelFor's caller-participation makes even a
+// shared pool safe.
+struct ShardedExec {
+  const ShardedCorpus* shards = nullptr;
+  ThreadPool* pool = nullptr;
+
+  // Which shard's indexes serve ROX Phase-1 sample draws. The default
+  // kSampleUnion draws from the corpus's full-document indexes — the
+  // same distribution the unsharded optimizer samples, keeping
+  // optimizer behavior identical to the paper. A value in [0, K)
+  // designates that shard: draws then touch only its index lists
+  // (cardinalities stay exact via the O(1) full counts), at the cost
+  // of layout skew — a contiguous shard may under-represent element
+  // kinds that cluster elsewhere in the document.
+  static constexpr int kSampleUnion = -1;
+  int sample_shard = kSampleUnion;
+
+  bool Enabled() const {
+    return shards != nullptr && shards->num_shards() > 1;
+  }
+};
+
+}  // namespace rox
+
+#endif  // ROX_INDEX_SHARDED_CORPUS_H_

@@ -4,9 +4,10 @@
 
 namespace rox {
 
-ValueIndex::ValueIndex(const Document& doc) {
+ValueIndex::ValueIndex(const Document& doc, Pre lo, Pre hi) {
   const StringPool& pool = doc.pool();
-  for (Pre p = 0; p < doc.NodeCount(); ++p) {
+  hi = std::min(hi, doc.NodeCount());
+  for (Pre p = lo; p < hi; ++p) {
     NodeKind k = doc.Kind(p);
     if (k == NodeKind::kText) {
       ++text_node_count_;

@@ -10,6 +10,8 @@
 
 namespace rox {
 
+struct ShardedExec;
+
 struct RoxOptions {
   // Sample size τ. The paper's default (§3, Phase 1) is 100; Figure 8
   // sweeps {25, 100, 400}.
@@ -62,6 +64,14 @@ struct RoxOptions {
   // is explored first (see DESIGN.md §5/§6).
   bool use_warm_start = true;
   const std::vector<double>* warm_edge_weights = nullptr;
+
+  // Sharded intra-query execution (see index/sharded_corpus.h). When
+  // non-null and covering >1 shard, every full materialization step
+  // fans out per shard on the bundle's pool and Phase-1 sample draws
+  // go to the bundle's designated sample shard. Null (the default)
+  // executes exactly as the unsharded paper prototype. Results are
+  // identical either way; only wall-clock time changes.
+  const ShardedExec* sharded = nullptr;
 
   // Seed for all sampling randomness; a fixed seed makes runs exactly
   // reproducible.

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "exec/value_join.h"
 
 namespace rox {
@@ -23,10 +24,13 @@ RoxState::RoxState(const Corpus& corpus, const JoinGraph& graph,
 
 // --- index access -----------------------------------------------------------
 
-Result<std::vector<Pre>> RoxState::IndexLookup(VertexId v) const {
-  const Vertex& vx = graph_.vertex(v);
-  const ElementIndex& eidx = corpus_.element_index(vx.doc);
-  const ValueIndex& vidx = corpus_.value_index(vx.doc);
+namespace {
+
+// One vertex's index lookup against a given pair of indexes (the full
+// per-document ones, or one shard's).
+Result<std::vector<Pre>> LookupVertex(const Vertex& vx, const Document& doc,
+                                      const ElementIndex& eidx,
+                                      const ValueIndex& vidx) {
   switch (vx.type) {
     case VertexType::kRoot:
       return std::vector<Pre>{0};
@@ -50,7 +54,6 @@ Result<std::vector<Pre>> RoxState::IndexLookup(VertexId v) const {
     case VertexType::kAttribute: {
       auto span = eidx.LookupAttr(vx.name);
       std::vector<Pre> nodes(span.begin(), span.end());
-      const Document& doc = corpus_.doc(vx.doc);
       switch (vx.pred.kind) {
         case ValuePredicate::Kind::kNone:
           return nodes;
@@ -63,6 +66,61 @@ Result<std::vector<Pre>> RoxState::IndexLookup(VertexId v) const {
     }
   }
   return Status::Internal("unhandled vertex type in IndexLookup");
+}
+
+}  // namespace
+
+Result<std::vector<Pre>> RoxState::IndexLookup(VertexId v) const {
+  const Vertex& vx = graph_.vertex(v);
+  const Document& doc = corpus_.doc(vx.doc);
+  const ShardedExec* ex = Sharded();
+  if (ex == nullptr || vx.type == VertexType::kRoot) {
+    return LookupVertex(vx, doc, corpus_.element_index(vx.doc),
+                        corpus_.value_index(vx.doc));
+  }
+  // Per-shard lookups concatenate to exactly the full lookup: shard
+  // ranges are contiguous and each per-shard list is sorted.
+  const ShardedCorpus& sc = *ex->shards;
+  size_t k = sc.num_shards();
+  std::vector<std::vector<Pre>> parts(k);
+  std::vector<Status> statuses(k, Status::Ok());
+  ParallelFor(ex->pool, k, [&](size_t s) {
+    auto part = LookupVertex(vx, doc, sc.element_index(vx.doc, s),
+                             sc.value_index(vx.doc, s));
+    if (part.ok()) {
+      parts[s] = std::move(*part);
+    } else {
+      statuses[s] = part.status();
+    }
+  });
+  std::vector<Pre> out;
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.reserve(total);
+  for (size_t s = 0; s < k; ++s) {
+    ROX_RETURN_IF_ERROR(statuses[s]);
+    out.insert(out.end(), parts[s].begin(), parts[s].end());
+  }
+  return out;
+}
+
+const ElementIndex& RoxState::SamplingElementIndex(DocId doc) const {
+  const ShardedExec* ex = Sharded();
+  if (ex == nullptr || ex->sample_shard < 0 ||
+      static_cast<size_t>(ex->sample_shard) >= ex->shards->num_shards()) {
+    return corpus_.element_index(doc);
+  }
+  return ex->shards->element_index(doc,
+                                   static_cast<size_t>(ex->sample_shard));
+}
+
+const ValueIndex& RoxState::SamplingValueIndex(DocId doc) const {
+  const ShardedExec* ex = Sharded();
+  if (ex == nullptr || ex->sample_shard < 0 ||
+      static_cast<size_t>(ex->sample_shard) >= ex->shards->num_shards()) {
+    return corpus_.value_index(doc);
+  }
+  return ex->shards->value_index(doc, static_cast<size_t>(ex->sample_shard));
 }
 
 double RoxState::IndexCount(VertexId v) const {
@@ -137,6 +195,14 @@ void RoxState::InitializeSamplesAndWeights() {
     const Vertex& vx = graph_.vertex(v);
     if (!vx.IndexSelectable()) continue;
     VertexState& vs = vertices_[v];
+    // Sample draws go to the designated sample shard (the full indexes
+    // by default); cardinalities always come from the full indexes so
+    // the w(e) extrapolation card(v) * |sample result| / |S(v)| stays
+    // exact. When a contiguous sample shard holds no node of a kind
+    // that clusters elsewhere in the document, fall back to a full-
+    // index draw rather than leaving the vertex unsampled.
+    const ElementIndex& seidx = SamplingElementIndex(vx.doc);
+    const ValueIndex& svidx = SamplingValueIndex(vx.doc);
     const ElementIndex& eidx = corpus_.element_index(vx.doc);
     const ValueIndex& vidx = corpus_.value_index(vx.doc);
     switch (vx.type) {
@@ -145,14 +211,20 @@ void RoxState::InitializeSamplesAndWeights() {
         vs.card = 1.0;
         break;
       case VertexType::kElement:
-        vs.sample = eidx.Sample(vx.name, options_.tau, rng_);
+        vs.sample = seidx.Sample(vx.name, options_.tau, rng_);
         vs.card = static_cast<double>(eidx.Count(vx.name));
+        if (vs.sample.empty() && vs.card > 0) {
+          vs.sample = eidx.Sample(vx.name, options_.tau, rng_);
+        }
         break;
       case VertexType::kText:
         if (vx.pred.kind == ValuePredicate::Kind::kEquals) {
-          vs.sample = vidx.SampleText(vx.pred.equals, options_.tau, rng_);
+          vs.sample = svidx.SampleText(vx.pred.equals, options_.tau, rng_);
           vs.card =
               static_cast<double>(vidx.TextLookup(vx.pred.equals).size());
+          if (vs.sample.empty() && vs.card > 0) {
+            vs.sample = vidx.SampleText(vx.pred.equals, options_.tau, rng_);
+          }
         } else {
           // Range-restricted text vertex: the ordered index materializes
           // the lookup anyway; keep it as T(v).
@@ -161,8 +233,11 @@ void RoxState::InitializeSamplesAndWeights() {
         break;
       case VertexType::kAttribute:
         if (vx.pred.kind == ValuePredicate::Kind::kNone) {
-          vs.sample = eidx.SampleAttr(vx.name, options_.tau, rng_);
+          vs.sample = seidx.SampleAttr(vx.name, options_.tau, rng_);
           vs.card = static_cast<double>(eidx.CountAttr(vx.name));
+          if (vs.sample.empty() && vs.card > 0) {
+            vs.sample = eidx.SampleAttr(vx.name, options_.tau, rng_);
+          }
         } else {
           ROX_CHECK_OK(EnsureTable(v));
         }
@@ -395,8 +470,10 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
     const ElementIndex* idx = options_.use_index_acceleration
                                   ? &corpus_.element_index(tx.doc)
                                   : nullptr;
-    pairs = StructuralJoinPairs(target_doc, ctx_nodes, StepSpecFrom(e, ctx),
-                                kNoLimit, idx);
+    pairs = ShardedStructuralJoinPairs(Sharded(), graph_.vertex(ctx).doc,
+                                       target_doc, ctx_nodes,
+                                       StepSpecFrom(e, ctx), idx,
+                                       &stats_.sharded);
   } else if (vertices_[tgt].table.has_value()) {
     // Both ends materialized: pick among the applicable algorithms
     // (hash by default; §6: the prototype times the candidates on a
@@ -406,8 +483,9 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
                         : EquiAlgo::kHash;
     switch (algo) {
       case EquiAlgo::kHash:
-        pairs = HashValueJoinPairs(ctx_doc, ctx_nodes, target_doc,
-                                   *vertices_[tgt].table);
+        pairs = ShardedHashValueJoinPairs(Sharded(), ctx_doc, ctx_nodes,
+                                          target_doc, *vertices_[tgt].table,
+                                          &stats_.sharded);
         break;
       case EquiAlgo::kMerge: {
         std::vector<Pre> outer_sorted = SortByValueId(ctx_doc, ctx_nodes);
@@ -440,19 +518,22 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
         return Status::Ok();
       }
       case EquiAlgo::kIndexNl:
-        pairs = ValueIndexJoinPairs(
-            ctx_doc, ctx_nodes, target_doc, corpus_.value_index(tx.doc),
+        pairs = ShardedValueIndexJoinPairs(
+            Sharded(), ctx_doc, ctx_nodes, target_doc,
+            corpus_.value_index(tx.doc),
             tx.type == VertexType::kAttribute ? ValueProbeSpec::Attr(tx.name)
                                               : ValueProbeSpec::Text(),
-            kNoLimit);
+            &stats_.sharded);
         break;
     }
   } else {
     ValueProbeSpec spec = tx.type == VertexType::kAttribute
                               ? ValueProbeSpec::Attr(tx.name)
                               : ValueProbeSpec::Text();
-    pairs = ValueIndexJoinPairs(ctx_doc, ctx_nodes, target_doc,
-                                corpus_.value_index(tx.doc), spec, kNoLimit);
+    pairs = ShardedValueIndexJoinPairs(Sharded(), ctx_doc, ctx_nodes,
+                                       target_doc,
+                                       corpus_.value_index(tx.doc), spec,
+                                       &stats_.sharded);
   }
   FilterPairsForVertex(tgt, pairs);
 

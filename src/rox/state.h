@@ -29,9 +29,11 @@
 #include "common/status.h"
 #include "common/timer.h"
 #include "exec/result_table.h"
+#include "exec/sharded_exec.h"
 #include "exec/structural_join.h"
 #include "graph/join_graph.h"
 #include "index/corpus.h"
+#include "index/sharded_corpus.h"
 #include "rox/options.h"
 
 namespace rox {
@@ -58,6 +60,9 @@ struct RoxStats {
   uint64_t cumulative_intermediate_rows = 0;
   uint64_t peak_intermediate_rows = 0;
   std::vector<EdgeId> execution_order;
+
+  // Sharded execution counters (zero/empty when the run was unsharded).
+  ShardFanoutStats sharded;
 };
 
 struct VertexState {
@@ -160,8 +165,24 @@ class RoxState {
   // equi-join edges (transitivity over the equivalence class).
   bool EquiJoinImplied(VertexId a, VertexId b) const;
 
-  // Builds T(v) for an index-selectable vertex from the indexes.
+  // Builds T(v) for an index-selectable vertex from the indexes. When
+  // sharding is enabled the per-shard lookups run in parallel and
+  // concatenate (shard ranges are contiguous, so the result is still
+  // in document order).
   Result<std::vector<Pre>> IndexLookup(VertexId v) const;
+
+  // The sharded-execution bundle, or null when disabled.
+  const ShardedExec* Sharded() const {
+    return (options_.sharded != nullptr && options_.sharded->Enabled())
+               ? options_.sharded
+               : nullptr;
+  }
+
+  // The element/value indexes Phase-1 sample draws come from: the
+  // designated sample shard's when one is configured, the full
+  // per-document indexes otherwise (ShardedExec::kSampleUnion).
+  const ElementIndex& SamplingElementIndex(DocId doc) const;
+  const ValueIndex& SamplingValueIndex(DocId doc) const;
 
   // Estimated (or exact) cardinality of the index lookup for v.
   double IndexCount(VertexId v) const;

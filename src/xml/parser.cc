@@ -1,6 +1,8 @@
 #include "xml/parser.h"
 
 #include <cctype>
+#include <string>
+#include <vector>
 
 #include "common/str_util.h"
 
@@ -153,41 +155,16 @@ class Parser {
     return Err("unsupported markup declaration");
   }
 
+  // Elements are parsed iteratively with an explicit stack of open
+  // element names: nesting depth is input-controlled, so a recursive
+  // descent here can overflow the thread stack on adversarially deep
+  // documents (sanitizer builds, with their larger frames, hit this at
+  // a few thousand levels).
   Status ParseElement() {
-    if (!cur_.TryConsume("<")) return Err("expected '<'");
-    std::string name;
-    ROX_RETURN_IF_ERROR(ParseName(&name));
-    builder_->StartElement(name);
-
-    // Attributes.
-    for (;;) {
-      cur_.SkipWhitespace();
-      if (cur_.AtEnd()) return Err("unterminated start tag");
-      if (cur_.TryConsume("/>")) {
-        builder_->EndElement();
-        return Status::Ok();
-      }
-      if (cur_.TryConsume(">")) break;
-      std::string aname;
-      ROX_RETURN_IF_ERROR(ParseName(&aname));
-      cur_.SkipWhitespace();
-      if (!cur_.TryConsume("=")) return Err("expected '=' in attribute");
-      cur_.SkipWhitespace();
-      if (cur_.AtEnd()) return Err("unterminated attribute");
-      char quote = cur_.Take();
-      if (quote != '"' && quote != '\'') {
-        return Err("expected quoted attribute value");
-      }
-      std::string raw;
-      if (!cur_.TakeUntil(std::string_view(&quote, 1), &raw)) {
-        return Err("unterminated attribute value");
-      }
-      std::string value;
-      ROX_RETURN_IF_ERROR(Unescape(raw, &value));
-      builder_->Attribute(aname, value);
-    }
-
-    // Content.
+    std::vector<std::string> open;
+    // Pending character data of the innermost open element. A single
+    // buffer suffices: it is always flushed before a tag boundary, so
+    // text never spans nesting levels.
     std::string text;
     auto flush_text = [&]() {
       if (text.empty()) return;
@@ -197,7 +174,55 @@ class Parser {
       text.clear();
     };
 
-    for (;;) {
+    // The document's level column is uint16 and a text child of an
+    // element at depth d has level d + 2 (the document node is level
+    // 0), so element nesting beyond this must be rejected — without
+    // the check it would parse "successfully" with silently wrapped
+    // levels, corrupting level-based child navigation.
+    constexpr size_t kMaxElementDepth = 65533;
+
+    // Parses one start tag with its attributes; pushes onto `open`
+    // unless the element was self-closing.
+    auto parse_start_tag = [&]() -> Status {
+      if (!cur_.TryConsume("<")) return Err("expected '<'");
+      if (open.size() >= kMaxElementDepth) {
+        return Err("element nesting too deep");
+      }
+      std::string name;
+      ROX_RETURN_IF_ERROR(ParseName(&name));
+      builder_->StartElement(name);
+      for (;;) {
+        cur_.SkipWhitespace();
+        if (cur_.AtEnd()) return Err("unterminated start tag");
+        if (cur_.TryConsume("/>")) {
+          builder_->EndElement();
+          return Status::Ok();
+        }
+        if (cur_.TryConsume(">")) break;
+        std::string aname;
+        ROX_RETURN_IF_ERROR(ParseName(&aname));
+        cur_.SkipWhitespace();
+        if (!cur_.TryConsume("=")) return Err("expected '=' in attribute");
+        cur_.SkipWhitespace();
+        if (cur_.AtEnd()) return Err("unterminated attribute");
+        char quote = cur_.Take();
+        if (quote != '"' && quote != '\'') {
+          return Err("expected quoted attribute value");
+        }
+        std::string raw;
+        if (!cur_.TakeUntil(std::string_view(&quote, 1), &raw)) {
+          return Err("unterminated attribute value");
+        }
+        std::string value;
+        ROX_RETURN_IF_ERROR(Unescape(raw, &value));
+        builder_->Attribute(aname, value);
+      }
+      open.push_back(std::move(name));
+      return Status::Ok();
+    };
+
+    ROX_RETURN_IF_ERROR(parse_start_tag());
+    while (!open.empty()) {
       if (cur_.AtEnd()) return Err("unterminated element content");
       if (cur_.Peek() == '<') {
         if (cur_.TryConsume("</")) {
@@ -206,12 +231,13 @@ class Parser {
           ROX_RETURN_IF_ERROR(ParseName(&end_name));
           cur_.SkipWhitespace();
           if (!cur_.TryConsume(">")) return Err("expected '>' in end tag");
-          if (end_name != name) {
+          if (end_name != open.back()) {
             return Err(StrCat("mismatched end tag </", end_name,
-                              ">, expected </", name, ">"));
+                              ">, expected </", open.back(), ">"));
           }
           builder_->EndElement();
-          return Status::Ok();
+          open.pop_back();
+          continue;
         }
         if (cur_.TryConsume("<![CDATA[")) {
           std::string cdata;
@@ -226,7 +252,7 @@ class Parser {
           continue;
         }
         flush_text();
-        ROX_RETURN_IF_ERROR(ParseElement());
+        ROX_RETURN_IF_ERROR(parse_start_tag());
         continue;
       }
       // Character data (with entity expansion).
@@ -237,6 +263,7 @@ class Parser {
       ROX_RETURN_IF_ERROR(Unescape(raw, &unescaped));
       text += unescaped;
     }
+    return Status::Ok();
   }
 
   Status Unescape(std::string_view raw, std::string* out) {

@@ -240,6 +240,7 @@ void MergeStats(RoxStats& into, const RoxStats& from) {
   into.cumulative_intermediate_rows += from.cumulative_intermediate_rows;
   into.peak_intermediate_rows =
       std::max(into.peak_intermediate_rows, from.peak_intermediate_rows);
+  into.sharded.Merge(from.sharded);
 }
 
 }  // namespace

@@ -59,8 +59,12 @@ TEST(ParserRobustnessTest, MutatedValidDocuments) {
 }
 
 TEST(ParserRobustnessTest, DeeplyNestedDocument) {
+  // Nesting depth is attacker-controlled input; the element parser is
+  // iterative (explicit open-tag stack), so depths far beyond any
+  // thread stack budget must parse. 50000 also stays under the uint16
+  // level column's ceiling.
   std::string xml;
-  const int depth = 2000;
+  const int depth = 50000;
   for (int i = 0; i < depth; ++i) xml += "<d>";
   xml += "x";
   for (int i = 0; i < depth; ++i) xml += "</d>";
@@ -68,6 +72,20 @@ TEST(ParserRobustnessTest, DeeplyNestedDocument) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ((*r)->NodeCount(), static_cast<Pre>(depth + 2));
   EXPECT_EQ((*r)->Level(depth), depth);
+}
+
+TEST(ParserRobustnessTest, NestingBeyondLevelColumnIsRejected) {
+  // Depths that would wrap the uint16 level column must fail cleanly
+  // instead of parsing into a silently corrupted document.
+  std::string xml;
+  const int depth = 70000;
+  for (int i = 0; i < depth; ++i) xml += "<d>";
+  xml += "x";
+  for (int i = 0; i < depth; ++i) xml += "</d>";
+  auto r = ParseXml(xml, "too_deep.xml");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("nesting too deep"),
+            std::string::npos);
 }
 
 TEST(ParserRobustnessTest, RandomDocumentRoundTrip) {
