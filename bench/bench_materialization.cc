@@ -1,0 +1,307 @@
+// Late materialization vs eager row-copying (DESIGN.md §8): runs XMark
+// Q1/Qm1 and a deep descendant-chain query through the full ROX
+// pipeline twice — once with lazy_materialization off (the seed
+// engine's eager path: every edge execution and assembly join copies
+// all live columns) and once on (selection-vector views, one gather at
+// the plan tail) — and reports the total and edge-execution speedups.
+// Result item sequences must be byte-identical between the two modes;
+// the process exits 1 when they are not.
+//
+//   $ ./bench_materialization [--xmark_scale=1.0] [--chains=400]
+//        [--chain_depth=12] [--repeat=5] [--tau=100] [--seed=42]
+//        [--smoke] [--json=BENCH_materialization.json]
+//        [--max_regression=0] [--require_speedup=0]
+//
+// --smoke shrinks the corpus and repeat count for CI.
+// --max_regression=R fails the run if, on any query, the lazy total
+//   wall time exceeds R x the eager total wall time (the CI guard:
+//   late materialization must never cost more than the noise budget).
+// --require_speedup=S fails the run unless the best edge-execution
+//   speedup across the queries reaches S (the acceptance gate; left
+//   off in CI smoke runs, where shared-runner timing is too noisy to
+//   hard-gate a ratio).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "index/corpus.h"
+#include "rox/options.h"
+#include "workload/xmark.h"
+#include "xq/compile.h"
+
+namespace rox::bench {
+namespace {
+
+struct BenchQuery {
+  std::string name;
+  std::string text;
+};
+
+std::vector<BenchQuery> Queries(int chain_depth) {
+  std::vector<BenchQuery> out;
+  out.push_back({"xmark_q1",
+                 R"(let $d := doc("xmark.xml")
+        for $o in $d//open_auction[.//current/text() < 145],
+            $p in $d//person[.//province],
+            $i in $d//item[./quantity = 1]
+        where $o//bidder//personref/@person = $p/@id and
+              $o//itemref/@item = $i/@id
+        return $o)"});
+  out.push_back({"xmark_qm1",
+                 R"(let $d := doc("xmark.xml")
+        for $o in $d//open_auction[.//current/text() > 145],
+            $p in $d//person[.//province],
+            $i in $d//item[./quantity = 1]
+        where $o//bidder//personref/@person = $p/@id and
+              $o//itemref/@item = $i/@id
+        return $o)"});
+  // Deep chain over the synthetic alternating a/b document: every //a
+  // and //b step multiplies the intermediate combinations, and only
+  // the final $x column survives to the plan tail — the best case for
+  // dead-column elision.
+  std::string chain = R"(let $d := doc("chain.xml") for $x in $d)";
+  for (int i = 0; i < chain_depth / 4; ++i) chain += "//a//b";
+  chain += "//t return $x";
+  out.push_back({"deep_chain", std::move(chain)});
+  return out;
+}
+
+// M independent chains of depth D alternating <a>/<b>, each ending in
+// a single <t/> leaf.
+std::string ChainDocumentXml(int chains, int depth) {
+  std::string xml = "<root>";
+  for (int c = 0; c < chains; ++c) {
+    for (int l = 0; l < depth; ++l) xml += (l % 2 == 0) ? "<a>" : "<b>";
+    xml += "<t/>";
+    for (int l = depth - 1; l >= 0; --l) {
+      xml += (l % 2 == 0) ? "</a>" : "</b>";
+    }
+  }
+  xml += "</root>";
+  return xml;
+}
+
+struct ModeRun {
+  double best_total_ms = 0;
+  double best_exec_ms = 0;  // edge executions + final assembly
+  std::vector<Pre> items;
+  RoxStats stats;
+};
+
+Result<ModeRun> RunMode(const Corpus& corpus,
+                        const xq::CompiledQuery& compiled,
+                        const RoxOptions& base, bool lazy, int repeat) {
+  ModeRun out;
+  for (int r = 0; r < repeat; ++r) {
+    RoxOptions rox = base;
+    rox.lazy_materialization = lazy;
+    RoxStats stats;
+    StopWatch watch;
+    auto items = xq::RunXQuery(corpus, compiled, rox, &stats);
+    double ms = watch.ElapsedMillis();
+    ROX_RETURN_IF_ERROR(items.status());
+    if (r == 0 || ms < out.best_total_ms) {
+      out.best_total_ms = ms;
+      out.best_exec_ms = stats.execution_time.TotalMillis();
+      out.stats = stats;
+    }
+    if (r == 0) {
+      out.items = std::move(*items);
+    } else if (*items != out.items) {
+      return Status::Internal(
+          "result items differ between repeats of the same mode");
+    }
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke", false);
+  const double xmark_scale =
+      flags.GetDouble("xmark_scale", smoke ? 0.2 : 1.0);
+  const int chains =
+      static_cast<int>(flags.GetInt("chains", smoke ? 40 : 120));
+  const int chain_depth = static_cast<int>(flags.GetInt("chain_depth", 20));
+  const int repeat = static_cast<int>(flags.GetInt("repeat", smoke ? 2 : 5));
+  const uint64_t tau = static_cast<uint64_t>(flags.GetInt("tau", 100));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const double max_regression = flags.GetDouble("max_regression", 0.0);
+  const double require_speedup = flags.GetDouble("require_speedup", 0.0);
+  const std::string json_path =
+      flags.GetString("json", "BENCH_materialization.json");
+  if (chain_depth < 4 || chain_depth > 64 || chain_depth % 4 != 0) {
+    std::fprintf(stderr,
+                 "bad value for --chain_depth: %d (want a multiple of 4 in "
+                 "[4, 64])\n",
+                 chain_depth);
+    return 2;
+  }
+  if (chains < 1 || chains > 1000000) {
+    std::fprintf(stderr, "bad value for --chains: %d\n", chains);
+    return 2;
+  }
+  flags.FailOnUnused();
+
+  Corpus corpus;
+  XmarkGenOptions gen;
+  gen.items = static_cast<uint32_t>(4350 * xmark_scale);
+  gen.persons = static_cast<uint32_t>(5100 * xmark_scale);
+  gen.open_auctions = static_cast<uint32_t>(2400 * xmark_scale);
+  auto xdoc = GenerateXmarkDocument(corpus, gen);
+  if (!xdoc.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", xdoc.status().ToString().c_str());
+    return 1;
+  }
+  auto cdoc =
+      corpus.AddXml(ChainDocumentXml(chains, chain_depth), "chain.xml");
+  if (!cdoc.ok()) {
+    std::fprintf(stderr, "chain doc: %s\n",
+                 cdoc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "XMark scale %.2f (%u nodes) + %d chains of depth %d (%u nodes); "
+      "%d repeats\n\n",
+      xmark_scale, corpus.doc(*xdoc).NodeCount(), chains, chain_depth,
+      corpus.doc(*cdoc).NodeCount(), repeat);
+
+  RoxOptions rox;
+  rox.tau = tau;
+  rox.seed = seed;
+
+  struct Row {
+    std::string name;
+    uint64_t items = 0;
+    ModeRun eager, lazy;
+    double speedup_total = 0, speedup_exec = 0;
+    bool identical = false;
+  };
+  std::vector<Row> rows;
+  bool all_identical = true;
+  double best_exec_speedup = 0;
+  bool regression = false;
+
+  std::printf(
+      "query       | eager ms (exec)  | lazy ms (exec)   | total x | "
+      "exec x | gathers | MB gathered | identical\n");
+  for (const BenchQuery& q : Queries(chain_depth)) {
+    auto compiled = xq::CompileXQuery(corpus, q.text);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "compile %s: %s\n", q.name.c_str(),
+                   compiled.status().ToString().c_str());
+      return 1;
+    }
+    Row row;
+    row.name = q.name;
+    auto eager = RunMode(corpus, *compiled, rox, /*lazy=*/false, repeat);
+    auto lazy = RunMode(corpus, *compiled, rox, /*lazy=*/true, repeat);
+    if (!eager.ok() || !lazy.ok()) {
+      std::fprintf(stderr, "%s: %s\n", q.name.c_str(),
+                   (!eager.ok() ? eager : lazy).status().ToString().c_str());
+      return 1;
+    }
+    row.eager = std::move(*eager);
+    row.lazy = std::move(*lazy);
+    row.items = row.lazy.items.size();
+    row.identical = row.eager.items == row.lazy.items;
+    all_identical &= row.identical;
+    row.speedup_total =
+        row.lazy.best_total_ms > 0
+            ? row.eager.best_total_ms / row.lazy.best_total_ms
+            : 0;
+    row.speedup_exec = row.lazy.best_exec_ms > 0
+                           ? row.eager.best_exec_ms / row.lazy.best_exec_ms
+                           : 0;
+    best_exec_speedup = std::max(best_exec_speedup, row.speedup_exec);
+    if (max_regression > 0 &&
+        row.lazy.best_total_ms > row.eager.best_total_ms * max_regression) {
+      regression = true;
+    }
+    std::printf(
+        "%-11s | %8.1f (%5.1f) | %8.1f (%5.1f) | %6.2fx | %5.2fx | %7llu | "
+        "%11.2f | %s\n",
+        row.name.c_str(), row.eager.best_total_ms, row.eager.best_exec_ms,
+        row.lazy.best_total_ms, row.lazy.best_exec_ms, row.speedup_total,
+        row.speedup_exec,
+        static_cast<unsigned long long>(row.lazy.stats.gather.gather_count),
+        static_cast<double>(row.lazy.stats.gather.bytes_gathered) /
+            (1024.0 * 1024.0),
+        row.identical ? "yes" : "NO");
+    rows.push_back(std::move(row));
+  }
+
+  // JSON report (uploaded as a CI artifact so the perf trajectory is
+  // tracked per PR).
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"materialization\",\n"
+                 "  \"xmark_scale\": %.3f,\n  \"chains\": %d,\n"
+                 "  \"chain_depth\": %d,\n  \"repeat\": %d,\n"
+                 "  \"tau\": %llu,\n  \"seed\": %llu,\n  \"queries\": [\n",
+                 xmark_scale, chains, chain_depth, repeat,
+                 static_cast<unsigned long long>(tau),
+                 static_cast<unsigned long long>(seed));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(
+          f,
+          "    {\"name\": \"%s\", \"result_items\": %llu,\n"
+          "     \"eager_total_ms\": %.3f, \"eager_exec_ms\": %.3f,\n"
+          "     \"lazy_total_ms\": %.3f, \"lazy_exec_ms\": %.3f,\n"
+          "     \"speedup_total\": %.3f, \"speedup_exec\": %.3f,\n"
+          "     \"lazy_gathers\": %llu, \"lazy_bytes_gathered\": %llu,\n"
+          "     \"lazy_arena_bytes\": %llu, "
+          "\"peak_intermediate_rows\": %llu,\n"
+          "     \"identical_results\": %s}%s\n",
+          r.name.c_str(), static_cast<unsigned long long>(r.items),
+          r.eager.best_total_ms, r.eager.best_exec_ms, r.lazy.best_total_ms,
+          r.lazy.best_exec_ms, r.speedup_total, r.speedup_exec,
+          static_cast<unsigned long long>(r.lazy.stats.gather.gather_count),
+          static_cast<unsigned long long>(
+              r.lazy.stats.gather.bytes_gathered),
+          static_cast<unsigned long long>(r.lazy.stats.arena_bytes),
+          static_cast<unsigned long long>(
+              r.lazy.stats.peak_intermediate_rows),
+          r.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"best_exec_speedup\": %.3f\n}\n",
+                 best_exec_speedup);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: lazy and eager materialization returned different "
+                 "result items\n");
+    return 1;
+  }
+  if (regression) {
+    std::fprintf(stderr,
+                 "FAIL: lazy wall time exceeded %.2fx the eager baseline\n",
+                 max_regression);
+    return 1;
+  }
+  if (require_speedup > 0 && best_exec_speedup < require_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: best edge-execution speedup %.2fx < required "
+                 "%.2fx\n",
+                 best_exec_speedup, require_speedup);
+    return 1;
+  }
+  std::printf("lazy and eager results are byte-identical on every query\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rox::bench
+
+int main(int argc, char** argv) { return rox::bench::Main(argc, argv); }

@@ -78,6 +78,16 @@ int64_t Flags::GetInt(const std::string& key, int64_t def) const {
   return def;
 }
 
+std::string Flags::GetString(const std::string& key, std::string def) const {
+  for (size_t i = 0; i < kv_.size(); ++i) {
+    if (kv_[i].first == key) {
+      used_[i] = true;
+      return kv_[i].second;
+    }
+  }
+  return def;
+}
+
 bool Flags::GetBool(const std::string& key, bool def) const {
   for (size_t i = 0; i < kv_.size(); ++i) {
     if (kv_[i].first == key) {

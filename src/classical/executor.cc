@@ -7,7 +7,9 @@
 #include "common/check.h"
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "exec/column_arena.h"
 #include "exec/result_table.h"
+#include "exec/result_view.h"
 #include "exec/sharded_exec.h"
 #include "exec/structural_join.h"
 #include "exec/value_join.h"
@@ -18,13 +20,16 @@ namespace rox {
 namespace {
 
 // A partially executed per-document (or joined multi-document)
-// partition. `table` columns alternate [author?, text] per stepped doc
-// and [text] per un-stepped doc; `text_col` points at a text column
+// partition. Columns alternate [author?, text] per stepped doc and
+// [text] per un-stepped doc; `join_value_col` points at a text column
 // usable as the join value (all text columns of a partition have equal
-// values once joined). `stepped[i]` records whether doc i's author step
-// ran; `text_col_of[i]` maps doc index -> its text column.
+// values once joined); `text_col_of[i]` maps doc index -> its text
+// column. An eager run materializes `table`; a lazy run keeps `view`
+// (selection vectors over the run's arena) instead — join sizes are
+// identical either way.
 struct Partition {
   ResultTable table;
+  ResultView view;
   std::vector<int> docs;                    // doc indices joined in
   std::unordered_map<int, size_t> text_col_of;
   size_t join_value_col = 0;
@@ -34,8 +39,12 @@ struct Partition {
 
 CanonicalPlanExecutor::CanonicalPlanExecutor(const Corpus& corpus,
                                              std::vector<DocId> docs,
-                                             const ShardedExec* sharded)
-    : corpus_(corpus), docs_(std::move(docs)), sharded_(sharded) {
+                                             const ShardedExec* sharded,
+                                             bool lazy)
+    : corpus_(corpus),
+      docs_(std::move(docs)),
+      sharded_(sharded),
+      lazy_(lazy) {
   author_ = corpus_.string_pool().Find("author");
   ROX_CHECK(author_ != kInvalidStringId);
   ROX_CHECK(docs_.size() == 4);
@@ -45,9 +54,25 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
                                                 StepPlacement placement) const {
   StopWatch watch;
   PlanRunStats stats;
+  // Backs all lazy views of this run; unused (empty) on eager runs.
+  ColumnArena arena;
 
   std::vector<int> seq = order.DocSequence();
   std::vector<bool> stepped(4, false);
+
+  auto rows_of = [&](const Partition& p) {
+    return lazy_ ? p.view.NumRows() : p.table.NumRows();
+  };
+  auto cols_of = [&](const Partition& p) {
+    return lazy_ ? p.view.NumCols() : p.table.NumCols();
+  };
+  // The partition's join-value column as a contiguous probe span (a
+  // direct view column or an eager table column costs nothing; an
+  // indexed view column gathers once into the arena).
+  auto probe_col = [&](const Partition& p) -> std::span<const Pre> {
+    return lazy_ ? p.view.GatherColumn(p.join_value_col, arena, nullptr)
+                 : p.table.Col(p.join_value_col);
+  };
 
   // Executes doc i's author/text() step as an initial table.
   auto step_table = [&](int i) -> Partition {
@@ -58,10 +83,24 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
     JoinPairs pairs = ShardedStructuralJoinPairs(
         sharded_, d, doc, authors, StepSpec::ChildText(), nullptr, nullptr);
     Partition part;
-    part.table = ResultTable(2);
-    for (uint64_t k = 0; k < pairs.size(); ++k) {
-      part.table.MutableCol(0).push_back(authors[pairs.left_rows[k]]);
-      part.table.MutableCol(1).push_back(pairs.right_nodes[k]);
+    if (lazy_) {
+      // The pair arrays are the view: authors as the base of a
+      // selection-vector column, text nodes as a direct column.
+      std::span<const Pre> base = arena.Adopt(std::move(authors));
+      ResultView v(2, pairs.size());
+      v.col(0) = {base.data(),
+                  arena.Adopt(std::move(pairs.left_rows)).data()};
+      v.col(1) = {arena.Adopt(std::move(pairs.right_nodes)).data(),
+                  nullptr};
+      part.view = std::move(v);
+    } else {
+      part.table = ResultTable(2);
+      std::vector<Pre>& acol = part.table.MutableCol(0);
+      acol.resize(pairs.size());
+      for (uint64_t k = 0; k < pairs.size(); ++k) {
+        acol[k] = authors[pairs.left_rows[k]];
+      }
+      part.table.MutableCol(1) = std::move(pairs.right_nodes);
     }
     part.docs = {i};
     part.text_col_of[i] = 1;
@@ -75,17 +114,21 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
   auto apply_step_filter = [&](Partition& part, int i) {
     const Document& doc = corpus_.doc(docs_[i]);
     size_t col = part.text_col_of.at(i);
-    const std::vector<Pre>& texts = part.table.Col(col);
     std::vector<uint32_t> keep;
-    keep.reserve(texts.size());
-    for (uint32_t r = 0; r < texts.size(); ++r) {
-      Pre parent = doc.Parent(texts[r]);
+    keep.reserve(rows_of(part));
+    for (uint32_t r = 0; r < rows_of(part); ++r) {
+      Pre text = lazy_ ? part.view.At(col, r) : part.table.Col(col)[r];
+      Pre parent = doc.Parent(text);
       if (parent != kInvalidPre && doc.Kind(parent) == NodeKind::kElem &&
           doc.Name(parent) == author_) {
         keep.push_back(r);
       }
     }
-    part.table = part.table.SelectRows(keep);
+    if (lazy_) {
+      part.view = SelectRowsView(part.view, keep, arena);
+    } else {
+      part.table = part.table.SelectRows(keep);
+    }
     stepped[i] = true;
   };
 
@@ -95,15 +138,18 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
     DocId d = docs_[i];
     const Document& part_doc = corpus_.doc(docs_[part.docs[0]]);
     JoinPairs pairs = ShardedValueIndexJoinPairs(
-        sharded_, part_doc, part.table.Col(part.join_value_col),
-        corpus_.doc(d), corpus_.value_index(d), ValueProbeSpec::Text(),
-        nullptr);
+        sharded_, part_doc, probe_col(part), corpus_.doc(d),
+        corpus_.value_index(d), ValueProbeSpec::Text(), nullptr);
     Partition out;
-    out.table = ExtendTableWithPairs(part.table, pairs);
+    if (lazy_) {
+      out.view = ExtendViewWithPairs(part.view, std::move(pairs), arena);
+    } else {
+      out.table = ExtendTableWithPairs(part.table, pairs);
+    }
     out.docs = part.docs;
     out.docs.push_back(i);
     out.text_col_of = part.text_col_of;
-    out.text_col_of[i] = out.table.NumCols() - 1;
+    out.text_col_of[i] = cols_of(out) - 1;
     out.join_value_col = part.join_value_col;
     return out;
   };
@@ -113,25 +159,33 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
     const Document& xd = corpus_.doc(docs_[x.docs[0]]);
     const Document& yd = corpus_.doc(docs_[y.docs[0]]);
     // Probe with x's value column against y's distinct value column.
-    std::vector<Pre> inner = y.table.DistinctColumn(y.join_value_col);
-    JoinPairs pairs = ShardedHashValueJoinPairs(
-        sharded_, xd, x.table.Col(x.join_value_col), yd, inner, nullptr);
+    std::vector<Pre> inner = lazy_
+                                 ? y.view.DistinctColumn(y.join_value_col)
+                                 : y.table.DistinctColumn(y.join_value_col);
+    JoinPairs pairs = ShardedHashValueJoinPairs(sharded_, xd, probe_col(x),
+                                                yd, inner, nullptr);
     Partition out;
-    out.table =
-        JoinTablesWithPairs(x.table, pairs, y.table, y.join_value_col);
+    size_t x_cols = cols_of(x);
+    if (lazy_) {
+      out.view =
+          JoinViewsWithPairs(x.view, pairs, y.view, y.join_value_col, arena);
+    } else {
+      out.table =
+          JoinTablesWithPairs(x.table, pairs, y.table, y.join_value_col);
+    }
     out.docs = x.docs;
     out.docs.insert(out.docs.end(), y.docs.begin(), y.docs.end());
     out.text_col_of = x.text_col_of;
     for (auto& [doc_idx, col] : y.text_col_of) {
-      out.text_col_of[doc_idx] = x.table.NumCols() + col;
+      out.text_col_of[doc_idx] = x_cols + col;
     }
     out.join_value_col = x.join_value_col;
     return out;
   };
 
   auto record_join = [&](const Partition& p) {
-    stats.join_result_sizes.push_back(p.table.NumRows());
-    stats.cumulative_join_rows += p.table.NumRows();
+    stats.join_result_sizes.push_back(rows_of(p));
+    stats.cumulative_join_rows += rows_of(p);
   };
 
   Partition result;
@@ -186,7 +240,7 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
     }
   }
 
-  stats.result_rows = result.table.NumRows();
+  stats.result_rows = rows_of(result);
   stats.elapsed_ms = watch.ElapsedMillis();
   return stats;
 }

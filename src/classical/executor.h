@@ -40,9 +40,13 @@ class CanonicalPlanExecutor {
   // steps and value joins of every plan out per shard — the fixed
   // *logical* plan (join order, step placement) is untouched, so the
   // measured plan-class ratios stay comparable; only wall-clock
-  // changes. Must outlive the executor.
+  // changes. Must outlive the executor. `lazy` (the default) keeps
+  // partition intermediates as selection-vector views over a per-run
+  // arena instead of row-copying at every join/filter; join sizes and
+  // result counts are identical either way (DESIGN.md §8).
   CanonicalPlanExecutor(const Corpus& corpus, std::vector<DocId> docs,
-                        const ShardedExec* sharded = nullptr);
+                        const ShardedExec* sharded = nullptr,
+                        bool lazy = true);
 
   // Runs one (join order, step placement) plan.
   Result<PlanRunStats> Run(const JoinOrder& order,
@@ -59,6 +63,7 @@ class CanonicalPlanExecutor {
   std::vector<DocId> docs_;
   StringId author_;
   const ShardedExec* sharded_;
+  bool lazy_;
 };
 
 // Cumulative join cardinality of a join order computed purely from the

@@ -260,8 +260,8 @@ Result<ProgressiveResult> ExecuteProgressively(
     executed[e] = true;
     --remaining;
     double observed =
-        state.estate(e).result.has_value()
-            ? static_cast<double>(state.estate(e).result->NumRows())
+        state.estate(e).HasResult()
+            ? static_cast<double>(state.estate(e).ResultRows())
             : est;  // implied-skip edges observe nothing
     // Validity range check ([25]): re-plan the rest when the observed
     // cardinality escapes [est/f, est*f].

@@ -23,7 +23,7 @@ uint64_t MixSeed(uint64_t base, uint64_t seq) {
 }  // namespace
 
 std::string EngineStats::ToString() const {
-  char buf[640];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "queries: %llu ok, %llu failed in %.2fs (%.1f q/s)\n"
@@ -31,7 +31,9 @@ std::string EngineStats::ToString() const {
       "plan cache: %llu hits / %llu misses (%.0f%% hit rate)\n"
       "result cache: %llu replays (%.0f%% of completed)\n"
       "warm starts: %llu runs reused %llu edge weights\n"
-      "optimizer: %llu edges executed, sampling %.1f ms, execution %.1f ms",
+      "optimizer: %llu edges executed, sampling %.1f ms, execution %.1f ms\n"
+      "materialization: %llu gathers, %.2f MB gathered, peak intermediate "
+      "%llu rows",
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(failed), wall_seconds, qps(), p50_ms,
       p95_ms, mean_ms, max_ms,
@@ -43,7 +45,9 @@ std::string EngineStats::ToString() const {
       static_cast<unsigned long long>(warm_started_runs),
       static_cast<unsigned long long>(warm_started_weights),
       static_cast<unsigned long long>(edges_executed), sampling_ms,
-      execution_ms);
+      execution_ms, static_cast<unsigned long long>(gather_count),
+      static_cast<double>(bytes_gathered) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(peak_intermediate_rows));
   std::string out = buf;
   if (num_shards > 1) {
     std::snprintf(buf, sizeof(buf),
@@ -189,6 +193,8 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
 
   RoxOptions rox = options_.rox;
   rox.seed = MixSeed(options_.rox.seed, seq);
+  rox.lazy_materialization =
+      options_.lazy_materialization && options_.rox.lazy_materialization;
   if (sharded_corpus_ != nullptr) rox.sharded = &sharded_exec_;
   std::vector<double> learned;
   RoxStats rox_stats;

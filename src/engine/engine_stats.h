@@ -39,6 +39,13 @@ struct EngineStats {
   double sampling_ms = 0;
   double execution_ms = 0;
 
+  // Late materialization: gather operations and bytes written by them
+  // across all runs (zero when lazy_materialization is off), and the
+  // largest single intermediate any run materialized.
+  uint64_t gather_count = 0;
+  uint64_t bytes_gathered = 0;
+  uint64_t peak_intermediate_rows = 0;
+
   // Sharded execution: the engine's shard count plus the fan-out step
   // and per-shard row counters aggregated over all runs (zero/empty
   // when num_shards <= 1).
@@ -102,6 +109,10 @@ class StatsCollector {
       counters_.warm_started_runs += r.rox->warm_started_weights > 0 ? 1 : 0;
       counters_.sampling_ms += r.rox->sampling_time.TotalMillis();
       counters_.execution_ms += r.rox->execution_time.TotalMillis();
+      counters_.gather_count += r.rox->gather.gather_count;
+      counters_.bytes_gathered += r.rox->gather.bytes_gathered;
+      counters_.peak_intermediate_rows = std::max(
+          counters_.peak_intermediate_rows, r.rox->peak_intermediate_rows);
       counters_.sharded.Merge(r.rox->sharded);
     }
     if (!r.failed) RecordLatency(r.latency_ms);

@@ -1,0 +1,65 @@
+// Per-query bump allocator for column and selection-vector storage.
+//
+// Late materialization (DESIGN.md §8) represents intermediate results
+// as views: (base column, selection vector) pairs. Both parts are
+// uint32 sequences (node ids and row indices), so one arena serves
+// both. Allocations are served from geometrically growing blocks and
+// are never individually freed — everything dies with the query. Spans
+// handed out stay stable for the arena's lifetime (blocks never move),
+// which is what lets many view columns alias one shared selection
+// vector.
+//
+// Adopt() takes ownership of an existing vector without copying it:
+// the vector's heap buffer becomes arena-owned storage. This is how a
+// join's freshly produced pair arrays (JoinPairs::left_rows /
+// right_nodes) become view columns with zero additional writes.
+
+#ifndef ROX_EXEC_COLUMN_ARENA_H_
+#define ROX_EXEC_COLUMN_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "xml/node.h"
+
+namespace rox {
+
+// Selection vectors index rows; node columns hold Pre values. Both are
+// uint32, so the arena allocates untyped uint32 words.
+static_assert(std::is_same_v<Pre, uint32_t>,
+              "ColumnArena assumes Pre and row indices share uint32");
+
+class ColumnArena {
+ public:
+  ColumnArena() = default;
+
+  ColumnArena(const ColumnArena&) = delete;
+  ColumnArena& operator=(const ColumnArena&) = delete;
+
+  // Uninitialized storage for `n` words; stable until the arena dies.
+  std::span<uint32_t> Alloc(size_t n);
+
+  // Takes ownership of `v`'s buffer (no copy) and returns its contents
+  // as an arena-stable span.
+  std::span<const uint32_t> Adopt(std::vector<uint32_t>&& v);
+
+  // Total bytes held (blocks plus adopted buffers' capacity).
+  uint64_t bytes_reserved() const { return bytes_; }
+
+ private:
+  // First block size, in words. Grows geometrically from there.
+  static constexpr size_t kMinBlockWords = size_t{1} << 12;
+
+  std::vector<std::unique_ptr<uint32_t[]>> blocks_;
+  size_t block_words_ = 0;  // capacity of the current (last) block
+  size_t used_ = 0;         // words used in the current block
+  std::vector<std::vector<uint32_t>> adopted_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace rox
+
+#endif  // ROX_EXEC_COLUMN_ARENA_H_

@@ -34,6 +34,20 @@ struct JoinPairs {
 
   uint64_t size() const { return right_nodes.size(); }
 
+  // Resets to an empty, un-truncated result, keeping buffer capacity —
+  // the reuse contract of the *Into kernel variants.
+  void Clear() {
+    left_rows.clear();
+    right_nodes.clear();
+    truncated = false;
+    outer_consumed = 0;
+  }
+
+  void Reserve(uint64_t n) {
+    left_rows.reserve(n);
+    right_nodes.reserve(n);
+  }
+
   // Linear extrapolation of the full (un-truncated) result cardinality
   // given the total outer input size used for this execution.
   double EstimateFullCardinality(uint64_t outer_total) const {

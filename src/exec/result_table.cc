@@ -108,33 +108,18 @@ ResultTable JoinTablesWithPairs(const ResultTable& outer,
                                 const ResultTable& inner, size_t inner_col) {
   // CSR index of the inner join column: node -> contiguous row-id run.
   const std::vector<Pre>& icol = inner.Col(inner_col);
-  std::unordered_map<Pre, std::pair<uint32_t, uint32_t>> runs;  // off, len
-  runs.reserve(icol.size());
-  for (uint32_t r = 0; r < icol.size(); ++r) ++runs[icol[r]].second;
-  std::vector<uint32_t> row_ids(icol.size());
-  {
-    uint32_t off = 0;
-    for (auto& [node, run] : runs) {
-      run.first = off;
-      off += run.second;
-      run.second = 0;  // reused as fill cursor
-    }
-    for (uint32_t r = 0; r < icol.size(); ++r) {
-      auto& run = runs[icol[r]];
-      row_ids[run.first + run.second++] = r;
-    }
-  }
+  ValueRuns vr = BuildValueRuns(icol.size(), [&](uint32_t r) { return icol[r]; });
 
   // Expand pairs into aligned (outer row, inner row) index lists.
   std::vector<uint32_t> orows, irows;
   orows.reserve(pairs.size());
   irows.reserve(pairs.size());
   for (uint64_t k = 0; k < pairs.size(); ++k) {
-    auto it = runs.find(pairs.right_nodes[k]);
-    if (it == runs.end()) continue;
+    auto it = vr.runs.find(pairs.right_nodes[k]);
+    if (it == vr.runs.end()) continue;
     for (uint32_t j = 0; j < it->second.second; ++j) {
       orows.push_back(pairs.left_rows[k]);
-      irows.push_back(row_ids[it->second.first + j]);
+      irows.push_back(vr.row_ids[it->second.first + j]);
     }
   }
 

@@ -12,12 +12,45 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "exec/join_result.h"
 #include "xml/node.h"
 
 namespace rox {
+
+// CSR grouping of a node column: node -> (offset, length) run into
+// `row_ids`, the row indices grouped per node in ascending row order.
+// Every pair-expansion site (eager and lazy table joins, both final
+// assemblies) shares this construction, so the row order they emit is
+// identical — the invariant behind the lazy/eager byte-identity
+// guarantee (DESIGN.md §8).
+struct ValueRuns {
+  std::unordered_map<Pre, std::pair<uint32_t, uint32_t>> runs;  // off, len
+  std::vector<uint32_t> row_ids;
+};
+
+// `value_at(r)` returns the node value of row r, for r in [0, n).
+template <typename ValueAt>
+ValueRuns BuildValueRuns(uint64_t n, ValueAt&& value_at) {
+  ValueRuns out;
+  out.runs.reserve(n);
+  for (uint32_t r = 0; r < n; ++r) ++out.runs[value_at(r)].second;
+  out.row_ids.resize(n);
+  uint32_t off = 0;
+  for (auto& [node, run] : out.runs) {
+    run.first = off;
+    off += run.second;
+    run.second = 0;  // reused as the fill cursor; ends back at length
+  }
+  for (uint32_t r = 0; r < n; ++r) {
+    auto& run = out.runs[value_at(r)];
+    out.row_ids[run.first + run.second++] = r;
+  }
+  return out;
+}
 
 class ResultTable {
  public:

@@ -8,26 +8,67 @@ namespace rox {
 
 namespace {
 
-// Concatenates per-part pair lists, shifting each part's left_rows by
-// the part's start offset in the original input, and accumulates the
-// per-lane row counts. Parts must be in input order.
-JoinPairs MergeParts(std::vector<JoinPairs>& parts,
-                     std::span<const uint32_t> offsets, uint64_t outer_total,
-                     ShardFanoutStats* stats) {
-  if (stats != nullptr) {
-    ++stats->fanouts;
-    if (stats->shard_rows.size() < parts.size()) {
-      stats->shard_rows.resize(parts.size(), 0);
-    }
+// Accounts one real fan-out (the sequential single-lane fallbacks
+// leave the stats untouched, so `fanouts` counts parallel executions
+// only). Lane row counts are recorded pre-filtering, at production.
+void RecordFanout(const std::vector<JoinPairs>& parts,
+                  ShardFanoutStats* stats) {
+  if (stats == nullptr) return;
+  ++stats->fanouts;
+  if (stats->shard_rows.size() < parts.size()) {
+    stats->shard_rows.resize(parts.size(), 0);
   }
-  size_t total = 0;
-  for (const JoinPairs& p : parts) total += p.right_nodes.size();
+  for (size_t s = 0; s < parts.size(); ++s) {
+    stats->shard_rows[s] += parts[s].right_nodes.size();
+  }
+}
+
+// A single sequential lane covering the whole input.
+ShardedJoinParts SingleLane(JoinPairs pairs, uint64_t outer_total) {
+  ShardedJoinParts out;
+  out.parts.push_back(std::move(pairs));
+  out.offsets.push_back(0);
+  out.outer_total = outer_total;
+  return out;
+}
+
+// Shared scaffolding of the equi-join fan-outs: splits [0, n) into K
+// contiguous, order-preserving chunks, runs `probe(lo, hi)` per
+// non-empty chunk on the pool. The probe side of an equi-join may be
+// an unsorted intermediate column, so chunking is positional rather
+// than by shard node-id range.
+template <typename Probe>
+ShardedJoinParts ChunkedProbe(const ShardedExec& ex, size_t n,
+                              const Probe& probe, ShardFanoutStats* stats) {
+  size_t k = ex.shards->num_shards();
+  ShardedJoinParts out;
+  out.parts.resize(k);
+  out.offsets.resize(k);
+  out.outer_total = n;
+  ParallelFor(ex.pool, k, [&](size_t s) {
+    uint32_t lo = static_cast<uint32_t>(n * s / k);
+    uint32_t hi = static_cast<uint32_t>(n * (s + 1) / k);
+    out.offsets[s] = lo;
+    if (lo < hi) out.parts[s] = probe(lo, hi);
+  });
+  RecordFanout(out.parts, stats);
+  return out;
+}
+
+}  // namespace
+
+JoinPairs ShardedJoinParts::Merged() && {
+  if (parts.size() == 1 && offsets[0] == 0) {
+    JoinPairs out = std::move(parts[0]);
+    out.truncated = false;
+    out.outer_consumed = outer_total;
+    return out;
+  }
+  uint64_t total = size();
   JoinPairs out;
-  out.left_rows.reserve(total);
-  out.right_nodes.reserve(total);
+  out.Reserve(total);
   for (size_t s = 0; s < parts.size(); ++s) {
     JoinPairs& p = parts[s];
-    if (stats != nullptr) stats->shard_rows[s] += p.right_nodes.size();
     uint32_t off = offsets[s];
     for (uint32_t row : p.left_rows) out.left_rows.push_back(row + off);
     out.right_nodes.insert(out.right_nodes.end(), p.right_nodes.begin(),
@@ -38,57 +79,43 @@ JoinPairs MergeParts(std::vector<JoinPairs>& parts,
   return out;
 }
 
-// Shared scaffolding of the equi-join fan-outs: splits [0, n) into K
-// contiguous, order-preserving chunks, runs `probe(lo, hi)` per
-// non-empty chunk on the pool, and merges. The probe side of an
-// equi-join may be an unsorted intermediate column, so chunking is
-// positional rather than by shard node-id range.
-template <typename Probe>
-JoinPairs ChunkedProbe(const ShardedExec& ex, size_t n, const Probe& probe,
-                       ShardFanoutStats* stats) {
-  size_t k = ex.shards->num_shards();
-  std::vector<JoinPairs> results(k);
-  std::vector<uint32_t> offsets(k);
-  ParallelFor(ex.pool, k, [&](size_t s) {
-    uint32_t lo = static_cast<uint32_t>(n * s / k);
-    uint32_t hi = static_cast<uint32_t>(n * (s + 1) / k);
-    offsets[s] = lo;
-    if (lo < hi) results[s] = probe(lo, hi);
-  });
-  return MergeParts(results, offsets, n, stats);
-}
-
-}  // namespace
-
-JoinPairs ShardedStructuralJoinPairs(const ShardedExec* ex, DocId ctx_doc,
-                                     const Document& target_doc,
-                                     std::span<const Pre> context,
-                                     const StepSpec& step,
-                                     const ElementIndex* index,
-                                     ShardFanoutStats* stats) {
+ShardedJoinParts ShardedStructuralJoinParts(const ShardedExec* ex,
+                                            DocId ctx_doc,
+                                            const Document& target_doc,
+                                            std::span<const Pre> context,
+                                            const StepSpec& step,
+                                            const ElementIndex* index,
+                                            ShardFanoutStats* stats) {
   if (ex == nullptr || !ex->Enabled() || context.size() < 2) {
-    return StructuralJoinPairs(target_doc, context, step, kNoLimit, index);
+    return SingleLane(
+        StructuralJoinPairs(target_doc, context, step, kNoLimit, index),
+        context.size());
   }
   std::vector<std::span<const Pre>> parts;
   std::vector<uint32_t> offsets;
   ex->shards->Partition(ctx_doc, context, &parts, &offsets);
-  std::vector<JoinPairs> results(parts.size());
+  ShardedJoinParts out;
+  out.parts.resize(parts.size());
+  out.offsets.assign(offsets.begin(), offsets.end());
+  out.outer_total = context.size();
   ParallelFor(ex->pool, parts.size(), [&](size_t s) {
     if (parts[s].empty()) return;
-    results[s] =
+    out.parts[s] =
         StructuralJoinPairs(target_doc, parts[s], step, kNoLimit, index);
   });
-  return MergeParts(results, offsets, context.size(), stats);
+  RecordFanout(out.parts, stats);
+  return out;
 }
 
-JoinPairs ShardedHashValueJoinPairs(const ShardedExec* ex,
-                                    const Document& outer_doc,
-                                    std::span<const Pre> outer,
-                                    const Document& inner_doc,
-                                    std::span<const Pre> inner,
-                                    ShardFanoutStats* stats) {
+ShardedJoinParts ShardedHashValueJoinParts(const ShardedExec* ex,
+                                           const Document& outer_doc,
+                                           std::span<const Pre> outer,
+                                           const Document& inner_doc,
+                                           std::span<const Pre> inner,
+                                           ShardFanoutStats* stats) {
   if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
-    return HashValueJoinPairs(outer_doc, outer, inner_doc, inner);
+    return SingleLane(HashValueJoinPairs(outer_doc, outer, inner_doc, inner),
+                      outer.size());
   }
   ValueHashTable table(inner_doc, inner);
   return ChunkedProbe(
@@ -99,16 +126,17 @@ JoinPairs ShardedHashValueJoinPairs(const ShardedExec* ex,
       stats);
 }
 
-JoinPairs ShardedValueIndexJoinPairs(const ShardedExec* ex,
-                                     const Document& outer_doc,
-                                     std::span<const Pre> outer,
-                                     const Document& inner_doc,
-                                     const ValueIndex& inner_index,
-                                     const ValueProbeSpec& spec,
-                                     ShardFanoutStats* stats) {
+ShardedJoinParts ShardedValueIndexJoinParts(const ShardedExec* ex,
+                                            const Document& outer_doc,
+                                            std::span<const Pre> outer,
+                                            const Document& inner_doc,
+                                            const ValueIndex& inner_index,
+                                            const ValueProbeSpec& spec,
+                                            ShardFanoutStats* stats) {
   if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
-    return ValueIndexJoinPairs(outer_doc, outer, inner_doc, inner_index,
-                               spec, kNoLimit);
+    return SingleLane(ValueIndexJoinPairs(outer_doc, outer, inner_doc,
+                                          inner_index, spec, kNoLimit),
+                      outer.size());
   }
   return ChunkedProbe(
       *ex, outer.size(),
@@ -117,6 +145,40 @@ JoinPairs ShardedValueIndexJoinPairs(const ShardedExec* ex,
                                    inner_doc, inner_index, spec, kNoLimit);
       },
       stats);
+}
+
+JoinPairs ShardedStructuralJoinPairs(const ShardedExec* ex, DocId ctx_doc,
+                                     const Document& target_doc,
+                                     std::span<const Pre> context,
+                                     const StepSpec& step,
+                                     const ElementIndex* index,
+                                     ShardFanoutStats* stats) {
+  return ShardedStructuralJoinParts(ex, ctx_doc, target_doc, context, step,
+                                    index, stats)
+      .Merged();
+}
+
+JoinPairs ShardedHashValueJoinPairs(const ShardedExec* ex,
+                                    const Document& outer_doc,
+                                    std::span<const Pre> outer,
+                                    const Document& inner_doc,
+                                    std::span<const Pre> inner,
+                                    ShardFanoutStats* stats) {
+  return ShardedHashValueJoinParts(ex, outer_doc, outer, inner_doc, inner,
+                                   stats)
+      .Merged();
+}
+
+JoinPairs ShardedValueIndexJoinPairs(const ShardedExec* ex,
+                                     const Document& outer_doc,
+                                     std::span<const Pre> outer,
+                                     const Document& inner_doc,
+                                     const ValueIndex& inner_index,
+                                     const ValueProbeSpec& spec,
+                                     ShardFanoutStats* stats) {
+  return ShardedValueIndexJoinParts(ex, outer_doc, outer, inner_doc,
+                                    inner_index, spec, stats)
+      .Merged();
 }
 
 }  // namespace rox

@@ -49,11 +49,62 @@ struct ShardFanoutStats {
   }
 };
 
+// Un-merged fan-out output: one JoinPairs per lane (shard or chunk),
+// in input order, plus each lane's input-row offset. The lazy executor
+// consumes the parts directly — flattening them once into arena-backed
+// view columns with the offsets applied — instead of paying a merge
+// copy followed by a gather copy. `Merged()` recovers the sequential
+// operator's byte-identical JoinPairs for eager consumers.
+struct ShardedJoinParts {
+  std::vector<JoinPairs> parts;
+  std::vector<uint32_t> offsets;  // input-row offset per lane
+  uint64_t outer_total = 0;
+
+  uint64_t size() const {
+    uint64_t n = 0;
+    for (const JoinPairs& p : parts) n += p.size();
+    return n;
+  }
+
+  // Concatenates the lanes, shifting each lane's left_rows by its
+  // offset — exactly the sequential operator's output.
+  JoinPairs Merged() &&;
+};
+
 // Structural join fanned out at the shard boundaries of `ctx_doc` (the
 // document the context nodes belong to; for step edges it equals the
 // target document). `context` must be pre-sorted — vertex tables T(v)
-// always are. Falls back to the sequential operator when `ex` is null
+// always are. Falls back to a single sequential lane when `ex` is null
 // or has a single shard.
+ShardedJoinParts ShardedStructuralJoinParts(const ShardedExec* ex,
+                                            DocId ctx_doc,
+                                            const Document& target_doc,
+                                            std::span<const Pre> context,
+                                            const StepSpec& step,
+                                            const ElementIndex* index,
+                                            ShardFanoutStats* stats);
+
+// Hash equi-join with a single shared build side and per-chunk
+// parallel probes (the probe side need not be sorted).
+ShardedJoinParts ShardedHashValueJoinParts(const ShardedExec* ex,
+                                           const Document& outer_doc,
+                                           std::span<const Pre> outer,
+                                           const Document& inner_doc,
+                                           std::span<const Pre> inner,
+                                           ShardFanoutStats* stats);
+
+// Index nested-loop equi-join with per-chunk parallel probes into the
+// (full) inner value index.
+ShardedJoinParts ShardedValueIndexJoinParts(const ShardedExec* ex,
+                                            const Document& outer_doc,
+                                            std::span<const Pre> outer,
+                                            const Document& inner_doc,
+                                            const ValueIndex& inner_index,
+                                            const ValueProbeSpec& spec,
+                                            ShardFanoutStats* stats);
+
+// Merged (eager) wrappers over the Parts functions. A single-lane
+// fallback returns the lane's pairs directly, without a merge copy.
 JoinPairs ShardedStructuralJoinPairs(const ShardedExec* ex, DocId ctx_doc,
                                      const Document& target_doc,
                                      std::span<const Pre> context,
@@ -61,8 +112,6 @@ JoinPairs ShardedStructuralJoinPairs(const ShardedExec* ex, DocId ctx_doc,
                                      const ElementIndex* index,
                                      ShardFanoutStats* stats);
 
-// Hash equi-join with a single shared build side and per-chunk
-// parallel probes. The probe side need not be sorted.
 JoinPairs ShardedHashValueJoinPairs(const ShardedExec* ex,
                                     const Document& outer_doc,
                                     std::span<const Pre> outer,
@@ -70,8 +119,6 @@ JoinPairs ShardedHashValueJoinPairs(const ShardedExec* ex,
                                     std::span<const Pre> inner,
                                     ShardFanoutStats* stats);
 
-// Index nested-loop equi-join with per-chunk parallel probes into the
-// (full) inner value index.
 JoinPairs ShardedValueIndexJoinPairs(const ShardedExec* ex,
                                      const Document& outer_doc,
                                      std::span<const Pre> outer,

@@ -131,13 +131,29 @@ bool EmitMatches(const Document& doc, Pre c, const StepSpec& step,
 
     case Axis::kAncestor:
     case Axis::kAncestorOrSelf: {
-      // Collect bottom-up, emit in document order (top-down).
-      Pre buf[512];
+      // Collect bottom-up, emit in document order (top-down). The
+      // stack buffer covers ordinary documents allocation-free; the
+      // parser admits depths up to 65533, so chains beyond the buffer
+      // spill into a growable overflow instead of being dropped.
+      constexpr size_t kBufSize = 512;
+      Pre buf[kBufSize];
       size_t n = 0;
+      std::vector<Pre> overflow;
       Pre q = step.axis == Axis::kAncestorOrSelf ? c : doc.Parent(c);
-      while (q != kInvalidPre && n < 512) {
-        if (test(q)) buf[n++] = q;
+      while (q != kInvalidPre) {
+        if (test(q)) {
+          if (n < kBufSize) {
+            buf[n++] = q;
+          } else {
+            overflow.push_back(q);
+          }
+        }
         q = doc.Parent(q);
+      }
+      // Overflow holds the ancestors *above* the buffered ones, also
+      // bottom-up: they come first in document order.
+      for (size_t i = overflow.size(); i > 0; --i) {
+        if (!sink(overflow[i - 1])) return false;
       }
       for (size_t i = n; i > 0; --i) {
         if (!sink(buf[i - 1])) return false;
@@ -205,15 +221,16 @@ bool EmitMatches(const Document& doc, Pre c, const StepSpec& step,
 
 }  // namespace
 
-JoinPairs StructuralJoinPairs(const Document& doc,
-                              std::span<const Pre> context,
-                              const StepSpec& step, uint64_t limit,
-                              const ElementIndex* index) {
+void StructuralJoinPairsInto(const Document& doc,
+                             std::span<const Pre> context,
+                             const StepSpec& step, uint64_t limit,
+                             const ElementIndex* index, JoinPairs& out) {
   // Cut-off protocol: allow up to limit+1 pairs; producing the sentinel
   // (limit+1)-th pair proves the result was truncated, otherwise the
   // result is complete and exact. The reduction factor follows the
   // paper's f = max(r.rowid) / max(c.rowid).
-  JoinPairs out;
+  out.Clear();
+  out.Reserve(limit != kNoLimit ? limit + 1 : context.size());
   for (size_t i = 0; i < context.size(); ++i) {
     uint32_t row = static_cast<uint32_t>(i);
     bool completed =
@@ -229,11 +246,19 @@ JoinPairs StructuralJoinPairs(const Document& doc,
       out.truncated = true;
       out.outer_consumed =
           out.left_rows.empty() ? 1 : out.left_rows.back() + 1;
-      return out;
+      return;
     }
   }
   out.truncated = false;
   out.outer_consumed = context.size();
+}
+
+JoinPairs StructuralJoinPairs(const Document& doc,
+                              std::span<const Pre> context,
+                              const StepSpec& step, uint64_t limit,
+                              const ElementIndex* index) {
+  JoinPairs out;
+  StructuralJoinPairsInto(doc, context, step, limit, index, out);
   return out;
 }
 

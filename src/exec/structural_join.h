@@ -62,6 +62,14 @@ JoinPairs StructuralJoinPairs(const Document& doc,
                               const StepSpec& step, uint64_t limit = kNoLimit,
                               const ElementIndex* index = nullptr);
 
+// Allocation-free variant: clears and refills `out`, reusing its
+// buffers' capacity. Hot callers (the sampled-execution loops) keep one
+// scratch JoinPairs alive across calls instead of allocating per probe.
+void StructuralJoinPairsInto(const Document& doc,
+                             std::span<const Pre> context,
+                             const StepSpec& step, uint64_t limit,
+                             const ElementIndex* index, JoinPairs& out);
+
 // Distinct-result staircase join: `context` must be duplicate-free and
 // sorted by pre. Returns the distinct result node set in document order.
 std::vector<Pre> StructuralJoinDistinct(const Document& doc,

@@ -49,13 +49,15 @@ bool ProbeIndex(const Document& inner_doc, const ValueIndex& index,
 
 }  // namespace
 
-JoinPairs ValueIndexJoinPairs(const Document& outer_doc,
-                              std::span<const Pre> outer,
-                              const Document& inner_doc,
-                              const ValueIndex& inner_index,
-                              const ValueProbeSpec& spec, uint64_t limit) {
+void ValueIndexJoinPairsInto(const Document& outer_doc,
+                             std::span<const Pre> outer,
+                             const Document& inner_doc,
+                             const ValueIndex& inner_index,
+                             const ValueProbeSpec& spec, uint64_t limit,
+                             JoinPairs& out) {
   // Same limit+1 sentinel protocol as StructuralJoinPairs.
-  JoinPairs out;
+  out.Clear();
+  out.Reserve(limit != kNoLimit ? limit + 1 : outer.size());
   for (size_t i = 0; i < outer.size(); ++i) {
     uint32_t row = static_cast<uint32_t>(i);
     StringId v = NodeValue(outer_doc, outer[i]);
@@ -71,11 +73,21 @@ JoinPairs ValueIndexJoinPairs(const Document& outer_doc,
       out.truncated = true;
       out.outer_consumed =
           out.left_rows.empty() ? 1 : out.left_rows.back() + 1;
-      return out;
+      return;
     }
   }
   out.truncated = false;
   out.outer_consumed = outer.size();
+}
+
+JoinPairs ValueIndexJoinPairs(const Document& outer_doc,
+                              std::span<const Pre> outer,
+                              const Document& inner_doc,
+                              const ValueIndex& inner_index,
+                              const ValueProbeSpec& spec, uint64_t limit) {
+  JoinPairs out;
+  ValueIndexJoinPairsInto(outer_doc, outer, inner_doc, inner_index, spec,
+                          limit, out);
   return out;
 }
 
@@ -88,9 +100,11 @@ ValueHashTable::ValueHashTable(const Document& inner_doc,
   }
 }
 
-JoinPairs ValueHashTable::Probe(const Document& outer_doc,
-                                std::span<const Pre> outer) const {
-  JoinPairs out;
+void ValueHashTable::ProbeInto(const Document& outer_doc,
+                               std::span<const Pre> outer,
+                               JoinPairs& out) const {
+  out.Clear();
+  out.Reserve(outer.size());
   for (size_t i = 0; i < outer.size(); ++i) {
     StringId v = NodeValue(outer_doc, outer[i]);
     if (v == kInvalidStringId) continue;
@@ -103,6 +117,12 @@ JoinPairs ValueHashTable::Probe(const Document& outer_doc,
   }
   out.truncated = false;
   out.outer_consumed = outer.size();
+}
+
+JoinPairs ValueHashTable::Probe(const Document& outer_doc,
+                                std::span<const Pre> outer) const {
+  JoinPairs out;
+  ProbeInto(outer_doc, outer, out);
   return out;
 }
 
@@ -129,6 +149,7 @@ JoinPairs MergeValueJoinPairs(const Document& outer_doc,
                               const Document& inner_doc,
                               std::span<const Pre> inner_sorted) {
   JoinPairs out;
+  out.Reserve(std::max(outer_sorted.size(), inner_sorted.size()));
   size_t i = 0, j = 0;
   while (i < outer_sorted.size() && j < inner_sorted.size()) {
     StringId vo = NodeValue(outer_doc, outer_sorted[i]);

@@ -53,6 +53,15 @@ JoinPairs ValueIndexJoinPairs(const Document& outer_doc,
                               const ValueProbeSpec& spec,
                               uint64_t limit = kNoLimit);
 
+// Allocation-free variant: clears and refills `out`, reusing its
+// buffers' capacity (see StructuralJoinPairsInto).
+void ValueIndexJoinPairsInto(const Document& outer_doc,
+                             std::span<const Pre> outer,
+                             const Document& inner_doc,
+                             const ValueIndex& inner_index,
+                             const ValueProbeSpec& spec, uint64_t limit,
+                             JoinPairs& out);
+
 // Hash equi-join: builds value -> inner positions, probes with outer.
 // Pairs reference outer rows and inner *nodes*.
 JoinPairs HashValueJoinPairs(const Document& outer_doc,
@@ -71,6 +80,10 @@ class ValueHashTable {
   // HashValueJoinPairs. Emitted left_rows index into `outer`.
   JoinPairs Probe(const Document& outer_doc,
                   std::span<const Pre> outer) const;
+
+  // Allocation-free probe into a caller-reused buffer.
+  void ProbeInto(const Document& outer_doc, std::span<const Pre> outer,
+                 JoinPairs& out) const;
 
  private:
   std::unordered_map<StringId, std::vector<Pre>> by_value_;

@@ -60,7 +60,7 @@ Status RoxOptimizer::ExecutePath(const std::vector<EdgeId>& path) {
   return Status::Ok();
 }
 
-Result<RoxResult> RoxOptimizer::Run() {
+Status RoxOptimizer::RunLoop() {
   ROX_RETURN_IF_ERROR(graph_.Validate());
   if (!graph_.IsConnected()) {
     return Status::InvalidArgument(
@@ -109,15 +109,38 @@ Result<RoxResult> RoxOptimizer::Run() {
     }
     ROX_RETURN_IF_ERROR(ExecutePath(path));
   }
+  return Status::Ok();
+}
 
+std::vector<double> RoxOptimizer::FinalEdgeWeights() const {
+  std::vector<double> out;
+  out.reserve(graph_.EdgeCount());
+  for (EdgeId e = 0; e < graph_.EdgeCount(); ++e) {
+    out.push_back(state_->estate(e).weight);
+  }
+  return out;
+}
+
+Result<RoxResult> RoxOptimizer::Run() {
+  ROX_RETURN_IF_ERROR(RunLoop());
   RoxResult out;
   ROX_ASSIGN_OR_RETURN(out.table, state_->AssembleFinal(&out.columns));
   out.IndexColumns();
   out.stats = state_->stats();
-  out.final_edge_weights.reserve(graph_.EdgeCount());
-  for (EdgeId e = 0; e < graph_.EdgeCount(); ++e) {
-    out.final_edge_weights.push_back(state_->estate(e).weight);
-  }
+  out.final_edge_weights = FinalEdgeWeights();
+  return out;
+}
+
+Result<RoxViewResult> RoxOptimizer::RunView(
+    std::span<const VertexId> output_vertices) {
+  ROX_CHECK(options_.lazy_materialization);
+  ROX_RETURN_IF_ERROR(RunLoop());
+  RoxViewResult out;
+  ROX_ASSIGN_OR_RETURN(out.view,
+                       state_->AssembleFinalView(&out.columns,
+                                                 output_vertices));
+  out.stats = state_->stats();
+  out.final_edge_weights = FinalEdgeWeights();
   return out;
 }
 

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -75,13 +76,33 @@ struct RoxResult {
   std::vector<std::pair<VertexId, size_t>> column_index_;
 };
 
+// Outcome of a lazy ROX run: the fully joined relation as an
+// un-gathered view over optimizer-owned storage (DESIGN.md §8). The
+// view stays valid until the optimizer is destroyed or Run/RunView is
+// called again; columns of vertices outside the requested output set
+// may be dead (never materialized) and must not be read.
+struct RoxViewResult {
+  ResultView view;
+  std::vector<VertexId> columns;
+  RoxStats stats;
+  std::vector<double> final_edge_weights;
+};
+
 class RoxOptimizer {
  public:
   RoxOptimizer(const Corpus& corpus, const JoinGraph& graph,
                RoxOptions options = {});
 
-  // Runs the full optimize-and-execute loop.
+  // Runs the full optimize-and-execute loop. Under lazy materialization
+  // (the default) the final relation is assembled as views and gathered
+  // once here; results are byte-identical to the eager path.
   Result<RoxResult> Run();
+
+  // Lazy-only: like Run() but stops before the terminal gather —
+  // `output_vertices` are the vertices whose columns the caller will
+  // read. The caller gathers exactly what it needs (e.g. the plan
+  // tail's for-variable columns) and nothing else ever materializes.
+  Result<RoxViewResult> RunView(std::span<const VertexId> output_vertices);
 
   // Access to the live state (after Run) for diagnostics.
   const RoxState& state() const { return *state_; }
@@ -97,6 +118,14 @@ class RoxOptimizer {
   // materialized data (§3.1: the segment "is treated as a separate Join
   // Graph" and executed in its best order).
   Status ExecutePath(const std::vector<EdgeId>& path);
+
+  // The optimize-and-execute loop shared by Run and RunView: validates
+  // the graph, runs Phase 1 and executes all edges (Phase 2), leaving
+  // the pair results in state_ ready for final assembly.
+  Status RunLoop();
+
+  // Copies the learned edge weights out of state_.
+  std::vector<double> FinalEdgeWeights() const;
 
   const Corpus& corpus_;
   const JoinGraph& graph_;

@@ -73,6 +73,15 @@ struct RoxOptions {
   // identical either way; only wall-clock time changes.
   const ShardedExec* sharded = nullptr;
 
+  // Late materialization (DESIGN.md §8): edge executions and the final
+  // assembly keep intermediates as selection-vector views over arena-
+  // backed base columns, and full row gather happens once, at the plan
+  // tail. Results are byte-identical to the eager path; only wall-clock
+  // time and allocation volume change. The eager path is retained for
+  // differential testing and as the perf baseline of
+  // bench_materialization.
+  bool lazy_materialization = true;
+
   // Seed for all sampling randomness; a fixed seed makes runs exactly
   // reproducible.
   uint64_t seed = 0x9e3779b9;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -356,26 +358,29 @@ EdgeSample RoxState::SampleEdgeFrom(EdgeId e, VertexId from,
   VertexId target = edge.Other(from);
   const Vertex& tx = graph_.vertex(target);
   const Document& target_doc = corpus_.doc(tx.doc);
-  JoinPairs pairs;
+  // The sampled-execution loops (Phase 1, chain sampling, re-weighing)
+  // call this thousands of times per query; the Into kernels refill one
+  // state-owned scratch buffer instead of allocating per probe.
+  JoinPairs& pairs = sample_scratch_;
   if (edge.type == EdgeType::kStep) {
     const ElementIndex* idx = options_.use_index_acceleration
                                   ? &corpus_.element_index(tx.doc)
                                   : nullptr;
-    pairs = StructuralJoinPairs(target_doc, input, StepSpecFrom(e, from),
-                                limit, idx);
+    StructuralJoinPairsInto(target_doc, input, StepSpecFrom(e, from), limit,
+                            idx, pairs);
   } else {
     const Vertex& fx = graph_.vertex(from);
     const Document& from_doc = corpus_.doc(fx.doc);
     ValueProbeSpec spec = tx.type == VertexType::kAttribute
                               ? ValueProbeSpec::Attr(tx.name)
                               : ValueProbeSpec::Text();
-    pairs = ValueIndexJoinPairs(from_doc, input, target_doc,
-                                corpus_.value_index(tx.doc), spec, limit);
+    ValueIndexJoinPairsInto(from_doc, input, target_doc,
+                            corpus_.value_index(tx.doc), spec, limit, pairs);
   }
   FilterPairsForVertex(target, pairs);
   EdgeSample out;
   out.est = pairs.EstimateFullCardinality(input.size());
-  out.out_nodes = std::move(pairs.right_nodes);
+  out.out_nodes.assign(pairs.right_nodes.begin(), pairs.right_nodes.end());
   stats_.sampled_tuples += out.out_nodes.size();
   return out;
 }
@@ -464,17 +469,47 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
   const Vertex& tx = graph_.vertex(tgt);
   const Document& target_doc = corpus_.doc(tx.doc);
   const Document& ctx_doc = corpus_.doc(graph_.vertex(ctx).doc);
+  const bool lazy = options_.lazy_materialization;
+  const size_t ctx_col = (ctx == v1) ? 0 : 1;
 
-  JoinPairs pairs;
+  // Shared tail of both representations. Lazy: filter each lane, adopt
+  // the context table as an arena base column (zero-copy; the vertex
+  // table is about to be replaced by the semi-join reduction anyway)
+  // and flatten the lanes into a view. Eager: merge the lanes (the
+  // pre-view code path, byte- and cost-identical) and row-copy R_e.
+  auto finish = [&](ShardedJoinParts&& parts) -> Status {
+    if (lazy) {
+      for (JoinPairs& p : parts.parts) FilterPairsForVertex(tgt, p);
+      std::span<const Pre> ctx_base =
+          arena_.Adopt(std::move(*vertices_[ctx].table));
+      vertices_[ctx].table.reset();
+      StoreLazyResult(e, ctx_base, ctx_col, std::move(parts));
+    } else {
+      JoinPairs pairs = std::move(parts).Merged();
+      FilterPairsForVertex(tgt, pairs);
+      // Materialize R_e with columns oriented (v1, v2).
+      ResultTable r(2);
+      std::vector<Pre>& ccol = r.MutableCol(ctx_col);
+      ccol.resize(pairs.size());
+      for (size_t k = 0; k < pairs.size(); ++k) {
+        ccol[k] = ctx_nodes[pairs.left_rows[k]];
+      }
+      r.MutableCol(1 - ctx_col) = std::move(pairs.right_nodes);
+      edges_[e].result = std::move(r);
+    }
+    RecordIntermediate(edges_[e].ResultRows());
+    return Status::Ok();
+  };
+
   if (edge.type == EdgeType::kStep) {
     const ElementIndex* idx = options_.use_index_acceleration
                                   ? &corpus_.element_index(tx.doc)
                                   : nullptr;
-    pairs = ShardedStructuralJoinPairs(Sharded(), graph_.vertex(ctx).doc,
-                                       target_doc, ctx_nodes,
-                                       StepSpecFrom(e, ctx), idx,
-                                       &stats_.sharded);
-  } else if (vertices_[tgt].table.has_value()) {
+    return finish(ShardedStructuralJoinParts(
+        Sharded(), graph_.vertex(ctx).doc, target_doc, ctx_nodes,
+        StepSpecFrom(e, ctx), idx, &stats_.sharded));
+  }
+  if (vertices_[tgt].table.has_value()) {
     // Both ends materialized: pick among the applicable algorithms
     // (hash by default; §6: the prototype times the candidates on a
     // sample and takes the fastest).
@@ -483,73 +518,96 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
                         : EquiAlgo::kHash;
     switch (algo) {
       case EquiAlgo::kHash:
-        pairs = ShardedHashValueJoinPairs(Sharded(), ctx_doc, ctx_nodes,
-                                          target_doc, *vertices_[tgt].table,
-                                          &stats_.sharded);
-        break;
+        return finish(ShardedHashValueJoinParts(
+            Sharded(), ctx_doc, ctx_nodes, target_doc,
+            *vertices_[tgt].table, &stats_.sharded));
       case EquiAlgo::kMerge: {
         std::vector<Pre> outer_sorted = SortByValueId(ctx_doc, ctx_nodes);
         std::vector<Pre> inner_sorted =
             SortByValueId(target_doc, *vertices_[tgt].table);
-        JoinPairs sorted_pairs = MergeValueJoinPairs(
-            ctx_doc, outer_sorted, target_doc, inner_sorted);
-        // Re-map outer rows back to ctx_nodes positions is unnecessary:
-        // R_e only needs the matched *nodes* on both sides.
-        pairs.right_nodes = std::move(sorted_pairs.right_nodes);
-        pairs.left_rows.reserve(sorted_pairs.left_rows.size());
-        // Replace row indices with rows into a remapped context list.
-        // Simplest correct approach: emit pairs against outer_sorted and
-        // swap the context list used below.
-        pairs.left_rows = std::move(sorted_pairs.left_rows);
+        JoinPairs pairs = MergeValueJoinPairs(ctx_doc, outer_sorted,
+                                              target_doc, inner_sorted);
+        // Re-mapping outer rows back to ctx_nodes positions is
+        // unnecessary: R_e only needs the matched *nodes* on both
+        // sides, so R_e is built against outer_sorted directly.
         pairs.truncated = false;
         pairs.outer_consumed = outer_sorted.size();
-        // Build R_e directly here since the context array differs.
         FilterPairsForVertex(tgt, pairs);
-        ResultTable r(2);
-        size_t ctx_col = (ctx == v1) ? 0 : 1;
-        std::vector<Pre>& ccol = r.MutableCol(ctx_col);
-        ccol.resize(pairs.size());
-        for (size_t k = 0; k < pairs.size(); ++k) {
-          ccol[k] = outer_sorted[pairs.left_rows[k]];
+        if (lazy) {
+          std::span<const Pre> base = arena_.Adopt(std::move(outer_sorted));
+          ResultView v(2, pairs.size());
+          v.col(ctx_col) = {
+              base.data(), arena_.Adopt(std::move(pairs.left_rows)).data()};
+          v.col(1 - ctx_col) = {
+              arena_.Adopt(std::move(pairs.right_nodes)).data(), nullptr};
+          edges_[e].view = std::move(v);
+        } else {
+          ResultTable r(2);
+          std::vector<Pre>& ccol = r.MutableCol(ctx_col);
+          ccol.resize(pairs.size());
+          for (size_t k = 0; k < pairs.size(); ++k) {
+            ccol[k] = outer_sorted[pairs.left_rows[k]];
+          }
+          r.MutableCol(1 - ctx_col) = std::move(pairs.right_nodes);
+          edges_[e].result = std::move(r);
         }
-        r.MutableCol(1 - ctx_col) = std::move(pairs.right_nodes);
-        RecordIntermediate(r.NumRows());
-        edges_[e].result = std::move(r);
+        RecordIntermediate(edges_[e].ResultRows());
         return Status::Ok();
       }
       case EquiAlgo::kIndexNl:
-        pairs = ShardedValueIndexJoinPairs(
+        return finish(ShardedValueIndexJoinParts(
             Sharded(), ctx_doc, ctx_nodes, target_doc,
             corpus_.value_index(tx.doc),
             tx.type == VertexType::kAttribute ? ValueProbeSpec::Attr(tx.name)
                                               : ValueProbeSpec::Text(),
-            &stats_.sharded);
-        break;
+            &stats_.sharded));
     }
-  } else {
-    ValueProbeSpec spec = tx.type == VertexType::kAttribute
-                              ? ValueProbeSpec::Attr(tx.name)
-                              : ValueProbeSpec::Text();
-    pairs = ShardedValueIndexJoinPairs(Sharded(), ctx_doc, ctx_nodes,
-                                       target_doc,
-                                       corpus_.value_index(tx.doc), spec,
-                                       &stats_.sharded);
+    return Status::Internal("unhandled equi-join algorithm");
   }
-  FilterPairsForVertex(tgt, pairs);
+  ValueProbeSpec spec = tx.type == VertexType::kAttribute
+                            ? ValueProbeSpec::Attr(tx.name)
+                            : ValueProbeSpec::Text();
+  return finish(ShardedValueIndexJoinParts(Sharded(), ctx_doc, ctx_nodes,
+                                           target_doc,
+                                           corpus_.value_index(tx.doc), spec,
+                                           &stats_.sharded));
+}
 
-  // Materialize R_e with columns oriented (v1, v2).
-  ResultTable r(2);
-  size_t ctx_col = (ctx == v1) ? 0 : 1;
+void RoxState::StoreLazyResult(EdgeId e, std::span<const Pre> ctx_base,
+                               size_t ctx_col, ShardedJoinParts&& parts) {
+  uint64_t total = parts.size();
+  ResultView v(2, total);
   size_t tgt_col = 1 - ctx_col;
-  std::vector<Pre>& ccol = r.MutableCol(ctx_col);
-  ccol.resize(pairs.size());
-  for (size_t k = 0; k < pairs.size(); ++k) {
-    ccol[k] = ctx_nodes[pairs.left_rows[k]];
+  if (parts.parts.size() == 1 && parts.offsets[0] == 0) {
+    // Single lane: the pair arrays ARE the view — adopt, zero copies.
+    JoinPairs& p = parts.parts[0];
+    v.col(ctx_col) = {ctx_base.data(),
+                      arena_.Adopt(std::move(p.left_rows)).data()};
+    v.col(tgt_col) = {arena_.Adopt(std::move(p.right_nodes)).data(),
+                      nullptr};
+  } else {
+    // Multi-lane fan-out: flatten once into arena columns, applying the
+    // lane offsets on the fly (the "offset-adjusted view" merge; the
+    // eager path instead merges into a JoinPairs and then row-copies).
+    std::span<uint32_t> sel = arena_.Alloc(total);
+    std::span<uint32_t> base = arena_.Alloc(total);
+    uint64_t w = 0;
+    for (size_t s = 0; s < parts.parts.size(); ++s) {
+      const JoinPairs& p = parts.parts[s];
+      uint32_t off = parts.offsets[s];
+      for (size_t i = 0; i < p.left_rows.size(); ++i) {
+        sel[w + i] = p.left_rows[i] + off;
+      }
+      if (!p.right_nodes.empty()) {
+        std::memcpy(base.data() + w, p.right_nodes.data(),
+                    p.right_nodes.size() * sizeof(Pre));
+      }
+      w += p.size();
+    }
+    v.col(ctx_col) = {ctx_base.data(), sel.data()};
+    v.col(tgt_col) = {base.data(), nullptr};
   }
-  r.MutableCol(tgt_col) = std::move(pairs.right_nodes);
-  RecordIntermediate(r.NumRows());
-  edges_[e].result = std::move(r);
-  return Status::Ok();
+  edges_[e].view = std::move(v);
 }
 
 void RoxState::UpdateAfterExecution(EdgeId e) {
@@ -559,13 +617,15 @@ void RoxState::UpdateAfterExecution(EdgeId e) {
   double old_cards[2] = {vertices_[edge.v1].card, vertices_[edge.v2].card};
 
   // Semi-join-reduce the endpoint tables to the surviving nodes and
-  // refresh card/sample (Algorithm 1, lines 14-17).
-  if (edges_[e].result.has_value()) {
-    const ResultTable& r = *edges_[e].result;
+  // refresh card/sample (Algorithm 1, lines 14-17). DistinctColumn
+  // hashes either representation without a row gather.
+  if (edges_[e].HasResult()) {
     VertexId vs[2] = {edge.v1, edge.v2};
     for (int side = 0; side < 2; ++side) {
       VertexState& v = vertices_[vs[side]];
-      v.table = r.DistinctColumn(side);
+      v.table = edges_[e].view.has_value()
+                    ? edges_[e].view->DistinctColumn(side)
+                    : edges_[e].result->DistinctColumn(side);
       v.card = static_cast<double>(v.table->size());
       std::vector<uint64_t> idx =
           rng_.SampleWithoutReplacement(v.table->size(), options_.tau);
@@ -596,8 +656,7 @@ void RoxState::UpdateAfterExecution(EdgeId e) {
         stderr, "[rox] executed edge %u (%s): |R_e|=%llu |T(v1)|=%.0f "
         "|T(v2)|=%.0f\n",
         e, graph_.EdgeLabel(e).c_str(),
-        static_cast<unsigned long long>(
-            edges_[e].result ? edges_[e].result->NumRows() : 0),
+        static_cast<unsigned long long>(edges_[e].ResultRows()),
         vertices_[edge.v1].card, vertices_[edge.v2].card);
   }
 }
@@ -660,8 +719,9 @@ RoxState::EquiAlgo RoxState::ChooseEquiAlgorithm(EdgeId e, VertexId ctx) {
                               ? ValueProbeSpec::Attr(tx.name)
                               : ValueProbeSpec::Text();
     StopWatch w;
-    ValueIndexJoinPairs(cdoc, cs.sample, tdoc, corpus_.value_index(tx.doc),
-                        spec, options_.tau);
+    ValueIndexJoinPairsInto(cdoc, cs.sample, tdoc,
+                            corpus_.value_index(tx.doc), spec, options_.tau,
+                            sample_scratch_);
     cost_nl = w.ElapsedNanos() / static_cast<double>(cs.sample.size()) *
               n_outer;
   }
@@ -706,6 +766,18 @@ RoxState::EquiAlgo RoxState::ChooseEquiAlgorithm(EdgeId e, VertexId ctx) {
 // --- final assembly -------------------------------------------------------------
 
 Result<ResultTable> RoxState::AssembleFinal(std::vector<VertexId>* columns) {
+  if (options_.lazy_materialization) {
+    // Assemble as views, then gather every column once — the single
+    // terminal materialization. With all vertices marked as output,
+    // no column is elided, so the gathered table is byte-identical to
+    // the eager assembly's.
+    std::vector<VertexId> all(graph_.VertexCount());
+    std::iota(all.begin(), all.end(), 0);
+    ROX_ASSIGN_OR_RETURN(ResultView view, AssembleFinalView(columns, all));
+    ScopedTimer timer(stats_.execution_time);
+    ScopedTimer assembly_timer(stats_.assembly_time);
+    return view.Gather(&stats_.gather);
+  }
   ScopedTimer timer(stats_.execution_time);
   ScopedTimer assembly_timer(stats_.assembly_time);
 
@@ -737,22 +809,9 @@ Result<ResultTable> RoxState::AssembleFinal(std::vector<VertexId>* columns) {
 
     // Pair lookup keyed by v1 node -> run of v2 nodes (CSR).
     auto build_runs = [&](size_t key_col) {
-      std::unordered_map<Pre, std::pair<uint32_t, uint32_t>> runs;
       const std::vector<Pre>& kcol = r.Col(key_col);
-      runs.reserve(kcol.size());
-      for (uint32_t i = 0; i < kcol.size(); ++i) ++runs[kcol[i]].second;
-      std::vector<uint32_t> ids(kcol.size());
-      uint32_t off = 0;
-      for (auto& [node, run] : runs) {
-        run.first = off;
-        off += run.second;
-        run.second = 0;
-      }
-      for (uint32_t i = 0; i < kcol.size(); ++i) {
-        auto& run = runs[kcol[i]];
-        ids[run.first + run.second++] = i;
-      }
-      return std::make_pair(std::move(runs), std::move(ids));
+      return BuildValueRuns(kcol.size(),
+                            [&](uint32_t i) { return kcol[i]; });
     };
 
     if (c1 < 0 && c2 < 0) {
@@ -851,6 +910,182 @@ Result<ResultTable> RoxState::AssembleFinal(std::vector<VertexId>* columns) {
   }
   if (columns != nullptr) *columns = comps[active].members;
   return std::move(comps[active].table);
+}
+
+Result<ResultView> RoxState::AssembleFinalView(
+    std::vector<VertexId>* columns,
+    std::span<const VertexId> output_vertices) {
+  ROX_CHECK(options_.lazy_materialization);
+  ScopedTimer timer(stats_.execution_time);
+  ScopedTimer assembly_timer(stats_.assembly_time);
+
+  // Edges with pair-result views, cheapest first (the same order the
+  // eager assembly picks, so the emitted row expansions are identical).
+  std::vector<EdgeId> order;
+  for (EdgeId e = 0; e < graph_.EdgeCount(); ++e) {
+    if (edges_[e].view.has_value()) order.push_back(e);
+  }
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return edges_[a].view->NumRows() < edges_[b].view->NumRows();
+  });
+
+  // Column liveness: a vertex's column is read by every assembly step
+  // of an incident edge and by the caller if it is an output vertex.
+  // Past its last read, the column is dead — composition skips it and
+  // it never costs another write. This is what makes late
+  // materialization profitable on wide graphs: of Q1's ~15 columns
+  // only the 3 for-variables survive to the plan tail.
+  std::vector<size_t> last_read(graph_.VertexCount(), 0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Edge& edge = graph_.edge(order[i]);
+    last_read[edge.v1] = i;
+    last_read[edge.v2] = i;
+  }
+  std::vector<bool> output(graph_.VertexCount(), false);
+  for (VertexId v : output_vertices) output[v] = true;
+  auto live_after = [&](VertexId v, size_t pos) {
+    return output[v] || last_read[v] > pos;
+  };
+  auto live_flags = [&](const std::vector<VertexId>& members, size_t pos) {
+    std::vector<bool> flags(members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      flags[i] = live_after(members[i], pos);
+    }
+    return flags;
+  };
+
+  struct Comp {
+    std::vector<VertexId> members;
+    ResultView view;
+    bool active = true;
+  };
+  std::vector<Comp> comps;
+  // vertex -> (component, column) or (-1, 0).
+  std::vector<std::pair<int, size_t>> where(graph_.VertexCount(), {-1, 0});
+
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    EdgeId e = order[pos];
+    const Edge& edge = graph_.edge(e);
+    const ResultView& r = *edges_[e].view;
+    auto [c1, col1] = where[edge.v1];
+    auto [c2, col2] = where[edge.v2];
+
+    // Pair lookup keyed by key-column node -> run of pair indexes (CSR;
+    // same construction as the eager assembly).
+    auto build_runs = [&](size_t key_col) {
+      return BuildValueRuns(r.NumRows(),
+                            [&](uint32_t i) { return r.At(key_col, i); });
+    };
+
+    if (c1 < 0 && c2 < 0) {
+      Comp c;
+      c.members = {edge.v1, edge.v2};
+      c.view = r;
+      if (!live_after(edge.v1, pos)) c.view.col(0).dead = true;
+      if (!live_after(edge.v2, pos)) c.view.col(1).dead = true;
+      where[edge.v1] = {static_cast<int>(comps.size()), 0};
+      where[edge.v2] = {static_cast<int>(comps.size()), 1};
+      comps.push_back(std::move(c));
+      continue;
+    }
+
+    if (c1 >= 0 && c2 >= 0 && c1 == c2) {
+      // Cycle edge: keep rows whose (v1, v2) pair is in R_e.
+      std::unordered_set<uint64_t> pairs;
+      pairs.reserve(r.NumRows());
+      for (uint64_t i = 0; i < r.NumRows(); ++i) {
+        pairs.insert((static_cast<uint64_t>(r.At(0, i)) << 32) | r.At(1, i));
+      }
+      Comp& c = comps[c1];
+      std::vector<uint32_t> keep;
+      for (uint32_t i = 0; i < c.view.NumRows(); ++i) {
+        if (pairs.contains((static_cast<uint64_t>(c.view.At(col1, i)) << 32) |
+                           c.view.At(col2, i))) {
+          keep.push_back(i);
+        }
+      }
+      std::vector<bool> live = live_flags(c.members, pos);
+      c.view = SelectRowsView(c.view, keep, arena_, &live);
+      RecordIntermediate(c.view.NumRows());
+      continue;
+    }
+
+    // Anchor on the side already assembled (prefer v1's component).
+    VertexId anchor = edge.v1, far = edge.v2;
+    size_t anchor_key = 0, far_key = 1;
+    if (c1 < 0) {
+      anchor = edge.v2;
+      far = edge.v1;
+      anchor_key = 1;
+      far_key = 0;
+    }
+    auto [ca, cola] = where[anchor];
+    auto [runs, ids] = build_runs(anchor_key);
+    Comp& a = comps[ca];
+    JoinPairs jp;
+    {
+      uint64_t n_anchor = a.view.NumRows();
+      jp.Reserve(n_anchor);
+      for (uint32_t row = 0; row < n_anchor; ++row) {
+        auto it = runs.find(a.view.At(cola, row));
+        if (it == runs.end()) continue;
+        for (uint32_t j = 0; j < it->second.second; ++j) {
+          jp.left_rows.push_back(row);
+          jp.right_nodes.push_back(r.At(far_key, ids[it->second.first + j]));
+        }
+      }
+    }
+
+    auto [cf, colf] = where[far];
+    Comp merged;
+    std::vector<bool> live_a = live_flags(a.members, pos);
+    if (cf < 0) {
+      std::span<const uint32_t> rows =
+          arena_.Adopt(std::move(jp.left_rows));
+      merged.view = ComposeRows(a.view, rows, arena_, &live_a);
+      if (live_after(far, pos)) {
+        merged.view.AddColumn(
+            {arena_.Adopt(std::move(jp.right_nodes)).data(), nullptr});
+      } else {
+        merged.view.AddColumn({nullptr, nullptr, /*dead=*/true});
+      }
+      merged.members = a.members;
+      merged.members.push_back(far);
+      a.active = false;
+    } else {
+      Comp& b = comps[cf];
+      std::vector<bool> live_b = live_flags(b.members, pos);
+      merged.view = JoinViewsWithPairs(a.view, jp, b.view, colf, arena_,
+                                       &live_a, &live_b);
+      merged.members = a.members;
+      merged.members.insert(merged.members.end(), b.members.begin(),
+                            b.members.end());
+      a.active = false;
+      b.active = false;
+    }
+    int id = static_cast<int>(comps.size());
+    for (size_t c = 0; c < merged.members.size(); ++c) {
+      where[merged.members[c]] = {id, c};
+    }
+    RecordIntermediate(merged.view.NumRows());
+    comps.push_back(std::move(merged));
+  }
+
+  int active = -1;
+  for (size_t i = 0; i < comps.size(); ++i) {
+    if (!comps[i].active) continue;
+    if (active >= 0) {
+      return Status::FailedPrecondition(
+          "assembly left multiple components (disconnected join graph)");
+    }
+    active = static_cast<int>(i);
+  }
+  if (active < 0) {
+    return Status::FailedPrecondition("nothing to assemble");
+  }
+  if (columns != nullptr) *columns = comps[active].members;
+  stats_.arena_bytes = arena_.bytes_reserved();
+  return std::move(comps[active].view);
 }
 
 bool RoxState::EquiJoinImplied(VertexId a, VertexId b) const {

@@ -28,7 +28,9 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/timer.h"
+#include "exec/column_arena.h"
 #include "exec/result_table.h"
+#include "exec/result_view.h"
 #include "exec/sharded_exec.h"
 #include "exec/structural_join.h"
 #include "graph/join_graph.h"
@@ -55,10 +57,17 @@ struct RoxStats {
   uint64_t operator_overrides = 0;
   uint64_t chain_rounds = 0;
   uint64_t sampled_tuples = 0;  // tuples produced by sampled operators
-  // Σ of materialized result sizes: every |R_e| plus every intermediate
-  // of the final assembly — the run's total materialization volume.
+  // Σ of intermediate result sizes: every |R_e| plus every intermediate
+  // of the final assembly — the run's total intermediate volume (row
+  // counts are representation-independent: lazy and eager runs report
+  // identical values).
   uint64_t cumulative_intermediate_rows = 0;
   uint64_t peak_intermediate_rows = 0;
+  // Late-materialization gather counters (zero on eager runs, which
+  // copy at every step instead of gathering once).
+  GatherStats gather;
+  // Bytes held by the run's column arena (lazy runs only).
+  uint64_t arena_bytes = 0;
   std::vector<EdgeId> execution_order;
 
   // Sharded execution counters (zero/empty when the run was unsharded).
@@ -78,8 +87,18 @@ struct EdgeState {
   double weight = -1.0;  // w(e); <0: unweighted
   bool executed = false;
   // R_e: two columns [v1 nodes, v2 nodes]; absent for edges whose
-  // predicate was implied by transitivity and skipped.
+  // predicate was implied by transitivity and skipped. Eager runs
+  // materialize `result`; lazy runs keep `view` (a selection vector
+  // over arena-adopted base columns) instead.
   std::optional<ResultTable> result;
+  std::optional<ResultView> view;
+
+  bool HasResult() const { return result.has_value() || view.has_value(); }
+  uint64_t ResultRows() const {
+    if (result.has_value()) return result->NumRows();
+    if (view.has_value()) return view->NumRows();
+    return 0;
+  }
 };
 
 // Output of a sampled (cut-off) edge execution.
@@ -119,8 +138,19 @@ class RoxState {
 
   // Joins all materialized pair results into the fully joined relation;
   // `columns` receives the vertex of each output column. Requires all
-  // edges executed and a connected graph.
+  // edges executed and a connected graph. Under lazy materialization
+  // this assembles views and gathers every column once at the end;
+  // output is byte-identical to the eager assembly.
   Result<ResultTable> AssembleFinal(std::vector<VertexId>* columns);
+
+  // Lazy-only: assembles the final relation as an un-gathered view over
+  // state-owned storage (valid until the state dies). `output_vertices`
+  // are the vertices whose columns the caller will read — all other
+  // columns may come out dead (never materialized, must not be read).
+  // `columns` always receives the full column -> vertex mapping.
+  Result<ResultView> AssembleFinalView(
+      std::vector<VertexId>* columns,
+      std::span<const VertexId> output_vertices);
 
   // --- accessors -------------------------------------------------------------
 
@@ -152,6 +182,9 @@ class RoxState {
 
   RoxStats& stats() { return stats_; }
   const RoxStats& stats() const { return stats_; }
+
+  // The per-query column arena backing lazy views (see result_view.h).
+  ColumnArena& arena() { return arena_; }
 
  private:
   // EstimateCardinality without the sampling-time accounting (used when
@@ -196,6 +229,13 @@ class RoxState {
   // Executes `e` between materialized sides, producing R_e.
   Status ExecuteEdgeInternal(EdgeId e);
 
+  // Lazy R_e construction: adopts the context table into the arena as
+  // the base of a selection-vector column and flattens the (possibly
+  // multi-lane) filtered pair parts into arena columns, offset-adjusted
+  // — no merged JoinPairs, no row-copying of the context column.
+  void StoreLazyResult(EdgeId e, std::span<const Pre> ctx_base,
+                       size_t ctx_col, ShardedJoinParts&& parts);
+
   // Post-execution bookkeeping: refresh T/S/card of the edge endpoints
   // and re-sample weights of their incident edges (lines 14-19).
   void UpdateAfterExecution(EdgeId e);
@@ -221,6 +261,12 @@ class RoxState {
   std::vector<VertexState> vertices_;
   std::vector<EdgeState> edges_;
   RoxStats stats_;
+
+  // Arena backing lazy views (edge results, assembly intermediates).
+  ColumnArena arena_;
+  // Reused buffer of the sampled-execution loops (a RoxState runs one
+  // query on one thread; sampled operators are never fanned out).
+  JoinPairs sample_scratch_;
 };
 
 }  // namespace rox

@@ -240,6 +240,8 @@ void MergeStats(RoxStats& into, const RoxStats& from) {
   into.cumulative_intermediate_rows += from.cumulative_intermediate_rows;
   into.peak_intermediate_rows =
       std::max(into.peak_intermediate_rows, from.peak_intermediate_rows);
+  into.gather.Merge(from.gather);
+  into.arena_bytes += from.arena_bytes;
   into.sharded.Merge(from.sharded);
 }
 
@@ -267,6 +269,8 @@ Result<std::vector<Pre>> RunXQuery(const Corpus& corpus,
   ResultTable combined;
   std::vector<VertexId> combined_cols;  // original vertex ids
   RoxStats stats;
+  GatherStats tail_gather;
+  const bool lazy = rox_options.lazy_materialization;
   bool first = true;
   for (const GraphComponent& comp : comps) {
     // Only components containing a for-variable contribute to the
@@ -291,28 +295,63 @@ Result<std::vector<Pre>> RunXQuery(const Corpus& corpus,
       comp_options.warm_edge_weights = &comp_warm;
     }
     RoxOptimizer rox(corpus, comp.graph, comp_options);
-    ROX_ASSIGN_OR_RETURN(RoxResult result, rox.Run());
+    ResultTable part;
+    std::vector<VertexId> cols;
+    std::vector<double> learned_weights;
+    if (lazy) {
+      // Late materialization: only the for-variable columns are ever
+      // read downstream (the plan tail), so only they are requested as
+      // output and gathered — every other column of the assembled
+      // relation stays an un-materialized view. local_out follows
+      // for-variable declaration order, so for a single-component
+      // query the gathered table already IS the projected plan-tail
+      // input.
+      std::vector<VertexId> local_out;
+      for (VertexId fv : compiled.for_vertices) {
+        for (VertexId lv = 0; lv < comp.graph.VertexCount(); ++lv) {
+          if (comp.orig_vertex[lv] == fv) local_out.push_back(lv);
+        }
+      }
+      ROX_ASSIGN_OR_RETURN(RoxViewResult vr, rox.RunView(local_out));
+      learned_weights = std::move(vr.final_edge_weights);
+      MergeStats(stats, vr.stats);
+      part = ResultTable(local_out.size());
+      for (size_t i = 0; i < local_out.size(); ++i) {
+        size_t col = static_cast<size_t>(-1);
+        for (size_t c = 0; c < vr.columns.size(); ++c) {
+          if (vr.columns[c] == local_out[i]) col = c;
+        }
+        if (col == static_cast<size_t>(-1)) {
+          return Status::Internal("for-variable vertex missing from result");
+        }
+        vr.view.GatherColumnInto(col, part.MutableCol(i), &tail_gather);
+        cols.push_back(comp.orig_vertex[local_out[i]]);
+      }
+    } else {
+      ROX_ASSIGN_OR_RETURN(RoxResult result, rox.Run());
+      learned_weights = std::move(result.final_edge_weights);
+      MergeStats(stats, result.stats);
+      part = std::move(result.table);
+      for (VertexId v : result.columns) cols.push_back(comp.orig_vertex[v]);
+    }
     if (learned_weights_out != nullptr) {
       for (EdgeId e = 0; e < comp.orig_edge.size(); ++e) {
-        (*learned_weights_out)[comp.orig_edge[e]] =
-            result.final_edge_weights[e];
+        (*learned_weights_out)[comp.orig_edge[e]] = learned_weights[e];
       }
     }
-    MergeStats(stats, result.stats);
-    std::vector<VertexId> cols;
-    for (VertexId v : result.columns) cols.push_back(comp.orig_vertex[v]);
     if (first) {
-      combined = std::move(result.table);
+      combined = std::move(part);
       combined_cols = std::move(cols);
       first = false;
     } else {
-      combined = CartesianProduct(combined, result.table);
+      combined = CartesianProduct(combined, part);
       combined_cols.insert(combined_cols.end(), cols.begin(), cols.end());
     }
   }
   if (first) {
     return Status::FailedPrecondition("query produced no joined component");
   }
+  stats.gather.Merge(tail_gather);
   if (stats_out != nullptr) *stats_out = stats;
 
   // Plan tail (Figure 1): π(for-vars) -> δ -> τ(sort) -> π(return var).
@@ -333,7 +372,14 @@ Result<std::vector<Pre>> RunXQuery(const Corpus& corpus,
     if (v == compiled.return_vertex) return_col_in_proj = i;
     for_cols.push_back(col);
   }
-  ResultTable tail = combined.Project(for_cols);
+  // A lazy single-component run already gathered exactly the
+  // for-variable columns in declaration order — skip the copy.
+  bool identity_projection = for_cols.size() == combined.NumCols();
+  for (size_t i = 0; identity_projection && i < for_cols.size(); ++i) {
+    identity_projection = for_cols[i] == i;
+  }
+  ResultTable tail = identity_projection ? std::move(combined)
+                                         : combined.Project(for_cols);
   tail = tail.DistinctRows();
   std::vector<size_t> sort_keys(for_cols.size());
   for (size_t i = 0; i < sort_keys.size(); ++i) sort_keys[i] = i;

@@ -445,5 +445,53 @@ TEST(ResultTableTest, ExtendTableWithPairs) {
   EXPECT_EQ(out.Col(1)[2], 3u);
 }
 
+// Regression: EmitMatches used a fixed 512-entry stack buffer for the
+// ancestor axes and silently dropped ancestors beyond depth 512, even
+// though the parser admits documents up to depth 65533. Deep chains
+// must spill into the growable overflow and still emit every ancestor
+// in document order.
+TEST(StructuralJoinTest, AncestorAxisBeyondStackBufferDepth) {
+  constexpr int kDepth = 1500;
+  std::string xml;
+  for (int i = 0; i < kDepth; ++i) xml += "<a>";
+  xml += "<leaf/>";
+  for (int i = 0; i < kDepth; ++i) xml += "</a>";
+  Corpus corpus;
+  auto id = corpus.AddXml(xml, "deep.xml");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  const Document& doc = corpus.doc(*id);
+
+  Pre leaf = kInvalidPre;
+  for (Pre p = 0; p < doc.NodeCount(); ++p) {
+    if (doc.Kind(p) == NodeKind::kElem && doc.Name(p) == corpus.Find("leaf")) {
+      leaf = p;
+    }
+  }
+  ASSERT_NE(leaf, kInvalidPre);
+
+  StepSpec step;
+  step.axis = Axis::kAncestor;
+  step.kind = KindTest::kElem;
+  step.name = corpus.Find("a");
+  std::vector<Pre> context = {leaf};
+  JoinPairs pairs = StructuralJoinPairs(doc, context, step);
+  ASSERT_EQ(pairs.size(), static_cast<uint64_t>(kDepth));
+  // Document order: top-most ancestor first, strictly increasing pre.
+  for (size_t i = 1; i < pairs.right_nodes.size(); ++i) {
+    EXPECT_LT(pairs.right_nodes[i - 1], pairs.right_nodes[i]);
+  }
+
+  // ancestor-or-self on the deepest <a> also crosses the buffer size.
+  step.axis = Axis::kAncestorOrSelf;
+  std::vector<Pre> ctx2 = {doc.Parent(leaf)};
+  JoinPairs pairs2 = StructuralJoinPairs(doc, ctx2, step);
+  EXPECT_EQ(pairs2.size(), static_cast<uint64_t>(kDepth));
+
+  // The cut-off protocol must keep working across the overflow path.
+  JoinPairs limited = StructuralJoinPairs(doc, context, step, 100);
+  EXPECT_TRUE(limited.truncated);
+  EXPECT_EQ(limited.size(), 100u);
+}
+
 }  // namespace
 }  // namespace rox
