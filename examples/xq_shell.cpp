@@ -12,8 +12,15 @@
 // fan out over K corpus shards (\stats shows the per-shard row
 // counts).
 //
+// The corpus is *live* (DESIGN.md §10): \load and \drop publish new
+// epochs while the engine keeps serving — queries in flight finish on
+// the epoch they started on.
+//
 // Commands:
-//   \docs   list documents
+//   \docs               list documents of the current epoch
+//   \load FILE [NAME]   ingest FILE as doc("NAME") (default: basename)
+//   \drop NAME          remove doc("NAME") in a new epoch
+//   \epoch              current epoch + publish counters
 //   \stats  engine statistics (latency percentiles, cache hit rates)
 //   \cache  query cache contents (most recently used first)
 //   \quit
@@ -37,6 +44,24 @@ namespace {
 std::string Basename(const std::string& path) {
   size_t slash = path.find_last_of('/');
   return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+// Splits "\cmd arg1 arg2" into whitespace-separated tokens.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
 }
 
 }  // namespace
@@ -67,14 +92,12 @@ int main(int argc, char** argv) {
 
   if (!files.empty()) {
     for (char* file : files) {
-      std::ifstream in(file);
-      if (!in) {
+      std::string xml;
+      if (!ReadFile(file, &xml)) {
         std::fprintf(stderr, "cannot open %s\n", file);
         return 1;
       }
-      std::stringstream buf;
-      buf << in.rdbuf();
-      auto id = corpus.AddXml(buf.str(), Basename(file));
+      auto id = corpus.AddXml(xml, Basename(file));
       if (!id.ok()) {
         std::fprintf(stderr, "%s: %s\n", file,
                      id.status().ToString().c_str());
@@ -95,8 +118,9 @@ int main(int argc, char** argv) {
                 corpus.doc(*id).NodeCount());
   }
 
-  // The engine freezes the corpus; every query from here on is served
-  // through its cache and statistics layer.
+  // The engine publishes the corpus as epoch 0; every query from here
+  // on is served through its cache and statistics layer, and \load /
+  // \drop publish successor epochs.
   engine::EngineOptions options;
   options.num_threads = 4;
   options.num_shards = num_shards;
@@ -107,24 +131,85 @@ int main(int argc, char** argv) {
 
   std::printf(
       "enter an XQuery terminated by a ';' line "
-      "(\\docs, \\stats, \\cache, \\quit)\n");
+      "(\\docs, \\load, \\drop, \\epoch, \\stats, \\cache, \\quit)\n");
   std::string query, line;
   while (std::printf("xq> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
-    if (line == "\\quit" || line == "\\q") break;
-    if (line == "\\docs") {
-      const Corpus& c = eng.corpus();
-      for (DocId d = 0; d < c.DocCount(); ++d) {
-        std::printf("  doc(\"%s\") — %u nodes\n", c.doc(d).name().c_str(),
-                    c.doc(d).NodeCount());
+    // Commands dispatch on the exact first token — a prefix match
+    // would route a mistyped "\dropall x" into \drop — and any other
+    // backslash line is rejected below instead of silently joining
+    // the query buffer.
+    const std::vector<std::string> args =
+        !line.empty() && line[0] == '\\' ? Tokenize(line)
+                                         : std::vector<std::string>{};
+    const std::string cmd = args.empty() ? std::string() : args[0];
+    if (cmd == "\\quit" || cmd == "\\q") break;
+    if (cmd == "\\docs") {
+      auto snap = eng.CurrentSnapshot();
+      for (DocId d = 0; d < snap->DocCount(); ++d) {
+        if (!snap->IsLive(d)) continue;
+        std::printf("  doc(\"%s\") — %u nodes\n", snap->doc(d).name().c_str(),
+                    snap->doc(d).NodeCount());
       }
       continue;
     }
-    if (line == "\\stats") {
+    if (cmd == "\\load") {
+      if (args.size() < 2 || args.size() > 3) {
+        std::printf("usage: \\load FILE [NAME]\n");
+        continue;
+      }
+      std::string xml;
+      if (!ReadFile(args[1], &xml)) {
+        std::printf("cannot open %s\n", args[1].c_str());
+        continue;
+      }
+      std::string name = args.size() == 3 ? args[2] : Basename(args[1]);
+      auto ids = eng.AddDocuments({{std::move(name), std::move(xml)}});
+      if (!ids.ok()) {
+        std::printf("error: %s\n", ids.status().ToString().c_str());
+        continue;
+      }
+      auto snap = eng.CurrentSnapshot();
+      std::printf("loaded doc(\"%s\"): %u nodes; published epoch %llu\n",
+                  snap->doc(ids->front()).name().c_str(),
+                  snap->doc(ids->front()).NodeCount(),
+                  static_cast<unsigned long long>(eng.CurrentEpoch()));
+      continue;
+    }
+    if (cmd == "\\drop") {
+      if (args.size() != 2) {
+        std::printf("usage: \\drop NAME\n");
+        continue;
+      }
+      Status s = eng.RemoveDocument(args[1]);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      std::printf("dropped doc(\"%s\"); published epoch %llu\n",
+                  args[1].c_str(),
+                  static_cast<unsigned long long>(eng.CurrentEpoch()));
+      continue;
+    }
+    if (cmd == "\\epoch") {
+      engine::EngineStats stats = eng.Stats();
+      auto snap = eng.CurrentSnapshot();
+      std::printf(
+          "  epoch %llu: %zu live docs (%zu slots), %llu publishes "
+          "(+%llu/-%llu docs), %llu cache invalidations\n",
+          static_cast<unsigned long long>(stats.epoch),
+          snap->LiveDocCount(), snap->DocCount(),
+          static_cast<unsigned long long>(stats.publishes),
+          static_cast<unsigned long long>(stats.docs_added),
+          static_cast<unsigned long long>(stats.docs_removed),
+          static_cast<unsigned long long>(stats.cache_invalidations));
+      continue;
+    }
+    if (cmd == "\\stats") {
       std::printf("%s\n", eng.Stats().ToString().c_str());
       continue;
     }
-    if (line == "\\cache") {
+    if (cmd == "\\cache") {
       auto listing = eng.CacheContents();
       if (listing.empty()) {
         std::printf("  (cache empty)\n");
@@ -136,12 +221,20 @@ int main(int argc, char** argv) {
       for (const auto& entry : listing) {
         std::string text = entry.key;
         if (text.size() > 60) text = text.substr(0, 60) + "...";
-        std::printf("  [%llu hit%s]%s%s %s\n",
+        std::printf("  [e%llu, %llu hit%s]%s%s %s\n",
+                    static_cast<unsigned long long>(entry.epoch),
                     static_cast<unsigned long long>(entry.hits),
                     entry.hits == 1 ? "" : "s",
                     entry.has_weights ? " +weights" : "",
                     entry.has_result ? " +result" : "", text.c_str());
       }
+      continue;
+    }
+    if (!cmd.empty()) {
+      std::printf(
+          "unknown command %s (try \\docs, \\load, \\drop, \\epoch, "
+          "\\stats, \\cache, \\quit)\n",
+          cmd.c_str());
       continue;
     }
     if (line != ";") {
@@ -156,7 +249,9 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", r.status.ToString().c_str());
       continue;
     }
-    const Document& doc = eng.corpus().doc(r.result_doc);
+    // Serialize through the query's own pinned snapshot: a concurrent
+    // (or just-issued) \drop cannot invalidate the result's documents.
+    const Document& doc = r.snapshot->doc(r.result_doc);
     size_t shown = 0;
     for (Pre p : *r.items) {
       if (shown++ == 20) {
@@ -172,9 +267,10 @@ int main(int argc, char** argv) {
                   r.items->size(), r.wall_ms);
     } else {
       std::printf(
-          "%zu items in %.2f ms; %llu edges executed%s; sampling %.2f ms, "
-          "execution %.2f ms%s\n",
+          "%zu items in %.2f ms (epoch %llu); %llu edges executed%s; "
+          "sampling %.2f ms, execution %.2f ms%s\n",
           r.items->size(), r.wall_ms,
+          static_cast<unsigned long long>(r.epoch),
           static_cast<unsigned long long>(r.rox_stats.edges_executed),
           r.plan_cache_hit ? " (cached plan)" : "",
           r.rox_stats.sampling_time.TotalMillis(),

@@ -5,6 +5,7 @@
 #include <semaphore>
 #include <utility>
 
+#include "common/check.h"
 #include "common/timer.h"
 
 namespace rox::engine {
@@ -28,6 +29,8 @@ std::string EngineStats::ToString() const {
       buf, sizeof(buf),
       "queries: %llu ok, %llu failed in %.2fs (%.1f q/s)\n"
       "latency: p50 %.2f ms, p95 %.2f ms, mean %.2f ms, max %.2f ms\n"
+      "corpus: epoch %llu, %llu publishes (+%llu/-%llu docs), "
+      "%llu cache invalidations, %llu stale hits\n"
       "plan cache: %llu hits / %llu misses (%.0f%% hit rate)\n"
       "result cache: %llu replays (%.0f%% of completed)\n"
       "warm starts: %llu runs reused %llu edge weights\n"
@@ -36,7 +39,12 @@ std::string EngineStats::ToString() const {
       "%llu rows",
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(failed), wall_seconds, qps(), p50_ms,
-      p95_ms, mean_ms, max_ms,
+      p95_ms, mean_ms, max_ms, static_cast<unsigned long long>(epoch),
+      static_cast<unsigned long long>(publishes),
+      static_cast<unsigned long long>(docs_added),
+      static_cast<unsigned long long>(docs_removed),
+      static_cast<unsigned long long>(cache_invalidations),
+      static_cast<unsigned long long>(stale_cache_hits),
       static_cast<unsigned long long>(plan_cache_hits),
       static_cast<unsigned long long>(plan_cache_misses),
       100 * plan_hit_rate(),
@@ -65,10 +73,13 @@ std::string EngineStats::ToString() const {
 }
 
 Engine::Engine(Corpus corpus, EngineOptions options)
-    : corpus_(std::move(corpus)),
-      options_(options),
+    : Engine(std::make_shared<const Corpus>(std::move(corpus)), options) {}
+
+Engine::Engine(std::shared_ptr<const Corpus> corpus, EngineOptions options)
+    : options_(options),
       cache_(options.cache_capacity),
       pool_(options.num_threads) {
+  ROX_CHECK(corpus != nullptr);
   if (options_.num_shards > 1) {
     size_t workers = options_.shard_threads > 0 ? options_.shard_threads
                                                 : options_.num_shards;
@@ -80,15 +91,81 @@ Engine::Engine(Corpus corpus, EngineOptions options)
     constexpr size_t kMaxShardWorkers = 64;
     workers = std::min(workers, kMaxShardWorkers);
     shard_pool_ = std::make_unique<ThreadPool>(workers);
-    sharded_corpus_ = std::make_unique<ShardedCorpus>(
-        corpus_, options_.num_shards, shard_pool_.get());
-    sharded_exec_.shards = sharded_corpus_.get();
-    sharded_exec_.pool = shard_pool_.get();
-    sharded_exec_.sample_shard = options_.sample_shard;
   }
+  current_epoch_.store(corpus->epoch(), std::memory_order_release);
+  state_ = MakeState(std::move(corpus), nullptr);
 }
 
 Engine::~Engine() = default;
+
+std::shared_ptr<const Engine::PublishedState> Engine::MakeState(
+    std::shared_ptr<const Corpus> corpus, const ShardedCorpus* prev) {
+  auto st = std::make_shared<PublishedState>();
+  st->corpus = std::move(corpus);
+  if (options_.num_shards > 1) {
+    st->sharded =
+        prev != nullptr
+            ? std::make_shared<const ShardedCorpus>(*st->corpus, *prev,
+                                                    shard_pool_.get())
+            : std::make_shared<const ShardedCorpus>(
+                  *st->corpus, options_.num_shards, shard_pool_.get());
+    st->exec.shards = st->sharded.get();
+    st->exec.pool = shard_pool_.get();
+    st->exec.sample_shard = options_.sample_shard;
+  }
+  return st;
+}
+
+void Engine::Publish(CorpusBuilder builder, const PublishedState& base) {
+  const size_t added = builder.added_docs();
+  const size_t removed = builder.removed_docs();
+  auto next = std::make_shared<const Corpus>(std::move(builder).Build());
+  const uint64_t next_epoch = next->epoch();
+  // The base epoch's sharded view seeds the incremental rebuild.
+  auto st = MakeState(std::move(next), base.sharded.get());
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state_ = std::move(st);
+    // Inside the lock: a query that pins the new state must never
+    // observe the old epoch here (it would skip its cache write-back).
+    current_epoch_.store(next_epoch, std::memory_order_release);
+  }
+  // Purge cache entries of dead epochs. In-flight queries of older
+  // epochs finish against their pinned snapshots; their late write-
+  // backs are dropped (see Execute), so nothing stale can resurface.
+  size_t invalidated = 0;
+  if (options_.enable_cache) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    invalidated = cache_.EvictBefore(next_epoch);
+  }
+  stats_.RecordPublish(added, removed, invalidated);
+}
+
+Result<std::vector<DocId>> Engine::AddDocuments(std::vector<IngestDoc> docs) {
+  if (docs.empty()) return std::vector<DocId>{};
+  std::lock_guard<std::mutex> ingest(ingest_mu_);
+  auto base = Published();
+  CorpusBuilder builder(*base->corpus);
+  std::vector<DocId> ids;
+  ids.reserve(docs.size());
+  for (IngestDoc& d : docs) {
+    // Parsing interns into the shared pool, which is safe while older
+    // epochs serve queries; a failure here publishes nothing.
+    ROX_ASSIGN_OR_RETURN(DocId id, builder.AddXml(d.xml, std::move(d.name)));
+    ids.push_back(id);
+  }
+  Publish(std::move(builder), *base);
+  return ids;
+}
+
+Status Engine::RemoveDocument(std::string_view name) {
+  std::lock_guard<std::mutex> ingest(ingest_mu_);
+  auto base = Published();
+  CorpusBuilder builder(*base->corpus);
+  ROX_RETURN_IF_ERROR(builder.Remove(name));
+  Publish(std::move(builder), *base);
+  return Status::Ok();
+}
 
 std::future<QueryResult> Engine::Submit(std::string query_text) {
   uint64_t seq = next_sequence_.fetch_add(1);
@@ -103,6 +180,9 @@ QueryResult Engine::Run(std::string query_text) {
 
 std::vector<QueryResult> Engine::RunBatch(
     const std::vector<std::string>& queries, size_t concurrency) {
+  // An empty batch must not touch the pool (or, with concurrency 0 on
+  // an idle engine, the semaphore below): return immediately.
+  if (queries.empty()) return {};
   if (concurrency == 0 || concurrency > pool_.num_threads()) {
     concurrency = pool_.num_threads();
   }
@@ -135,6 +215,15 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
   QueryResult out;
   out.sequence = seq;
 
+  // Pin the published epoch for the whole execution: the snapshot (and
+  // the sharded view / fan-out bundle packaged with it) stays alive
+  // even if AddDocuments/RemoveDocument publish successors mid-run.
+  auto st = Published();
+  const uint64_t epoch = st->corpus->epoch();
+  CorpusSnapshot snapshot(st->corpus);
+  out.epoch = epoch;
+  out.snapshot = st->corpus;
+
   const std::string key = QueryCache::Normalize(text);
   std::shared_ptr<const xq::CompiledQuery> compiled;
   std::vector<double> warm_weights;
@@ -142,7 +231,14 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
 
   if (options_.enable_cache) {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    if (CacheEntry* entry = cache_.Lookup(key)) {
+    CacheEntry* entry = cache_.Lookup(epoch, key);
+    if (entry != nullptr && entry->epoch != epoch) {
+      // Unreachable by construction (the epoch is part of the key);
+      // counted defensively and never served.
+      stats_.RecordStaleCacheHit();
+      entry = nullptr;
+    }
+    if (entry != nullptr) {
       out.plan_cache_hit = true;
       compiled = entry->compiled;
       if (options_.cache_results && entry->result != nullptr) {
@@ -166,7 +262,7 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
 
   bool compiled_now = false;
   if (compiled == nullptr) {
-    auto result = xq::CompileXQuery(corpus_, text, options_.compile);
+    auto result = xq::CompileXQuery(snapshot, text, options_.compile);
     if (!result.ok()) {
       out.status = result.status();
       out.wall_ms = watch.ElapsedMillis();
@@ -183,8 +279,8 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
       // A concurrent miss on the same query may have raced us here and
       // already run to completion — never replace an entry that exists,
       // or its learned weights, memoized result and hit count are lost.
-      if (cache_.Lookup(key, /*count_hit=*/false) == nullptr) {
-        cache_.Insert(key, CacheEntry{compiled, {}, nullptr});
+      if (cache_.Lookup(epoch, key, /*count_hit=*/false) == nullptr) {
+        cache_.Insert(epoch, key, CacheEntry{compiled, {}, nullptr});
       }
     }
   }
@@ -195,10 +291,10 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
   rox.seed = MixSeed(options_.rox.seed, seq);
   rox.lazy_materialization =
       options_.lazy_materialization && options_.rox.lazy_materialization;
-  if (sharded_corpus_ != nullptr) rox.sharded = &sharded_exec_;
+  if (st->sharded != nullptr) rox.sharded = &st->exec;
   std::vector<double> learned;
   RoxStats rox_stats;
-  auto items = xq::RunXQuery(corpus_, *compiled, rox, &rox_stats,
+  auto items = xq::RunXQuery(snapshot, *compiled, rox, &rox_stats,
                              have_warm ? &warm_weights : nullptr, &learned);
   out.rox_stats = rox_stats;
   out.warm_started = rox_stats.warm_started_weights > 0;
@@ -213,12 +309,19 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
   }
   out.items = std::make_shared<const std::vector<Pre>>(std::move(*items));
 
-  if (options_.enable_cache) {
+  if (options_.enable_cache &&
+      epoch == current_epoch_.load(std::memory_order_acquire)) {
+    // Write learned weights / the memoized result back only while our
+    // epoch is still the published one. A publish can still race in
+    // between the check and the insert; that is harmless — the entry
+    // is epoch-keyed, so the worst case is a dead old-epoch entry
+    // occupying one LRU slot until evicted, never a stale hit.
     std::lock_guard<std::mutex> lock(cache_mu_);
-    CacheEntry* entry = cache_.Lookup(key, /*count_hit=*/false);
+    CacheEntry* entry = cache_.Lookup(epoch, key, /*count_hit=*/false);
     if (entry == nullptr) {
-      // Evicted while we ran; re-insert so the work is not lost.
-      entry = cache_.Insert(key, CacheEntry{compiled, {}, nullptr});
+      // Evicted (or invalidated) while we ran; re-insert so the work
+      // is not lost.
+      entry = cache_.Insert(epoch, key, CacheEntry{compiled, {}, nullptr});
     }
     entry->warm_edge_weights = std::move(learned);
     if (options_.cache_results) entry->result = out.items;

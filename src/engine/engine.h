@@ -2,23 +2,27 @@
 // ROX pipeline (parse -> compile -> run-time optimize -> plan tail).
 //
 // An Engine owns
-//   * an immutable Corpus, shared read-only by every in-flight query —
-//     immutability is what makes lock-free sharing sound: compilation
-//     only *looks up* names/literals in the string pool (see
-//     xq::CompileXQuery) and execution reads documents and indexes,
+//   * a *live* corpus, published as a sequence of immutable epoch
+//     snapshots (DESIGN.md §10): every in-flight query pins the epoch
+//     it started on via a shared_ptr CorpusSnapshot, so execution
+//     always sees one frozen corpus — the invariant every layer below
+//     (compilation, sampling, sharded fan-out) was built on — while
+//     AddDocuments/RemoveDocument copy-on-write the next epoch and
+//     publish it atomically,
 //   * a fixed ThreadPool executing submitted queries,
-//   * an LRU QueryCache keyed by normalized query text, holding the
-//     compiled Join Graph, the edge weights learned by prior runs
-//     (warm-starting ROX's Phase 1, RoxOptions::use_warm_start), and
-//     optionally the final result sequence,
-//   * a StatsCollector aggregating latency/cache/optimizer statistics.
+//   * an LRU QueryCache keyed by (epoch, normalized query text),
+//     holding the compiled Join Graph, the edge weights learned by
+//     prior runs (warm-starting ROX's Phase 1), and optionally the
+//     final result sequence — all invalidated on publish,
+//   * a StatsCollector aggregating latency/cache/optimizer/epoch
+//     statistics.
 //
 // Every in-flight query gets its own RoxState and an independently
 // seeded RNG stream (base seed mixed with the query's sequence number),
 // so concurrent runs never share mutable state. Result sequences are
-// deterministic regardless of seed or thread interleaving: ROX's join
-// order affects only performance, and the plan tail sorts in document
-// order.
+// deterministic for a given epoch regardless of seed or thread
+// interleaving: ROX's join order affects only performance, and the
+// plan tail sorts in document order.
 
 #ifndef ROX_ENGINE_ENGINE_H_
 #define ROX_ENGINE_ENGINE_H_
@@ -28,6 +32,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -57,7 +63,8 @@ struct EngineOptions {
   bool warm_start = true;
 
   // Replay the memoized final item sequence for a repeated query
-  // without running it. Sound because the corpus is immutable.
+  // without running it. Sound because entries are keyed by epoch and
+  // each epoch is immutable.
   bool cache_results = true;
 
   // Corpus shards for parallel *intra*-query execution: every document's
@@ -65,6 +72,8 @@ struct EngineOptions {
   // their own indexes, and each full materialization step of a query
   // fans out per shard on a dedicated shard pool. 1 (the default) is
   // today's monolithic executor; results are identical for every value.
+  // The sharded view is rebuilt incrementally on publish: only
+  // added/changed documents re-index.
   size_t num_shards = 1;
 
   // Workers of the shard pool (0 = num_shards). Kept separate from the
@@ -91,6 +100,13 @@ struct EngineOptions {
   xq::CompileOptions compile;
 };
 
+// One document to ingest: the XML text plus the name doc("name")
+// resolves.
+struct IngestDoc {
+  std::string name;
+  std::string xml;
+};
+
 // Everything one query produced.
 struct QueryResult {
   Status status = Status::Ok();
@@ -100,6 +116,13 @@ struct QueryResult {
   std::shared_ptr<const std::vector<Pre>> items;
   // Document of the result items (the return variable's document).
   DocId result_doc = kInvalidDocId;
+  // The corpus epoch this query ran against, and the pinned snapshot
+  // itself — holding the result keeps its epoch alive, so result Pre
+  // ids can always be resolved against `snapshot` even after later
+  // publishes (the shell serializes results through it, and the
+  // differential fuzz harness rebuilds reference engines from it).
+  uint64_t epoch = 0;
+  std::shared_ptr<const Corpus> snapshot;
   // Optimizer statistics (zeroed for result-cache hits: nothing ran).
   RoxStats rox_stats;
   bool plan_cache_hit = false;
@@ -114,18 +137,57 @@ struct QueryResult {
 
 class Engine {
  public:
-  // Takes ownership of the corpus; it is frozen from here on.
+  // Takes ownership of the corpus as epoch `corpus.epoch()` (0 for a
+  // freshly built one); it is immutable from here on — further change
+  // goes through AddDocuments/RemoveDocument, which publish successor
+  // epochs.
   explicit Engine(Corpus corpus, EngineOptions options = {});
+
+  // Serves an already-pinned snapshot (shares it — e.g. the fuzz
+  // harness's fresh single-epoch reference engines).
+  explicit Engine(std::shared_ptr<const Corpus> corpus,
+                  EngineOptions options = {});
+
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  const Corpus& corpus() const { return corpus_; }
+  // The currently published epoch's corpus. The reference stays valid
+  // until the next publish; callers that outlive a publish (or race
+  // one) must pin via CurrentSnapshot() instead.
+  const Corpus& corpus() const { return *Published()->corpus; }
   const EngineOptions& options() const { return options_; }
 
-  // The sharded view, or null when num_shards <= 1.
-  const ShardedCorpus* sharded_corpus() const { return sharded_corpus_.get(); }
+  // Pins the currently published epoch.
+  std::shared_ptr<const Corpus> CurrentSnapshot() const {
+    return Published()->corpus;
+  }
+  uint64_t CurrentEpoch() const {
+    return current_epoch_.load(std::memory_order_acquire);
+  }
+
+  // The current epoch's sharded view, or null when num_shards <= 1.
+  // Same lifetime caveat as corpus().
+  const ShardedCorpus* sharded_corpus() const {
+    return Published()->sharded.get();
+  }
+
+  // --- live ingestion (DESIGN.md §10) ---------------------------------------
+  //
+  // Both calls copy-on-write the next epoch from the current one,
+  // parse/index only the delta, and atomically publish it: queries in
+  // flight keep their pinned epoch; queries arriving after the call
+  // returns see the new one. Cache entries of dead epochs are purged.
+  // Writers are serialized; a failed build publishes nothing.
+
+  // Parses and adds `docs` as one new epoch. Returns the assigned
+  // DocIds (in input order). An empty vector is a no-op (no publish).
+  Result<std::vector<DocId>> AddDocuments(std::vector<IngestDoc> docs);
+
+  // Tombstones the named document in a new epoch. DocIds are never
+  // reused; pinned older epochs still serve the document.
+  Status RemoveDocument(std::string_view name);
 
   // Asynchronous execution on the owned pool.
   std::future<QueryResult> Submit(std::string query_text);
@@ -135,7 +197,8 @@ class Engine {
 
   // Executes `queries` with at most `concurrency` in flight at a time
   // (0 = pool size; capped at the pool size) and returns results in
-  // input order. Blocks until the whole batch is done.
+  // input order. Blocks until the whole batch is done. An empty batch
+  // returns immediately without touching the pool.
   std::vector<QueryResult> RunBatch(const std::vector<std::string>& queries,
                                     size_t concurrency = 0);
 
@@ -143,6 +206,7 @@ class Engine {
   EngineStats Stats() const {
     EngineStats out = stats_.Snapshot();
     out.num_shards = options_.num_shards > 0 ? options_.num_shards : 1;
+    out.epoch = CurrentEpoch();
     return out;
   }
   void ResetStats() { stats_.Reset(); }
@@ -154,9 +218,32 @@ class Engine {
   void ClearCache();
 
  private:
+  // One published epoch: the corpus, its sharded view, and the fan-out
+  // bundle pointing at both. Queries pin the whole struct, so nothing
+  // a running query references can be freed by a publish.
+  struct PublishedState {
+    std::shared_ptr<const Corpus> corpus;
+    std::shared_ptr<const ShardedCorpus> sharded;  // null when unsharded
+    ShardedExec exec;
+  };
+
+  std::shared_ptr<const PublishedState> Published() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return state_;
+  }
+
+  // Builds the published bundle for `corpus`, sharding incrementally
+  // from `prev` when possible.
+  std::shared_ptr<const PublishedState> MakeState(
+      std::shared_ptr<const Corpus> corpus, const ShardedCorpus* prev);
+
+  // Swaps in the next epoch built by `builder` and purges dead cache
+  // entries. Caller holds ingest_mu_ and passes the base state the
+  // builder started from (still current, since writers are serial).
+  void Publish(CorpusBuilder builder, const PublishedState& base);
+
   QueryResult Execute(const std::string& text, uint64_t seq);
 
-  Corpus corpus_;
   EngineOptions options_;
   StatsCollector stats_;
 
@@ -164,14 +251,21 @@ class Engine {
   QueryCache cache_;
 
   // Sharded intra-query execution (null / unused when num_shards <= 1).
-  // Declared before pool_ so in-flight queries drain first on teardown.
+  // Declared before state_/pool_ so in-flight fan-outs drain first on
+  // teardown.
   std::unique_ptr<ThreadPool> shard_pool_;
-  std::unique_ptr<ShardedCorpus> sharded_corpus_;
-  ShardedExec sharded_exec_;
+
+  // The published epoch, swapped atomically under state_mu_; writers
+  // are serialized by ingest_mu_ (held across build + publish so
+  // epochs are linear).
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const PublishedState> state_;
+  std::mutex ingest_mu_;
+  std::atomic<uint64_t> current_epoch_{0};
 
   std::atomic<uint64_t> next_sequence_{0};
 
-  // Declared last: destroyed first, so workers drain while the corpus,
+  // Declared last: destroyed first, so workers drain while the state,
   // cache and stats above are still alive.
   ThreadPool pool_;
 };

@@ -52,6 +52,22 @@ struct EngineStats {
   size_t num_shards = 1;
   ShardFanoutStats sharded;
 
+  // Corpus versioning (DESIGN.md §10). `epoch` is the currently
+  // published epoch, re-read at snapshot time (like num_shards, it is
+  // engine state, not a counter). The publish/doc/invalidation
+  // counters accumulate since engine start or the last ResetStats.
+  uint64_t epoch = 0;
+  uint64_t publishes = 0;
+  uint64_t docs_added = 0;
+  uint64_t docs_removed = 0;
+  // Cache entries of dead epochs purged by publishes.
+  uint64_t cache_invalidations = 0;
+  // Cache lookups that returned an entry of a different epoch than the
+  // query's pinned one. Unreachable by construction (the cache key
+  // includes the epoch); counted defensively and asserted zero by the
+  // snapshot fuzz suite.
+  uint64_t stale_cache_hits = 0;
+
   // Latency distribution over all finished queries (cache hits
   // included — a hit's latency is real service latency).
   double p50_ms = 0;
@@ -116,6 +132,22 @@ class StatsCollector {
       counters_.sharded.Merge(r.rox->sharded);
     }
     if (!r.failed) RecordLatency(r.latency_ms);
+  }
+
+  // One epoch publish: how many documents the builder added/removed
+  // and how many dead-epoch cache entries were purged.
+  void RecordPublish(size_t added, size_t removed, size_t invalidated) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.publishes;
+    counters_.docs_added += added;
+    counters_.docs_removed += removed;
+    counters_.cache_invalidations += invalidated;
+  }
+
+  // Defensive: a cache lookup surfaced an entry of the wrong epoch.
+  void RecordStaleCacheHit() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.stale_cache_hits;
   }
 
   EngineStats Snapshot() const {

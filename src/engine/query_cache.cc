@@ -31,8 +31,18 @@ std::string QueryCache::Normalize(std::string_view query) {
   return out;
 }
 
-CacheEntry* QueryCache::Lookup(const std::string& key, bool count_hit) {
-  auto it = by_key_.find(key);
+const std::string& QueryCache::EncodeKey(uint64_t epoch,
+                                         const std::string& key) {
+  scratch_key_.clear();
+  scratch_key_ += std::to_string(epoch);
+  scratch_key_.push_back('\x1f');
+  scratch_key_ += key;
+  return scratch_key_;
+}
+
+CacheEntry* QueryCache::Lookup(uint64_t epoch, const std::string& key,
+                               bool count_hit) {
+  auto it = by_key_.find(EncodeKey(epoch, key));
   if (it == by_key_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second);
   CacheEntry& e = lru_.front().entry;
@@ -40,21 +50,39 @@ CacheEntry* QueryCache::Lookup(const std::string& key, bool count_hit) {
   return &e;
 }
 
-CacheEntry* QueryCache::Insert(const std::string& key, CacheEntry entry) {
-  auto it = by_key_.find(key);
+CacheEntry* QueryCache::Insert(uint64_t epoch, const std::string& key,
+                               CacheEntry entry) {
+  entry.epoch = epoch;
+  const std::string& map_key = EncodeKey(epoch, key);
+  auto it = by_key_.find(map_key);
   if (it != by_key_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
     lru_.front().entry = std::move(entry);
     return &lru_.front().entry;
   }
-  lru_.push_front(Node{key, std::move(entry)});
-  by_key_.emplace(key, lru_.begin());
+  lru_.push_front(Node{epoch, map_key, std::move(entry)});
+  by_key_.emplace(map_key, lru_.begin());
   if (lru_.size() > capacity_) {
-    by_key_.erase(lru_.back().key);
+    by_key_.erase(lru_.back().map_key);
     lru_.pop_back();
     ++evictions_;
   }
   return &lru_.front().entry;
+}
+
+size_t QueryCache::EvictBefore(uint64_t epoch) {
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->epoch < epoch) {
+      by_key_.erase(it->map_key);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  invalidations_ += dropped;
+  return dropped;
 }
 
 void QueryCache::Clear() {
@@ -66,7 +94,8 @@ std::vector<QueryCache::Listing> QueryCache::List() const {
   std::vector<Listing> out;
   out.reserve(lru_.size());
   for (const Node& n : lru_) {
-    out.push_back(Listing{n.key, n.entry.hits, !n.entry.warm_edge_weights.empty(),
+    out.push_back(Listing{std::string(n.text_key()), n.epoch, n.entry.hits,
+                          !n.entry.warm_edge_weights.empty(),
                           n.entry.result != nullptr});
   }
   return out;

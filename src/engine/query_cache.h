@@ -1,4 +1,5 @@
-// LRU cache of compiled queries keyed by normalized query text.
+// LRU cache of compiled queries keyed by (corpus epoch, normalized
+// query text).
 //
 // An entry carries (1) the immutable compiled Join Graph, shared by any
 // number of concurrent executions, (2) the edge weights the last
@@ -6,8 +7,17 @@
 // a repeated query skips re-sampling what a prior run already measured
 // (the amortization argued for by Berkholz et al. for repeated queries
 // under a fixed database), and (3) optionally the final result
-// sequence, which is sound to replay verbatim because the engine's
-// corpus is immutable.
+// sequence, which is sound to replay verbatim because the epoch the
+// entry is keyed by is immutable.
+//
+// Epoch keying (DESIGN.md §10): compiled plans, learned weights and
+// memoized results are all only valid for the corpus epoch they were
+// produced against — a later epoch may resolve the same document
+// names, element names and literals differently. The epoch is part of
+// the lookup key, so a query pinned to epoch E can never observe an
+// entry from any other epoch, and the engine additionally calls
+// EvictBefore(E+1) on publish so dead epochs free their capacity
+// immediately instead of waiting for LRU pressure.
 //
 // The cache is NOT thread-safe: the Engine serializes access with its
 // own mutex and copies what an execution needs out under that lock.
@@ -36,6 +46,11 @@ struct CacheEntry {
   // Final item sequence of the last completed run; null until then or
   // when result caching is disabled.
   std::shared_ptr<const std::vector<Pre>> result;
+  // The corpus epoch this entry was produced against. Set by Insert;
+  // the engine treats any mismatch with the query's pinned epoch as a
+  // stale hit (counted, never served — and unreachable by
+  // construction, since the epoch is part of the key).
+  uint64_t epoch = 0;
   uint64_t hits = 0;
 };
 
@@ -48,26 +63,36 @@ class QueryCache {
   // untouched (whitespace inside "..."/'...' is significant).
   static std::string Normalize(std::string_view query);
 
-  // Returns the entry for `key` and marks it most-recently-used, or
-  // nullptr. The pointer stays valid until the next Insert/Clear.
-  // `count_hit` is false for internal bookkeeping lookups (e.g. storing
-  // learned weights back after a run) that should not inflate the
-  // entry's hit counter.
-  CacheEntry* Lookup(const std::string& key, bool count_hit = true);
+  // Returns the entry for (epoch, key) and marks it most-recently-
+  // used, or nullptr. The pointer stays valid until the next
+  // Insert/Clear/EvictBefore. `count_hit` is false for internal
+  // bookkeeping lookups (e.g. storing learned weights back after a
+  // run) that should not inflate the entry's hit counter.
+  CacheEntry* Lookup(uint64_t epoch, const std::string& key,
+                     bool count_hit = true);
 
-  // Inserts (or replaces) the entry for `key`, evicting the least-
-  // recently-used entry if over capacity. Returns the stored entry.
-  CacheEntry* Insert(const std::string& key, CacheEntry entry);
+  // Inserts (or replaces) the entry for (epoch, key), stamping
+  // entry.epoch, and evicting the least-recently-used entry if over
+  // capacity. Returns the stored entry.
+  CacheEntry* Insert(uint64_t epoch, const std::string& key,
+                     CacheEntry entry);
+
+  // Drops every entry of an epoch older than `epoch` (the publish-time
+  // invalidation). Returns how many entries were dropped; they count
+  // as invalidations, not capacity evictions.
+  size_t EvictBefore(uint64_t epoch);
 
   void Clear();
 
   size_t size() const { return lru_.size(); }
   size_t capacity() const { return capacity_; }
   uint64_t evictions() const { return evictions_; }
+  uint64_t invalidations() const { return invalidations_; }
 
   // One row of the shell's \cache listing, most-recently-used first.
   struct Listing {
     std::string key;
+    uint64_t epoch = 0;
     uint64_t hits = 0;
     bool has_weights = false;
     bool has_result = false;
@@ -76,12 +101,29 @@ class QueryCache {
 
  private:
   struct Node {
-    std::string key;
+    uint64_t epoch;
+    // The encoded "<epoch>\x1f<key>" map key, kept so eviction and
+    // invalidation never re-encode; the bare text key for List() is
+    // the suffix past the separator.
+    std::string map_key;
     CacheEntry entry;
+
+    std::string_view text_key() const {
+      return std::string_view(map_key).substr(map_key.find('\x1f') + 1);
+    }
   };
+
+  // Renders (epoch, key) into scratch_key_ — "<epoch>\x1f<key>"; the
+  // epoch prefix is all digits, so the first 0x1f always separates —
+  // and returns it. Reusing one buffer keeps lookups allocation-free
+  // once warm; safe because the cache is externally serialized (see
+  // class comment).
+  const std::string& EncodeKey(uint64_t epoch, const std::string& key);
 
   size_t capacity_;
   uint64_t evictions_ = 0;
+  uint64_t invalidations_ = 0;
+  std::string scratch_key_;
   std::list<Node> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Node>::iterator> by_key_;
 };

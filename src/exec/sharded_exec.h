@@ -17,6 +17,12 @@
 // Cut-off (sampled) executions are deliberately NOT fanned out: their
 // outputs are bounded by tau and the cut-off protocol ("stop after l
 // tuples") is inherently sequential.
+//
+// Epochs (DESIGN.md §10): every wrapper receives the ShardedExec
+// bundle of the query's *pinned* snapshot — one bundle per published
+// epoch, packaged and kept alive with the corpus and sharded view it
+// points at — so a publish mid-query can never swap the indexes a
+// fan-out is reading.
 
 #ifndef ROX_EXEC_SHARDED_EXEC_H_
 #define ROX_EXEC_SHARDED_EXEC_H_

@@ -16,12 +16,13 @@ Result<DocId> Corpus::Add(std::unique_ptr<Document> doc) {
   }
   DocId id = static_cast<DocId>(docs_.size());
   doc->set_id(id);
-  DocumentIndexes idx;
-  idx.element = std::make_unique<ElementIndex>(*doc);
-  idx.value = std::make_unique<ValueIndex>(*doc);
+  auto idx = std::make_shared<DocumentIndexes>();
+  idx->element = std::make_unique<ElementIndex>(*doc);
+  idx->value = std::make_unique<ValueIndex>(*doc);
   by_name_.emplace(doc->name(), id);
   docs_.push_back(std::move(doc));
   indexes_.push_back(std::move(idx));
+  ++live_docs_;
   return id;
 }
 
@@ -37,6 +38,38 @@ Result<DocId> Corpus::Resolve(std::string_view doc_name) const {
     return Status::NotFound(StrCat("no such document: ", doc_name));
   }
   return it->second;
+}
+
+Result<DocId> CorpusBuilder::Add(std::unique_ptr<Document> doc) {
+  ROX_ASSIGN_OR_RETURN(DocId id, next_.Add(std::move(doc)));
+  ++added_;
+  return id;
+}
+
+Result<DocId> CorpusBuilder::AddXml(std::string_view xml,
+                                    std::string doc_name) {
+  ROX_ASSIGN_OR_RETURN(std::unique_ptr<Document> doc,
+                       ParseXml(xml, std::move(doc_name), next_.pool_));
+  return Add(std::move(doc));
+}
+
+Status CorpusBuilder::Remove(std::string_view doc_name) {
+  auto it = next_.by_name_.find(std::string(doc_name));
+  if (it == next_.by_name_.end()) {
+    return Status::NotFound(StrCat("no such document: ", doc_name));
+  }
+  DocId id = it->second;
+  next_.docs_[id] = nullptr;
+  next_.indexes_[id] = nullptr;
+  next_.by_name_.erase(it);
+  --next_.live_docs_;
+  ++removed_;
+  return Status::Ok();
+}
+
+Corpus CorpusBuilder::Build() && {
+  ++next_.epoch_;
+  return std::move(next_);
 }
 
 }  // namespace rox

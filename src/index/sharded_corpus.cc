@@ -1,6 +1,7 @@
 #include "index/sharded_corpus.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/thread_pool.h"
 
@@ -9,25 +10,55 @@ namespace rox {
 ShardedCorpus::ShardedCorpus(const Corpus& corpus, size_t num_shards,
                              ThreadPool* pool)
     : corpus_(&corpus), num_shards_(std::max<size_t>(num_shards, 1)) {
-  shards_.resize(corpus.DocCount());
-  for (DocId d = 0; d < corpus.DocCount(); ++d) {
-    shards_[d].resize(num_shards_);
-    Pre n = corpus.doc(d).NodeCount();
+  Build(nullptr, pool);
+}
+
+ShardedCorpus::ShardedCorpus(const Corpus& corpus, const ShardedCorpus& prev,
+                             ThreadPool* pool)
+    : corpus_(&corpus), num_shards_(prev.num_shards_) {
+  Build(&prev, pool);
+}
+
+void ShardedCorpus::Build(const ShardedCorpus* reuse_from, ThreadPool* pool) {
+  const size_t doc_count = corpus_->DocCount();
+  shards_.resize(doc_count);
+
+  // Freshly built (mutable) shard vectors, and the flattened list of
+  // (doc, shard) index builds they need.
+  std::vector<std::shared_ptr<DocShards>> fresh(doc_count);
+  std::vector<std::pair<DocId, size_t>> jobs;
+  for (DocId d = 0; d < doc_count; ++d) {
+    const Document* doc = corpus_->DocPtrOrNull(d);
+    if (doc == nullptr) continue;  // tombstone: no shards
+    if (reuse_from != nullptr && d < reuse_from->shards_.size() &&
+        reuse_from->corpus_->DocPtrOrNull(d) == doc) {
+      // Unchanged document: share the previous epoch's shard vector
+      // (ranges and indexes) wholesale.
+      shards_[d] = reuse_from->shards_[d];
+      ++reused_docs_;
+      continue;
+    }
+    auto doc_shards = std::make_shared<DocShards>(num_shards_);
+    Pre n = doc->NodeCount();
     for (size_t s = 0; s < num_shards_; ++s) {
       // Near-equal node counts; a document smaller than K leaves the
       // tail shards empty, which every consumer tolerates.
-      shards_[d][s].range.begin = static_cast<Pre>(
+      (*doc_shards)[s].range.begin = static_cast<Pre>(
           static_cast<uint64_t>(n) * s / num_shards_);
-      shards_[d][s].range.end = static_cast<Pre>(
+      (*doc_shards)[s].range.end = static_cast<Pre>(
           static_cast<uint64_t>(n) * (s + 1) / num_shards_);
+      jobs.emplace_back(d, s);
     }
+    fresh[d] = doc_shards;
+    shards_[d] = std::move(doc_shards);
+    ++rebuilt_docs_;
   }
-  // Index builds are independent per (document, shard); flatten them
-  // into one parallel loop.
-  ParallelFor(pool, corpus.DocCount() * num_shards_, [&](size_t i) {
-    DocId d = static_cast<DocId>(i / num_shards_);
-    size_t s = i % num_shards_;
-    DocumentShard& shard = shards_[d][s];
+
+  // Index builds are independent per (document, shard); run the
+  // flattened list in one parallel loop.
+  ParallelFor(pool, jobs.size(), [&](size_t i) {
+    auto [d, s] = jobs[i];
+    DocumentShard& shard = (*fresh[d])[s];
     const Document& doc = corpus_->doc(d);
     shard.element =
         std::make_unique<ElementIndex>(doc, shard.range.begin,
@@ -44,9 +75,10 @@ void ShardedCorpus::Partition(DocId d, std::span<const Pre> nodes,
   offsets->clear();
   parts->reserve(num_shards_);
   offsets->reserve(num_shards_);
+  const DocShards& shards = *shards_[d];
   size_t lo = 0;
   for (size_t s = 0; s < num_shards_; ++s) {
-    const ShardRange& r = shards_[d][s].range;
+    const ShardRange& r = shards[s].range;
     auto end_it = std::lower_bound(nodes.begin() + lo, nodes.end(), r.end);
     size_t hi = static_cast<size_t>(end_it - nodes.begin());
     offsets->push_back(static_cast<uint32_t>(lo));

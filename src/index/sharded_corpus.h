@@ -1,4 +1,4 @@
-// A sharded view over a frozen Corpus for parallel intra-query
+// A sharded view over one frozen corpus epoch for parallel intra-query
 // execution.
 //
 // Every document's node-id (pre) range [0, NodeCount) is partitioned
@@ -18,6 +18,13 @@
 // compilation and result semantics are untouched, which is what makes
 // 1-shard execution bit-identical to the unsharded executor and
 // K-shard execution produce identical final item sequences.
+//
+// Epochs (DESIGN.md §10). A ShardedCorpus belongs to exactly one
+// corpus epoch. Publishing the next epoch rebuilds the view
+// *incrementally*: per-document shard vectors are shared_ptr-held, so
+// the rebuild shares them wholesale for every document whose Document
+// object is pointer-identical across the two epochs and builds indexes
+// only for added/replaced documents. Tombstoned slots carry no shards.
 
 #ifndef ROX_INDEX_SHARDED_CORPUS_H_
 #define ROX_INDEX_SHARDED_CORPUS_H_
@@ -44,11 +51,19 @@ struct ShardRange {
 
 class ShardedCorpus {
  public:
-  // Partitions every document of `corpus` into `num_shards` contiguous
-  // ranges and builds the per-shard indexes, in parallel on `pool`
-  // (inline when null). The corpus must outlive this view and must not
-  // change afterwards (the Engine freezes it before sharding).
+  // Partitions every live document of `corpus` into `num_shards`
+  // contiguous ranges and builds the per-shard indexes, in parallel on
+  // `pool` (inline when null). The corpus epoch must outlive this view
+  // (the Engine pins both in one published state).
   ShardedCorpus(const Corpus& corpus, size_t num_shards, ThreadPool* pool);
+
+  // Incremental rebuild for the next epoch: shares `prev`'s per-
+  // document shard vectors (ranges and indexes) for every document
+  // whose Document object is unchanged between prev's corpus and
+  // `corpus`, and builds only the rest. Shard count is inherited from
+  // `prev`.
+  ShardedCorpus(const Corpus& corpus, const ShardedCorpus& prev,
+                ThreadPool* pool);
 
   ShardedCorpus(const ShardedCorpus&) = delete;
   ShardedCorpus& operator=(const ShardedCorpus&) = delete;
@@ -56,14 +71,19 @@ class ShardedCorpus {
   const Corpus& corpus() const { return *corpus_; }
   size_t num_shards() const { return num_shards_; }
 
+  // Incremental-rebuild accounting (full builds count every live
+  // document as rebuilt).
+  size_t reused_docs() const { return reused_docs_; }
+  size_t rebuilt_docs() const { return rebuilt_docs_; }
+
   const ShardRange& range(DocId d, size_t s) const {
-    return shards_[d][s].range;
+    return (*shards_[d])[s].range;
   }
   const ElementIndex& element_index(DocId d, size_t s) const {
-    return *shards_[d][s].element;
+    return *(*shards_[d])[s].element;
   }
   const ValueIndex& value_index(DocId d, size_t s) const {
-    return *shards_[d][s].value;
+    return *(*shards_[d])[s].value;
   }
 
   // Splits a pre-sorted node list of document `d` at the shard
@@ -80,17 +100,27 @@ class ShardedCorpus {
     std::unique_ptr<ElementIndex> element;
     std::unique_ptr<ValueIndex> value;
   };
+  // One document's shards, shared across epochs when unchanged.
+  using DocShards = std::vector<DocumentShard>;
+
+  // Builds shards_ entries for every live document of corpus_ that
+  // `reuse_from` (nullable) does not cover with an identical document.
+  void Build(const ShardedCorpus* reuse_from, ThreadPool* pool);
 
   const Corpus* corpus_;
   size_t num_shards_;
-  std::vector<std::vector<DocumentShard>> shards_;  // [doc][shard]
+  size_t reused_docs_ = 0;
+  size_t rebuilt_docs_ = 0;
+  // [doc] -> shards of that document; null for tombstoned slots.
+  std::vector<std::shared_ptr<const DocShards>> shards_;
 };
 
 // Everything a sharded fan-out needs, bundled so it can thread through
 // RoxOptions as one pointer. The pool must be distinct from the pool
 // whose workers wait on queries (the Engine keeps a dedicated
 // shard pool), though ParallelFor's caller-participation makes even a
-// shared pool safe.
+// shared pool safe. The Engine publishes one bundle per epoch, inside
+// the same pinned state as the corpus and sharded view it points at.
 struct ShardedExec {
   const ShardedCorpus* shards = nullptr;
   ThreadPool* pool = nullptr;

@@ -8,9 +8,12 @@
 
 namespace rox {
 
-RoxOptimizer::RoxOptimizer(const Corpus& corpus, const JoinGraph& graph,
+RoxOptimizer::RoxOptimizer(CorpusSnapshot snapshot, const JoinGraph& graph,
                            RoxOptions options)
-    : corpus_(corpus), graph_(graph), options_(options) {}
+    : snapshot_(std::move(snapshot)),
+      corpus_(*snapshot_),
+      graph_(graph),
+      options_(options) {}
 
 Status RoxOptimizer::ExecutePath(const std::vector<EdgeId>& path) {
   // §3.1: the winning path segment "is treated as a separate Join
@@ -68,7 +71,7 @@ Status RoxOptimizer::RunLoop() {
         "separate ROX runs, as the paper's plans do)");
   }
 
-  state_ = std::make_unique<RoxState>(corpus_, graph_, options_);
+  state_ = std::make_unique<RoxState>(snapshot_, graph_, options_);
   // Phase 1 (lines 1-4).
   state_->InitializeSamplesAndWeights();
 

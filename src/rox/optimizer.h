@@ -90,7 +90,10 @@ struct RoxViewResult {
 
 class RoxOptimizer {
  public:
-  RoxOptimizer(const Corpus& corpus, const JoinGraph& graph,
+  // The snapshot is pinned for the optimizer's lifetime (threaded into
+  // the RoxState); an implicit unowned snapshot from `const Corpus&`
+  // keeps single-epoch callers unchanged.
+  RoxOptimizer(CorpusSnapshot snapshot, const JoinGraph& graph,
                RoxOptions options = {});
 
   // Runs the full optimize-and-execute loop. Under lazy materialization
@@ -127,6 +130,7 @@ class RoxOptimizer {
   // Copies the learned edge weights out of state_.
   std::vector<double> FinalEdgeWeights() const;
 
+  CorpusSnapshot snapshot_;  // declared before corpus_ (it points in)
   const Corpus& corpus_;
   const JoinGraph& graph_;
   RoxOptions options_;

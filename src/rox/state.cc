@@ -15,9 +15,10 @@
 
 namespace rox {
 
-RoxState::RoxState(const Corpus& corpus, const JoinGraph& graph,
+RoxState::RoxState(CorpusSnapshot snapshot, const JoinGraph& graph,
                    const RoxOptions& options)
-    : corpus_(corpus),
+    : snapshot_(std::move(snapshot)),
+      corpus_(*snapshot_),
       graph_(graph),
       options_(options),
       rng_(options.seed),

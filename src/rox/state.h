@@ -109,7 +109,11 @@ struct EdgeSample {
 
 class RoxState {
  public:
-  RoxState(const Corpus& corpus, const JoinGraph& graph,
+  // The snapshot is held (pinned) for the state's lifetime: an engine-
+  // issued owning snapshot keeps its corpus epoch alive even if the
+  // next epoch publishes mid-query (DESIGN.md §10). Unowned snapshots
+  // (implicit from a stack-owned `const Corpus&`) rely on the caller.
+  RoxState(CorpusSnapshot snapshot, const JoinGraph& graph,
            const RoxOptions& options);
 
   // --- phase 1 -------------------------------------------------------------
@@ -156,6 +160,7 @@ class RoxState {
 
   const JoinGraph& graph() const { return graph_; }
   const Corpus& corpus() const { return corpus_; }
+  const CorpusSnapshot& snapshot() const { return snapshot_; }
   const RoxOptions& options() const { return options_; }
   Rng& rng() { return rng_; }
 
@@ -253,6 +258,9 @@ class RoxState {
   // Ditto for equi-join algorithms when both ends are materialized.
   EquiAlgo ChooseEquiAlgorithm(EdgeId e, VertexId ctx);
 
+  // Declared before corpus_: the reference below points into the
+  // snapshot, which must be initialized (and destroyed) around it.
+  CorpusSnapshot snapshot_;
   const Corpus& corpus_;
   const JoinGraph& graph_;
   RoxOptions options_;

@@ -21,29 +21,48 @@ double ParseNumeric(std::string_view s) {
 
 }  // namespace
 
+StringPool::~StringPool() {
+  for (auto& slot : blocks_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
 StringId StringPool::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;
-  StringId id = static_cast<StringId>(strings_.size());
-  strings_.emplace_back(s);
-  numeric_.push_back(ParseNumeric(s));
-  index_.emplace(std::string_view(strings_.back()), id);
+  size_t n = size_.load(std::memory_order_relaxed);
+  ROX_CHECK(n < kMaxBlocks * kBlockSize);
+  std::atomic<Block*>& slot = blocks_[n >> kBlockBits];
+  Block* block = slot.load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new Block();
+    slot.store(block, std::memory_order_release);
+  }
+  Entry& e = block->entries[n & (kBlockSize - 1)];
+  e.str.assign(s);
+  e.numeric = ParseNumeric(s);
+  // Publish the entry only after it is fully constructed.
+  size_.store(n + 1, std::memory_order_release);
+  StringId id = static_cast<StringId>(n);
+  index_.emplace(std::string_view(e.str), id);
   return id;
 }
 
 StringId StringPool::Find(std::string_view s) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(s);
   return it == index_.end() ? kInvalidStringId : it->second;
 }
 
 std::string_view StringPool::Get(StringId id) const {
-  ROX_CHECK(id < strings_.size());
-  return strings_[id];
+  ROX_CHECK(id < size());
+  return entry(id).str;
 }
 
 std::optional<double> StringPool::NumericValue(StringId id) const {
-  ROX_CHECK(id < numeric_.size());
-  double v = numeric_[id];
+  ROX_CHECK(id < size());
+  double v = entry(id).numeric;
   if (std::isnan(v)) return std::nullopt;
   return v;
 }

@@ -4,18 +4,34 @@
 // Sharing one pool across documents makes cross-document value joins a
 // plain integer comparison (the DBLP experiments join author text values
 // across 4 documents), and keeps the per-node storage at 4 bytes.
+//
+// The pool is append-only across corpus epochs (DESIGN.md §10): an
+// ingestion building epoch E+1 interns new strings while queries pinned
+// to epoch E keep resolving the ids their documents were shredded with.
+// Ids are dense, never reused, and stable for the lifetime of the pool,
+// which is what keeps cross-epoch value joins and cached StringIds
+// valid without re-interning.
+//
+// Concurrency: Get/NumericValue/size are lock-free — entries live in
+// fixed-size blocks that never move once allocated, and the block
+// directory is a flat array of atomic pointers. Intern and Find share
+// one mutex (they consult the lookup map). The lock-free readers are
+// the ones on query paths (per-candidate numeric predicates, result
+// serialization); Find runs a handful of times per compile and Intern
+// only during document ingestion.
 
 #ifndef ROX_XML_STRING_POOL_H_
 #define ROX_XML_STRING_POOL_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace rox {
 
@@ -34,16 +50,16 @@ inline constexpr StringId kInvalidStringId =
 // correctly match nothing.
 inline constexpr StringId kNoSuchStringId = kInvalidStringId - 1;
 
-// Append-only intern table. Not thread-safe; callers own synchronization.
+// Append-only intern table; safe for concurrent Intern + reads.
 class StringPool {
  public:
   StringPool() = default;
+  ~StringPool();
 
-  // Not copyable (documents hold pointers into it); movable.
+  // Not copyable or movable (documents hold pointers into it, and the
+  // block directory contains atomics); always shared via shared_ptr.
   StringPool(const StringPool&) = delete;
   StringPool& operator=(const StringPool&) = delete;
-  StringPool(StringPool&&) = default;
-  StringPool& operator=(StringPool&&) = default;
 
   // Interns `s`, returning its id (existing id if already present).
   StringId Intern(std::string_view s);
@@ -51,22 +67,48 @@ class StringPool {
   // Returns the id of `s` or kInvalidStringId if never interned.
   StringId Find(std::string_view s) const;
 
-  // The string for `id`. id must be valid.
+  // The string for `id`. id must be valid. Lock-free.
   std::string_view Get(StringId id) const;
 
   // The numeric interpretation of the string (full-string strtod parse),
   // or nullopt if it is not a number. Computed once at intern time; used
-  // by range predicates like `current/text() < 145`.
+  // by range predicates like `current/text() < 145`. Lock-free.
   std::optional<double> NumericValue(StringId id) const;
 
-  size_t size() const { return strings_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
  private:
-  // deque: element addresses are stable under push_back, so the
-  // string_view keys in index_ stay valid (a vector would invalidate
-  // views into small-string-optimized elements on reallocation).
-  std::deque<std::string> strings_;
-  std::vector<double> numeric_;  // NaN when not numeric
+  // 4096 entries per block; 4096 blocks => up to ~16.8M distinct
+  // strings, far beyond any corpus here (ROX_CHECK guards overflow).
+  static constexpr size_t kBlockBits = 12;
+  static constexpr size_t kBlockSize = size_t{1} << kBlockBits;
+  static constexpr size_t kMaxBlocks = 4096;
+
+  struct Entry {
+    std::string str;
+    double numeric = 0;  // NaN when not numeric
+  };
+  struct Block {
+    std::array<Entry, kBlockSize> entries;
+  };
+
+  const Entry& entry(StringId id) const {
+    Block* b = blocks_[id >> kBlockBits].load(std::memory_order_acquire);
+    return b->entries[id & (kBlockSize - 1)];
+  }
+
+  // Published entry count. Entries are fully constructed before the
+  // release store, so a reader that learned an id through any
+  // synchronizing channel (snapshot publication, Intern's own return)
+  // sees the entry complete.
+  std::atomic<size_t> size_{0};
+  // Block directory: slots start null and are set exactly once, under
+  // mu_, with a release store. Blocks never move or shrink.
+  std::array<std::atomic<Block*>, kMaxBlocks> blocks_{};
+
+  // Guards index_ and the append path. The string_view keys point into
+  // block entries, whose addresses are stable forever.
+  mutable std::mutex mu_;
   std::unordered_map<std::string_view, StringId> index_;
 };
 

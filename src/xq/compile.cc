@@ -209,18 +209,18 @@ class Compiler {
 
 }  // namespace
 
-Result<CompiledQuery> CompileXQuery(const Corpus& corpus,
+Result<CompiledQuery> CompileXQuery(const CorpusSnapshot& snapshot,
                                     const AstQuery& query,
                                     const CompileOptions& options) {
-  Compiler compiler(corpus, options);
+  Compiler compiler(*snapshot, options);
   return compiler.Run(query);
 }
 
-Result<CompiledQuery> CompileXQuery(const Corpus& corpus,
+Result<CompiledQuery> CompileXQuery(const CorpusSnapshot& snapshot,
                                     std::string_view text,
                                     const CompileOptions& options) {
   ROX_ASSIGN_OR_RETURN(AstQuery ast, ParseXQuery(text));
-  return CompileXQuery(corpus, ast, options);
+  return CompileXQuery(snapshot, ast, options);
 }
 
 namespace {
@@ -247,7 +247,7 @@ void MergeStats(RoxStats& into, const RoxStats& from) {
 
 }  // namespace
 
-Result<std::vector<Pre>> RunXQuery(const Corpus& corpus,
+Result<std::vector<Pre>> RunXQuery(CorpusSnapshot snapshot,
                                    const CompiledQuery& compiled,
                                    const RoxOptions& rox_options,
                                    RoxStats* stats_out,
@@ -294,7 +294,7 @@ Result<std::vector<Pre>> RunXQuery(const Corpus& corpus,
       }
       comp_options.warm_edge_weights = &comp_warm;
     }
-    RoxOptimizer rox(corpus, comp.graph, comp_options);
+    RoxOptimizer rox(snapshot, comp.graph, comp_options);
     ResultTable part;
     std::vector<VertexId> cols;
     std::vector<double> learned_weights;

@@ -40,19 +40,22 @@ struct CompiledQuery {
   VertexId return_vertex = kInvalidVertexId;
 };
 
-// Compiles `query` against `corpus` (doc() urls are resolved against
-// document names). Compilation is strictly read-only on the corpus:
-// element/attribute names and value literals are *looked up* in the
-// string pool, never interned. A name or literal the corpus has never
-// seen cannot match any node, so it lowers to a vertex that is
-// correctly empty — this is what lets an engine share one immutable
-// corpus across concurrent compilations and executions without locks.
-Result<CompiledQuery> CompileXQuery(const Corpus& corpus,
+// Compiles `query` against one pinned corpus epoch (doc() urls are
+// resolved against document names). Compilation is strictly read-only
+// on the corpus: element/attribute names and value literals are
+// *looked up* in the string pool, never interned. A name or literal
+// the epoch has never seen cannot match any node, so it lowers to a
+// vertex that is correctly empty — this is what lets an engine share
+// one immutable epoch across concurrent compilations and executions
+// without locks. A compiled query is valid only for the epoch it was
+// compiled against (the engine's cache is epoch-keyed): a later epoch
+// may resolve the same names and literals differently.
+Result<CompiledQuery> CompileXQuery(const CorpusSnapshot& snapshot,
                                     const AstQuery& query,
                                     const CompileOptions& options = {});
 
 // Parses and compiles in one call.
-Result<CompiledQuery> CompileXQuery(const Corpus& corpus,
+Result<CompiledQuery> CompileXQuery(const CorpusSnapshot& snapshot,
                                     std::string_view text,
                                     const CompileOptions& options = {});
 
@@ -70,8 +73,11 @@ Result<CompiledQuery> CompileXQuery(const Corpus& corpus,
 // learned, indexed by the compiled graph's edge ids (-1 for edges of
 // components that did not execute) — feed them back as
 // `warm_edge_weights` of the next run of the same compiled query.
+// The snapshot is pinned by every optimizer the run spawns, so the
+// epoch stays alive for the whole execution even if the engine
+// publishes a successor mid-run.
 Result<std::vector<Pre>> RunXQuery(
-    const Corpus& corpus, const CompiledQuery& compiled,
+    CorpusSnapshot snapshot, const CompiledQuery& compiled,
     const RoxOptions& rox_options = {}, RoxStats* stats_out = nullptr,
     const std::vector<double>* warm_edge_weights = nullptr,
     std::vector<double>* learned_weights_out = nullptr);

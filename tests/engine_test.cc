@@ -28,25 +28,66 @@ TEST(QueryCacheTest, NormalizePreservesQuotedWhitespace) {
 
 TEST(QueryCacheTest, LruEvictsOldest) {
   QueryCache cache(2);
-  cache.Insert("q1", {});
-  cache.Insert("q2", {});
-  EXPECT_NE(cache.Lookup("q1"), nullptr);  // q1 now most recent
-  cache.Insert("q3", {});                  // evicts q2
+  cache.Insert(0, "q1", {});
+  cache.Insert(0, "q2", {});
+  EXPECT_NE(cache.Lookup(0, "q1"), nullptr);  // q1 now most recent
+  cache.Insert(0, "q3", {});                  // evicts q2
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.evictions(), 1u);
-  EXPECT_EQ(cache.Lookup("q2"), nullptr);
-  EXPECT_NE(cache.Lookup("q1"), nullptr);
-  EXPECT_NE(cache.Lookup("q3"), nullptr);
+  EXPECT_EQ(cache.Lookup(0, "q2"), nullptr);
+  EXPECT_NE(cache.Lookup(0, "q1"), nullptr);
+  EXPECT_NE(cache.Lookup(0, "q3"), nullptr);
 }
 
 TEST(QueryCacheTest, HitsCountedOnlyForRealLookups) {
   QueryCache cache(4);
-  cache.Insert("q", {});
-  cache.Lookup("q", /*count_hit=*/false);
-  cache.Lookup("q");
+  cache.Insert(0, "q", {});
+  cache.Lookup(0, "q", /*count_hit=*/false);
+  cache.Lookup(0, "q");
   auto listing = cache.List();
   ASSERT_EQ(listing.size(), 1u);
   EXPECT_EQ(listing[0].hits, 1u);
+}
+
+TEST(QueryCacheTest, EpochIsPartOfTheKey) {
+  QueryCache cache(8);
+  cache.Insert(1, "q", {});
+  // The same text under another epoch is a distinct entry; a query
+  // pinned to epoch 1 can never see epoch 2's entry and vice versa.
+  EXPECT_EQ(cache.Lookup(2, "q"), nullptr);
+  cache.Insert(2, "q", {});
+  EXPECT_EQ(cache.size(), 2u);
+  CacheEntry* e1 = cache.Lookup(1, "q");
+  CacheEntry* e2 = cache.Lookup(2, "q");
+  ASSERT_NE(e1, nullptr);
+  ASSERT_NE(e2, nullptr);
+  EXPECT_EQ(e1->epoch, 1u);
+  EXPECT_EQ(e2->epoch, 2u);
+}
+
+TEST(QueryCacheTest, EvictBeforePurgesDeadEpochs) {
+  QueryCache cache(8);
+  cache.Insert(1, "a", {});
+  cache.Insert(1, "b", {});
+  cache.Insert(2, "a", {});
+  EXPECT_EQ(cache.EvictBefore(2), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.invalidations(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);  // invalidations are not evictions
+  EXPECT_EQ(cache.Lookup(1, "a"), nullptr);
+  EXPECT_NE(cache.Lookup(2, "a"), nullptr);
+}
+
+TEST(QueryCacheTest, CapacityEvictionAcrossEpochs) {
+  QueryCache cache(2);
+  cache.Insert(1, "a", {});
+  cache.Insert(2, "a", {});  // same text, new epoch: second slot
+  cache.Insert(2, "b", {});  // evicts (1, "a"), the LRU entry
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Lookup(1, "a"), nullptr);
+  EXPECT_NE(cache.Lookup(2, "a"), nullptr);
+  EXPECT_NE(cache.Lookup(2, "b"), nullptr);
 }
 
 // --- Engine ------------------------------------------------------------------
@@ -276,6 +317,19 @@ TEST_F(EngineTest, CacheEvictionKeepsServingCorrectResults) {
   }
   EXPECT_EQ(engine.CacheSize(), 1u);
   EXPECT_GT(engine.CacheEvictions(), 0u);
+}
+
+TEST_F(EngineTest, RunBatchEmptyReturnsImmediately) {
+  // Regression: an empty batch (with the default concurrency = 0) must
+  // return without touching the pool or the limiter semaphore.
+  EngineOptions options;
+  options.num_threads = 1;
+  Engine engine(MakeCorpus(), options);
+  std::vector<QueryResult> results = engine.RunBatch({}, /*concurrency=*/0);
+  EXPECT_TRUE(results.empty());
+  results = engine.RunBatch({}, /*concurrency=*/7);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(engine.Stats().total(), 0u);
 }
 
 TEST_F(EngineTest, StatsPercentilesAndToString) {

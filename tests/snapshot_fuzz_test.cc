@@ -1,0 +1,415 @@
+// Randomized differential harness for the epoch-versioned live corpus
+// (DESIGN.md §10), plus the TSan-targeted publish/read race test.
+//
+// The differential suite interleaves AddDocuments/RemoveDocument with
+// concurrent RunBatch over generated XMark-/DBLP-flavored queries;
+// every result must byte-match a fresh single-epoch Engine built from
+// that query's pinned snapshot. The reference engine deliberately runs
+// the *other* materialization mode, a single shard, no cache, and a
+// different optimizer seed, so one comparison covers live-vs-fresh,
+// lazy-vs-eager, sharded-vs-unsharded and seed independence at once.
+//
+// Environment knobs (the CI sanitizer legs raise the iteration count):
+//   ROX_FUZZ_ITERS      iterations per configuration (default 40)
+//   ROX_FUZZ_SEED       base seed (default below)
+//   ROX_FUZZ_SEED_FILE  where to record the seed on failure
+//                       (default snapshot_fuzz_seed.txt), so CI can
+//                       upload it and a failure reproduces exactly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "index/corpus.h"
+
+namespace rox {
+namespace {
+
+constexpr uint64_t kDefaultSeed = 0x5eedc0ffee123ULL;
+
+uint64_t EnvU64(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return std::strtoull(v, nullptr, 10);
+}
+
+// Appends the failing seed/config so a CI artifact reproduces the run:
+//   ROX_FUZZ_SEED=<seed> ./rox_tests --gtest_filter='SnapshotFuzz*'
+void DumpSeed(uint64_t seed, const std::string& context) {
+  const char* path = std::getenv("ROX_FUZZ_SEED_FILE");
+  std::ofstream out(path != nullptr ? path : "snapshot_fuzz_seed.txt",
+                    std::ios::app);
+  out << "ROX_FUZZ_SEED=" << seed << "  # " << context << "\n";
+}
+
+// --- generated documents ----------------------------------------------------
+//
+// Person/author identifiers come from a small shared vocabulary, so
+// joins across independently generated documents actually match.
+
+std::string XmarkFlavorXml(Rng& rng) {
+  int persons = 1 + static_cast<int>(rng.Below(6));
+  int auctions = 1 + static_cast<int>(rng.Below(6));
+  std::string xml = "<site><people>";
+  for (int i = 0; i < persons; ++i) {
+    xml += "<person id=\"p" + std::to_string(rng.Below(8)) + "\"><name>n" +
+           std::to_string(rng.Below(4)) + "</name>";
+    if (rng.Bernoulli(0.4)) xml += "<province>v</province>";
+    xml += "</person>";
+  }
+  xml += "</people><open_auctions>";
+  for (int i = 0; i < auctions; ++i) {
+    xml += "<open_auction><current>" + std::to_string(rng.Below(100)) +
+           "</current>";
+    int bidders = static_cast<int>(rng.Below(3));
+    for (int b = 0; b < bidders; ++b) {
+      xml += "<bidder><personref person=\"p" + std::to_string(rng.Below(8)) +
+             "\"/></bidder>";
+    }
+    xml += "</open_auction>";
+  }
+  xml += "</open_auctions></site>";
+  return xml;
+}
+
+std::string DblpFlavorXml(Rng& rng) {
+  int articles = 1 + static_cast<int>(rng.Below(8));
+  std::string xml = "<dblp>";
+  for (int i = 0; i < articles; ++i) {
+    xml += "<article><author>a" + std::to_string(rng.Below(6)) +
+           "</author><year>" + std::to_string(2000 + rng.Below(6)) +
+           "</year></article>";
+  }
+  xml += "</dblp>";
+  return xml;
+}
+
+// Duplicate names are impossible: every generated document gets a
+// fresh serial. Prefix x/d records the flavor.
+struct NameBook {
+  std::vector<std::string> live;     // resolvable at the current epoch
+  std::vector<std::string> removed;  // stale names (compile NotFound)
+  int next_serial = 0;
+
+  std::string Fresh(bool xmark) {
+    return (xmark ? "x" : "d") + std::to_string(next_serial++) + ".xml";
+  }
+  const std::string& AnyLive(Rng& rng) const {
+    return live[rng.Below(live.size())];
+  }
+  // Mostly live names; occasionally a removed one, to exercise the
+  // per-epoch NotFound path differentially.
+  const std::string& Pick(Rng& rng) const {
+    if (!removed.empty() && rng.Bernoulli(0.1)) {
+      return removed[rng.Below(removed.size())];
+    }
+    return AnyLive(rng);
+  }
+};
+
+std::string MakeQuery(Rng& rng, const NameBook& names) {
+  const std::string n1 = names.Pick(rng);
+  const std::string n2 = names.Pick(rng);
+  switch (rng.Below(6)) {
+    case 0:
+      return "for $p in doc(\"" + n1 + "\")//person return $p";
+    case 1:
+      return "for $o in doc(\"" + n1 + "\")//open_auction[.//current/text() " +
+             (rng.Bernoulli(0.5) ? "<" : ">") + " " +
+             std::to_string(rng.Below(100)) + "] return $o";
+    case 2:
+      return "for $b in doc(\"" + n1 + "\")//bidder//personref, $p in doc(\"" +
+             n1 + "\")//person where $b/@person = $p/@id return $p";
+    case 3:
+      return "for $a in doc(\"" + n1 + "\")//author, $b in doc(\"" + n2 +
+             "\")//author where $a/text() = $b/text() return $a";
+    case 4:
+      return "for $x in doc(\"" + n1 + "\")//article[./year = \"" +
+             std::to_string(2000 + rng.Below(6)) + "\"] return $x";
+    default:
+      // Cross-document attribute join: personrefs of one document
+      // against persons of another (the shared p-vocabulary matches).
+      return "for $b in doc(\"" + n1 + "\")//personref, $p in doc(\"" + n2 +
+             "\")//person where $b/@person = $p/@id return $b";
+  }
+}
+
+// --- the differential harness ----------------------------------------------
+
+struct FuzzConfig {
+  size_t shards;
+  bool lazy;
+};
+
+std::string Describe(const FuzzConfig& cfg, uint64_t iter,
+                     const std::string& query) {
+  return "shards=" + std::to_string(cfg.shards) +
+         " lazy=" + std::to_string(cfg.lazy) +
+         " iter=" + std::to_string(iter) + " query=[" + query + "]";
+}
+
+void RunDifferentialFuzz(const FuzzConfig& cfg) {
+  const uint64_t seed = EnvU64("ROX_FUZZ_SEED", kDefaultSeed);
+  const uint64_t iters = EnvU64("ROX_FUZZ_ITERS", 40);
+  Rng rng(seed ^ (cfg.shards * 0x9e3779b97f4a7c15ULL) ^
+          (cfg.lazy ? 0x1337 : 0));
+
+  engine::EngineOptions live_opts;
+  live_opts.num_threads = 4;
+  live_opts.num_shards = cfg.shards;
+  live_opts.lazy_materialization = cfg.lazy;
+  live_opts.rox.tau = 20;
+  live_opts.rox.seed = seed;
+
+  // The reference runs everything the live engine does NOT: other
+  // materialization mode, one shard, no cache, fresh seed.
+  engine::EngineOptions ref_opts;
+  ref_opts.num_threads = 1;
+  ref_opts.num_shards = 1;
+  ref_opts.enable_cache = false;
+  ref_opts.lazy_materialization = !cfg.lazy;
+  ref_opts.rox.lazy_materialization = !cfg.lazy;
+  ref_opts.rox.tau = 20;
+
+  NameBook names;
+  Corpus corpus;
+  for (int i = 0; i < 2; ++i) {
+    std::string nx = names.Fresh(/*xmark=*/true);
+    std::string nd = names.Fresh(/*xmark=*/false);
+    ASSERT_TRUE(corpus.AddXml(XmarkFlavorXml(rng), nx).ok());
+    ASSERT_TRUE(corpus.AddXml(DblpFlavorXml(rng), nd).ok());
+    names.live.push_back(nx);
+    names.live.push_back(nd);
+  }
+  engine::Engine live(std::move(corpus), live_opts);
+
+  uint64_t expected_publishes = 0;
+  uint64_t expected_added = 0;
+  uint64_t expected_removed = 0;
+  // Coverage guards: the harness must not degenerate into all-error
+  // or all-empty batches (both of which would "match" trivially).
+  uint64_t ok_results = 0;
+  uint64_t nonempty_results = 0;
+  uint64_t error_results = 0;
+
+  for (uint64_t iter = 0; iter < iters; ++iter) {
+    const size_t batch_size = 4 + rng.Below(4);
+    std::vector<std::string> queries;
+    queries.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      queries.push_back(MakeQuery(rng, names));
+    }
+
+    // The batch runs on the engine pool while this thread publishes
+    // new epochs underneath it.
+    auto batch = std::async(std::launch::async, [&live, &queries]() {
+      return live.RunBatch(queries, 4);
+    });
+
+    const int mutations = 1 + static_cast<int>(rng.Below(2));
+    for (int m = 0; m < mutations; ++m) {
+      if (names.live.size() > 2 && rng.Bernoulli(0.35)) {
+        size_t victim = rng.Below(names.live.size());
+        std::string name = names.live[victim];
+        ASSERT_TRUE(live.RemoveDocument(name).ok()) << name;
+        names.live.erase(names.live.begin() + victim);
+        names.removed.push_back(std::move(name));
+        ++expected_publishes;
+        ++expected_removed;
+      } else {
+        bool xmark = rng.Bernoulli(0.5);
+        std::string name = names.Fresh(xmark);
+        std::string xml = xmark ? XmarkFlavorXml(rng) : DblpFlavorXml(rng);
+        ASSERT_TRUE(
+            live.AddDocuments({{name, std::move(xml)}}).ok()) << name;
+        names.live.push_back(std::move(name));
+        ++expected_publishes;
+        ++expected_added;
+      }
+    }
+
+    std::vector<engine::QueryResult> results = batch.get();
+    ASSERT_EQ(results.size(), queries.size());
+
+    // Differential check: a fresh single-epoch engine per distinct
+    // pinned snapshot must reproduce each result byte-identically.
+    std::map<uint64_t, std::unique_ptr<engine::Engine>> refs;
+    for (size_t i = 0; i < results.size(); ++i) {
+      const engine::QueryResult& r = results[i];
+      ASSERT_NE(r.snapshot, nullptr);
+      ASSERT_EQ(r.snapshot->epoch(), r.epoch);
+      std::unique_ptr<engine::Engine>& ref = refs[r.epoch];
+      if (ref == nullptr) {
+        engine::EngineOptions opts = ref_opts;
+        opts.rox.seed = seed * 7919 + iter * 131 + r.epoch;
+        ref = std::make_unique<engine::Engine>(r.snapshot, opts);
+      }
+      if (r.ok()) {
+        ++ok_results;
+        if (!r.items->empty()) ++nonempty_results;
+      } else {
+        ++error_results;
+      }
+      engine::QueryResult rr = ref->Run(queries[i]);
+      if (r.ok() != rr.ok() ||
+          (r.ok() && *r.items != *rr.items) ||
+          (!r.ok() && r.status.code() != rr.status.code())) {
+        DumpSeed(seed, Describe(cfg, iter, queries[i]));
+        FAIL() << "differential mismatch at " << Describe(cfg, iter, queries[i])
+               << "\n  live: "
+               << (r.ok() ? std::to_string(r.items->size()) + " items"
+                          : r.status.ToString())
+               << " (epoch " << r.epoch << ")\n  ref:  "
+               << (rr.ok() ? std::to_string(rr.items->size()) + " items"
+                           : rr.status.ToString());
+      }
+    }
+  }
+
+  EXPECT_GT(ok_results, iters);        // most queries compile and run
+  EXPECT_GT(nonempty_results, iters / 4);  // and plenty return items
+  (void)error_results;  // stale-name NotFounds are expected, any count
+
+  engine::EngineStats stats = live.Stats();
+  EXPECT_EQ(stats.stale_cache_hits, 0u);
+  EXPECT_EQ(stats.publishes, expected_publishes);
+  EXPECT_EQ(stats.docs_added, expected_added);
+  EXPECT_EQ(stats.docs_removed, expected_removed);
+  EXPECT_EQ(live.CurrentEpoch(), expected_publishes);
+}
+
+TEST(SnapshotFuzzTest, DifferentialShards1LazyOn) {
+  RunDifferentialFuzz({.shards = 1, .lazy = true});
+}
+
+TEST(SnapshotFuzzTest, DifferentialShards1LazyOff) {
+  RunDifferentialFuzz({.shards = 1, .lazy = false});
+}
+
+TEST(SnapshotFuzzTest, DifferentialShards4LazyOn) {
+  RunDifferentialFuzz({.shards = 4, .lazy = true});
+}
+
+TEST(SnapshotFuzzTest, DifferentialShards4LazyOff) {
+  RunDifferentialFuzz({.shards = 4, .lazy = false});
+}
+
+// --- TSan-targeted publish/read race ----------------------------------------
+//
+// N writer threads race M reader threads through epoch publishes. The
+// readers' queries touch only documents no writer ever changes, so
+// every epoch must return the identical result — any torn snapshot,
+// stale cache entry or mutated pinned state shows up as a mismatch
+// (and as a TSan report under -fsanitize=thread).
+
+TEST(SnapshotRaceTest, WritersRacingReadersPreservePinnedEpochs) {
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 4;
+  constexpr int kPublishesPerWriter = 6;
+  constexpr int kQueriesPerReader = 12;
+
+  Rng seed_rng(0xace0fbace);
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddXml(XmarkFlavorXml(seed_rng), "stable.xml").ok());
+  ASSERT_TRUE(corpus.AddXml(DblpFlavorXml(seed_rng), "authors.xml").ok());
+
+  engine::EngineOptions opts;
+  opts.num_threads = 4;
+  opts.rox.tau = 10;
+  engine::Engine eng(std::move(corpus), opts);
+
+  // The numeric predicate forces StringPool::NumericValue reads on the
+  // read side while writers intern new strings into the same pool.
+  const std::string query =
+      "for $o in doc(\"stable.xml\")//open_auction[.//current/text() < 50] "
+      "return $o";
+
+  // Pin the initial epoch and record everything a mutation would show.
+  std::shared_ptr<const Corpus> pinned = eng.CurrentSnapshot();
+  const uint64_t pinned_epoch = pinned->epoch();
+  const size_t pinned_slots = pinned->DocCount();
+  const uint32_t pinned_nodes = pinned->doc(0).NodeCount();
+  engine::QueryResult baseline = eng.Run(query);
+  ASSERT_TRUE(baseline.ok()) << baseline.status.ToString();
+
+  std::atomic<uint64_t> adds{0};
+  std::atomic<uint64_t> removes{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w]() {
+      Rng rng(0xbadc0de + w);
+      std::string prev;
+      for (int i = 0; i < kPublishesPerWriter; ++i) {
+        // Writers use disjoint name spaces, so every publish succeeds.
+        std::string name =
+            "w" + std::to_string(w) + "_" + std::to_string(i) + ".xml";
+        auto ids = eng.AddDocuments({{name, XmarkFlavorXml(rng)}});
+        if (!ids.ok()) {
+          failed.store(true);
+          return;
+        }
+        adds.fetch_add(1);
+        if (!prev.empty() && rng.Bernoulli(0.5)) {
+          if (!eng.RemoveDocument(prev).ok()) {
+            failed.store(true);
+            return;
+          }
+          removes.fetch_add(1);
+          prev.clear();
+        } else {
+          prev = std::move(name);
+        }
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kQueriesPerReader; ++i) {
+        engine::QueryResult res = eng.Run(query);
+        if (!res.ok() || res.snapshot == nullptr ||
+            res.snapshot->epoch() != res.epoch ||
+            *res.items != *baseline.items) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_FALSE(failed.load());
+
+  // The pinned snapshot was never mutated by any publish.
+  EXPECT_EQ(pinned->epoch(), pinned_epoch);
+  EXPECT_EQ(pinned->DocCount(), pinned_slots);
+  EXPECT_EQ(pinned->doc(0).NodeCount(), pinned_nodes);
+  engine::Engine ref(pinned);
+  engine::QueryResult replay = ref.Run(query);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(*replay.items, *baseline.items);
+
+  // Epoch counters are consistent: every successful publish advanced
+  // the epoch by exactly one, starting from the pinned epoch.
+  engine::EngineStats stats = eng.Stats();
+  const uint64_t publishes = adds.load() + removes.load();
+  EXPECT_EQ(stats.publishes, publishes);
+  EXPECT_EQ(stats.docs_added, adds.load());
+  EXPECT_EQ(stats.docs_removed, removes.load());
+  EXPECT_EQ(eng.CurrentEpoch(), pinned_epoch + publishes);
+  EXPECT_EQ(stats.stale_cache_hits, 0u);
+  EXPECT_EQ(stats.epoch, eng.CurrentEpoch());
+}
+
+}  // namespace
+}  // namespace rox
