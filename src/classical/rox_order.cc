@@ -32,7 +32,7 @@ Result<JoinOrder> RoxJoinOrderFromRun(const DblpQueryGraph& q,
   std::vector<std::pair<int, int>> merges;
   for (EdgeId e : result.stats.execution_order) {
     const Edge& edge = q.graph.edge(e);
-    if (edge.type != EdgeType::kEquiJoin) continue;
+    if (!edge.IsEquiJoin()) continue;
     int i = doc_of(edge.v1), j = doc_of(edge.v2);
     if (i < 0 || j < 0) continue;
     int ri = find(i), rj = find(j);

@@ -27,8 +27,16 @@ double VertexCard(const Corpus& corpus, const JoinGraph& graph, VertexId v) {
       switch (vx.pred.kind) {
         case ValuePredicate::Kind::kEquals:
           return static_cast<double>(vidx.TextLookup(vx.pred.equals).size());
+        case ValuePredicate::Kind::kNotEquals:
+          return static_cast<double>(vidx.text_node_count() -
+                                     vidx.TextLookup(vx.pred.equals).size());
         case ValuePredicate::Kind::kRange:
           return static_cast<double>(vidx.TextRangeCount(vx.pred.range));
+        case ValuePredicate::Kind::kAnyOf:
+          return static_cast<double>(
+              FilterByPredicate(corpus.doc(vx.doc), vidx.AllTextNodes(),
+                                vx.pred)
+                  .size());
         case ValuePredicate::Kind::kNone:
           return static_cast<double>(vidx.text_node_count());
       }
@@ -74,6 +82,10 @@ double ExactStepCard(const Corpus& corpus, const JoinGraph& graph,
         if (vx.pred.kind == ValuePredicate::Kind::kRange) {
           return vidx.TextRangeLookup(vx.pred.range);
         }
+        if (vx.pred.kind != ValuePredicate::Kind::kNone) {
+          return FilterByPredicate(corpus.doc(vx.doc), vidx.AllTextNodes(),
+                                   vx.pred);
+        }
         return {};  // unrestricted text: derive from the other side
       }
     }
@@ -111,20 +123,7 @@ double ExactStepCard(const Corpus& corpus, const JoinGraph& graph,
   // Apply the target's value predicate (part of the statistics).
   if (tx.pred.kind != ValuePredicate::Kind::kNone) {
     size_t n = 0;
-    for (Pre s : pairs.right_nodes) {
-      switch (tx.pred.kind) {
-        case ValuePredicate::Kind::kEquals:
-          n += doc.Value(s) == tx.pred.equals;
-          break;
-        case ValuePredicate::Kind::kRange: {
-          auto num = doc.pool().NumericValue(doc.Value(s));
-          n += num.has_value() && tx.pred.range.Contains(*num);
-          break;
-        }
-        default:
-          break;
-      }
-    }
+    for (Pre s : pairs.right_nodes) n += tx.pred.Matches(doc, s);
     return static_cast<double>(n);
   }
   return static_cast<double>(pairs.size());
@@ -157,7 +156,14 @@ StaticPlan PlanStatically(const Corpus& corpus, const JoinGraph& graph,
       const Vertex& a = graph.vertex(edge.v1);
       const Vertex& b = graph.vertex(edge.v2);
       double ca = card[edge.v1], cb = card[edge.v2];
-      if (a.doc == b.doc) {
+      if (edge.cmp == CmpOp::kNe) {
+        // Inequality joins nearly cross-product: |A|·|B|·(1 - 1/V).
+        base_est[e] = ca * cb * (1.0 - 1.0 / std::max({ca, cb, 1.0}));
+      } else if (edge.cmp != CmpOp::kEq) {
+        // Textbook selectivity for range theta joins: 1/3 (System R's
+        // magic constant for col OP col without statistics).
+        base_est[e] = ca * cb / 3.0;
+      } else if (a.doc == b.doc) {
         // Same-document equi-join: grant accurate estimation by
         // treating it like a known statistic (ca·cb / max distinct).
         base_est[e] = ca * cb / std::max({ca, cb, 1.0});

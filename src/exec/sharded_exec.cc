@@ -147,6 +147,52 @@ ShardedJoinParts ShardedValueIndexJoinParts(const ShardedExec* ex,
       stats);
 }
 
+ShardedJoinParts ShardedValueIndexThetaJoinParts(
+    const ShardedExec* ex, const Document& outer_doc,
+    std::span<const Pre> outer, const Document& inner_doc,
+    const ValueIndex& inner_index, const ValueProbeSpec& spec, CmpOp op,
+    ShardFanoutStats* stats) {
+  if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
+    return SingleLane(
+        ValueIndexThetaJoinPairs(outer_doc, outer, inner_doc, inner_index,
+                                 spec, op, kNoLimit),
+        outer.size());
+  }
+  return ChunkedProbe(
+      *ex, outer.size(),
+      [&](uint32_t lo, uint32_t hi) {
+        return ValueIndexThetaJoinPairs(outer_doc,
+                                        outer.subspan(lo, hi - lo),
+                                        inner_doc, inner_index, spec, op,
+                                        kNoLimit);
+      },
+      stats);
+}
+
+ShardedJoinParts ShardedSortThetaJoinParts(const ShardedExec* ex,
+                                           const Document& outer_doc,
+                                           std::span<const Pre> outer,
+                                           const Document& inner_doc,
+                                           std::span<const Pre> inner,
+                                           CmpOp op,
+                                           ShardFanoutStats* stats) {
+  if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
+    return SingleLane(
+        SortThetaJoinPairs(outer_doc, outer, inner_doc, inner, op, kNoLimit),
+        outer.size());
+  }
+  ThetaRun run = ThetaRun::Build(inner_doc, inner);
+  return ChunkedProbe(
+      *ex, outer.size(),
+      [&](uint32_t lo, uint32_t hi) {
+        JoinPairs pairs;
+        ThetaRunJoinPairsInto(outer_doc, outer.subspan(lo, hi - lo),
+                              inner_doc, run, op, kNoLimit, pairs);
+        return pairs;
+      },
+      stats);
+}
+
 JoinPairs ShardedStructuralJoinPairs(const ShardedExec* ex, DocId ctx_doc,
                                      const Document& target_doc,
                                      std::span<const Pre> context,

@@ -109,6 +109,26 @@ ShardedJoinParts ShardedValueIndexJoinParts(const ShardedExec* ex,
                                             const ValueProbeSpec& spec,
                                             ShardFanoutStats* stats);
 
+// Theta join (`op` != kEq) with per-chunk parallel probes into the
+// inner index's pre-sorted runs (see value_join.h). Probing is
+// read-only on the index, so lanes share it without synchronization.
+ShardedJoinParts ShardedValueIndexThetaJoinParts(
+    const ShardedExec* ex, const Document& outer_doc,
+    std::span<const Pre> outer, const Document& inner_doc,
+    const ValueIndex& inner_index, const ValueProbeSpec& spec, CmpOp op,
+    ShardFanoutStats* stats);
+
+// Theta join against a materialized inner node list: builds the sorted
+// ThetaRun once, then probes it from per-chunk parallel lanes (the
+// theta counterpart of the shared-build hash fan-out).
+ShardedJoinParts ShardedSortThetaJoinParts(const ShardedExec* ex,
+                                           const Document& outer_doc,
+                                           std::span<const Pre> outer,
+                                           const Document& inner_doc,
+                                           std::span<const Pre> inner,
+                                           CmpOp op,
+                                           ShardFanoutStats* stats);
+
 // Merged (eager) wrappers over the Parts functions. A single-lane
 // fallback returns the lane's pairs directly, without a merge copy.
 JoinPairs ShardedStructuralJoinPairs(const ShardedExec* ex, DocId ctx_doc,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/check.h"
+
 namespace rox {
 
 StringId NodeValue(const Document& doc, Pre p) {
@@ -22,6 +24,20 @@ StringId NodeValue(const Document& doc, Pre p) {
 
 namespace {
 
+// The attribute-name / owner-element restriction of a probe spec.
+// Text probes have no restriction. Shared by the equality and theta
+// index kernels so the spec semantics cannot diverge.
+bool MatchesProbeSpec(const Document& inner_doc, const ValueProbeSpec& spec,
+                      Pre s) {
+  if (spec.kind == NodeKind::kText) return true;
+  if (spec.attr_name != kInvalidStringId &&
+      inner_doc.Name(s) != spec.attr_name) {
+    return false;
+  }
+  return spec.owner_elem == kInvalidStringId ||
+         inner_doc.Name(inner_doc.Parent(s)) == spec.owner_elem;
+}
+
 // Emits matching inner nodes for one probe value through the index.
 template <typename Sink>
 bool ProbeIndex(const Document& inner_doc, const ValueIndex& index,
@@ -34,14 +50,7 @@ bool ProbeIndex(const Document& inner_doc, const ValueIndex& index,
     return true;
   }
   for (Pre s : index.AttrLookup(value)) {
-    if (spec.attr_name != kInvalidStringId &&
-        inner_doc.Name(s) != spec.attr_name) {
-      continue;
-    }
-    if (spec.owner_elem != kInvalidStringId &&
-        inner_doc.Name(inner_doc.Parent(s)) != spec.owner_elem) {
-      continue;
-    }
+    if (!MatchesProbeSpec(inner_doc, spec, s)) continue;
     if (!sink(s)) return false;
   }
   return true;
@@ -88,6 +97,188 @@ JoinPairs ValueIndexJoinPairs(const Document& outer_doc,
   JoinPairs out;
   ValueIndexJoinPairsInto(outer_doc, outer, inner_doc, inner_index, spec,
                           limit, out);
+  return out;
+}
+
+// --- theta kernels ----------------------------------------------------------
+
+namespace {
+
+// Emits the run entries matching `outer_value op inner_value`, i.e. the
+// suffix of inner values above the boundary for kLt/kLe and the prefix
+// below it for kGt/kGe. `keep` filters entries (attribute-name
+// restriction on index runs); `sink` returns false to stop (cut-off).
+template <typename Keep, typename Sink>
+bool EmitRangeMatches(std::span<const ValueIndex::NumEntry> run, double v,
+                      CmpOp op, const Keep& keep, Sink&& sink) {
+  auto val_less = [](const ValueIndex::NumEntry& e, double x) {
+    return e.value < x;
+  };
+  auto less_val = [](double x, const ValueIndex::NumEntry& e) {
+    return x < e.value;
+  };
+  size_t begin = 0, end = run.size();
+  switch (op) {
+    case CmpOp::kLt:  // inner values > v
+      begin = static_cast<size_t>(
+          std::upper_bound(run.begin(), run.end(), v, less_val) -
+          run.begin());
+      break;
+    case CmpOp::kLe:  // inner values >= v
+      begin = static_cast<size_t>(
+          std::lower_bound(run.begin(), run.end(), v, val_less) -
+          run.begin());
+      break;
+    case CmpOp::kGt:  // inner values < v
+      end = static_cast<size_t>(
+          std::lower_bound(run.begin(), run.end(), v, val_less) -
+          run.begin());
+      break;
+    case CmpOp::kGe:  // inner values <= v
+      end = static_cast<size_t>(
+          std::upper_bound(run.begin(), run.end(), v, less_val) -
+          run.begin());
+      break;
+    case CmpOp::kEq:
+    case CmpOp::kNe:
+      return true;  // handled by the callers' string-id paths
+  }
+  for (size_t i = begin; i < end; ++i) {
+    if (!keep(run[i].pre)) continue;
+    if (!sink(run[i].pre)) return false;
+  }
+  return true;
+}
+
+// Shared outer loop of both theta kernels, including the limit+1
+// truncation protocol of ValueIndexJoinPairsInto. `emit_range(num,
+// sink)` / `emit_ne(value_id, sink)` produce the matches of one row.
+template <typename EmitRange, typename EmitNe>
+void ThetaProbeLoop(const Document& outer_doc, std::span<const Pre> outer,
+                    CmpOp op, uint64_t limit, JoinPairs& out,
+                    const EmitRange& emit_range, const EmitNe& emit_ne) {
+  ROX_DCHECK(op != CmpOp::kEq);
+  out.Clear();
+  out.Reserve(limit != kNoLimit ? limit + 1 : outer.size());
+  const StringPool& pool = outer_doc.pool();
+  for (size_t i = 0; i < outer.size(); ++i) {
+    uint32_t row = static_cast<uint32_t>(i);
+    StringId v = NodeValue(outer_doc, outer[i]);
+    if (v == kInvalidStringId) continue;  // value-less rows never join
+    auto sink = [&](Pre s) -> bool {
+      out.left_rows.push_back(row);
+      out.right_nodes.push_back(s);
+      return limit == kNoLimit || out.right_nodes.size() <= limit;
+    };
+    bool completed;
+    if (op == CmpOp::kNe) {
+      completed = emit_ne(v, sink);
+    } else {
+      auto num = pool.NumericValue(v);
+      if (!num.has_value()) continue;  // non-numeric: no range match
+      completed = emit_range(*num, sink);
+    }
+    if (!completed) {
+      out.left_rows.pop_back();
+      out.right_nodes.pop_back();
+      out.truncated = true;
+      out.outer_consumed =
+          out.left_rows.empty() ? 1 : out.left_rows.back() + 1;
+      return;
+    }
+  }
+  out.truncated = false;
+  out.outer_consumed = outer.size();
+}
+
+}  // namespace
+
+ThetaRun ThetaRun::Build(const Document& inner_doc,
+                         std::span<const Pre> inner) {
+  ThetaRun run;
+  run.numeric.reserve(inner.size());
+  run.valued.reserve(inner.size());
+  const StringPool& pool = inner_doc.pool();
+  for (Pre s : inner) {
+    StringId v = NodeValue(inner_doc, s);
+    if (v == kInvalidStringId) continue;
+    run.valued.push_back(s);
+    if (auto num = pool.NumericValue(v)) run.numeric.push_back({*num, s});
+  }
+  std::sort(run.numeric.begin(), run.numeric.end(),
+            [](const ValueIndex::NumEntry& a, const ValueIndex::NumEntry& b) {
+              return a.value < b.value || (a.value == b.value && a.pre < b.pre);
+            });
+  return run;
+}
+
+void ValueIndexThetaJoinPairsInto(const Document& outer_doc,
+                                  std::span<const Pre> outer,
+                                  const Document& inner_doc,
+                                  const ValueIndex& inner_index,
+                                  const ValueProbeSpec& spec, CmpOp op,
+                                  uint64_t limit, JoinPairs& out) {
+  const bool text = spec.kind == NodeKind::kText;
+  std::span<const ValueIndex::NumEntry> run =
+      text ? inner_index.NumericTextRun() : inner_index.NumericAttrRun();
+  std::span<const Pre> all =
+      text ? inner_index.AllTextNodes() : inner_index.AllAttrNodes();
+  auto keep = [&](Pre s) { return MatchesProbeSpec(inner_doc, spec, s); };
+  ThetaProbeLoop(
+      outer_doc, outer, op, limit, out,
+      [&](double v, auto&& sink) {
+        return EmitRangeMatches(run, v, op, keep, sink);
+      },
+      [&](StringId v, auto&& sink) {
+        for (Pre s : all) {
+          if (!keep(s) || inner_doc.Value(s) == v) continue;
+          if (!sink(s)) return false;
+        }
+        return true;
+      });
+}
+
+JoinPairs ValueIndexThetaJoinPairs(const Document& outer_doc,
+                                   std::span<const Pre> outer,
+                                   const Document& inner_doc,
+                                   const ValueIndex& inner_index,
+                                   const ValueProbeSpec& spec, CmpOp op,
+                                   uint64_t limit) {
+  JoinPairs out;
+  ValueIndexThetaJoinPairsInto(outer_doc, outer, inner_doc, inner_index,
+                               spec, op, limit, out);
+  return out;
+}
+
+void ThetaRunJoinPairsInto(const Document& outer_doc,
+                           std::span<const Pre> outer,
+                           const Document& inner_doc, const ThetaRun& run,
+                           CmpOp op, uint64_t limit, JoinPairs& out) {
+  auto keep = [](Pre) { return true; };
+  ThetaProbeLoop(
+      outer_doc, outer, op, limit, out,
+      [&](double v, auto&& sink) {
+        return EmitRangeMatches(
+            std::span<const ValueIndex::NumEntry>(run.numeric), v, op, keep,
+            sink);
+      },
+      [&](StringId v, auto&& sink) {
+        for (Pre s : run.valued) {
+          if (NodeValue(inner_doc, s) == v) continue;
+          if (!sink(s)) return false;
+        }
+        return true;
+      });
+}
+
+JoinPairs SortThetaJoinPairs(const Document& outer_doc,
+                             std::span<const Pre> outer,
+                             const Document& inner_doc,
+                             std::span<const Pre> inner, CmpOp op,
+                             uint64_t limit) {
+  ThetaRun run = ThetaRun::Build(inner_doc, inner);
+  JoinPairs out;
+  ThetaRunJoinPairsInto(outer_doc, outer, inner_doc, run, op, limit, out);
   return out;
 }
 

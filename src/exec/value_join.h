@@ -89,6 +89,66 @@ class ValueHashTable {
   std::unordered_map<StringId, std::vector<Pre>> by_value_;
 };
 
+// --- theta (range / inequality) value joins ---------------------------------
+//
+// Sort-based kernels for the five non-equality comparison operators
+// (DESIGN.md §11). Range operators probe a run of inner entries sorted
+// ascending by (numeric value, pre): each outer row binary-searches the
+// boundary and emits a contiguous prefix/suffix of the run, so cost is
+// O(|outer| log |inner| + |result|). `!=` compares interned string ids
+// (like kEq) and scans the inner candidates in document order, skipping
+// the equal-valued ones. Two run sources exist:
+//  * ValueIndexThetaJoinPairs — reads the inner ValueIndex's pre-sorted
+//    numeric projection / all-node lists: zero-investment w.r.t. the
+//    outer input, hence usable for cut-off sampling (the theta
+//    counterpart of ValueIndexJoinPairs).
+//  * ThetaRun::Build + ThetaRunJoinPairsInto — sorts a materialized
+//    inner node list once (|inner| log |inner|) and probes the private
+//    run; preferable when the inner vertex table has been semi-join-
+//    reduced far below the full index run. Probing is const and
+//    allocation-free on the run, so sharded lanes share one build.
+// Per outer row both sources emit the identical sequence — ascending
+// (value, pre) for range operators, document order for `!=` — so every
+// execution mode produces the same pairs after table filtering.
+
+// Prebuilt probe target over a materialized inner node list.
+struct ThetaRun {
+  std::vector<ValueIndex::NumEntry> numeric;  // (value, pre) ascending
+  std::vector<Pre> valued;  // nodes with any value, document order
+
+  static ThetaRun Build(const Document& inner_doc,
+                        std::span<const Pre> inner);
+};
+
+// Index nested-loop theta join through the inner document's value
+// index; `op` must not be kEq (equality goes through the hash lookups
+// above). Obeys the cut-off `limit` protocol of ValueIndexJoinPairs.
+void ValueIndexThetaJoinPairsInto(const Document& outer_doc,
+                                  std::span<const Pre> outer,
+                                  const Document& inner_doc,
+                                  const ValueIndex& inner_index,
+                                  const ValueProbeSpec& spec, CmpOp op,
+                                  uint64_t limit, JoinPairs& out);
+JoinPairs ValueIndexThetaJoinPairs(const Document& outer_doc,
+                                   std::span<const Pre> outer,
+                                   const Document& inner_doc,
+                                   const ValueIndex& inner_index,
+                                   const ValueProbeSpec& spec, CmpOp op,
+                                   uint64_t limit = kNoLimit);
+
+// Theta probe against a prebuilt run (see ThetaRun::Build).
+void ThetaRunJoinPairsInto(const Document& outer_doc,
+                           std::span<const Pre> outer,
+                           const Document& inner_doc, const ThetaRun& run,
+                           CmpOp op, uint64_t limit, JoinPairs& out);
+
+// One-shot convenience: Build + probe over a materialized inner list.
+JoinPairs SortThetaJoinPairs(const Document& outer_doc,
+                             std::span<const Pre> outer,
+                             const Document& inner_doc,
+                             std::span<const Pre> inner, CmpOp op,
+                             uint64_t limit = kNoLimit);
+
 // Merge equi-join over inputs that the caller pre-sorted with
 // SortByValueId. Produces the same pair multiset as the hash join.
 JoinPairs MergeValueJoinPairs(const Document& outer_doc,

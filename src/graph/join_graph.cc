@@ -8,6 +8,37 @@
 
 namespace rox {
 
+bool ValuePredicate::Matches(const Document& doc, Pre node) const {
+  switch (kind) {
+    case Kind::kNone:
+      return true;
+    case Kind::kEquals:
+      return doc.Value(node) == equals;
+    case Kind::kNotEquals:
+      return doc.Value(node) != equals;
+    case Kind::kRange: {
+      auto num = doc.pool().NumericValue(doc.Value(node));
+      return num.has_value() && range.Contains(*num);
+    }
+    case Kind::kAnyOf:
+      for (const ValuePredicate& term : any_of) {
+        if (term.Matches(doc, node)) return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+std::vector<Pre> FilterByPredicate(const Document& doc,
+                                   std::span<const Pre> nodes,
+                                   const ValuePredicate& pred) {
+  std::vector<Pre> out;
+  for (Pre p : nodes) {
+    if (pred.Matches(doc, p)) out.push_back(p);
+  }
+  return out;
+}
+
 bool Vertex::IndexSelectable() const {
   switch (type) {
     case VertexType::kRoot:
@@ -17,6 +48,9 @@ bool Vertex::IndexSelectable() const {
     case VertexType::kAttribute:
       return name != kInvalidStringId;
     case VertexType::kText:
+      // Every restricted text vertex is selectable: equality and range
+      // through the hash/ordered projections, kNotEquals/kAnyOf by
+      // filtering the index's document-ordered all-text list.
       return pred.kind != ValuePredicate::Kind::kNone;
   }
   return false;
@@ -82,12 +116,13 @@ EdgeId JoinGraph::AddStep(VertexId v1, Axis axis, VertexId v2) {
   return id;
 }
 
-EdgeId JoinGraph::AddEquiJoin(VertexId v1, VertexId v2) {
+EdgeId JoinGraph::AddValueJoin(VertexId v1, VertexId v2, CmpOp cmp) {
   ROX_CHECK(v1 < vertices_.size() && v2 < vertices_.size());
   Edge e;
-  e.type = EdgeType::kEquiJoin;
+  e.type = EdgeType::kValueJoin;
   e.v1 = v1;
   e.v2 = v2;
+  e.cmp = cmp;
   EdgeId id = static_cast<EdgeId>(edges_.size());
   edges_.push_back(e);
   incident_[v1].push_back(id);
@@ -95,8 +130,14 @@ EdgeId JoinGraph::AddEquiJoin(VertexId v1, VertexId v2) {
   return id;
 }
 
+EdgeId JoinGraph::AddEquiJoin(VertexId v1, VertexId v2) {
+  return AddValueJoin(v1, v2, CmpOp::kEq);
+}
+
 int JoinGraph::AddEquivalenceClosure() {
-  // Union-find over vertices linked by equi-join edges.
+  // Union-find over vertices linked by equi-join edges. Theta edges
+  // carry no equivalence: a<b and b<c implies a<c, but the closure edge
+  // would duplicate work, not open join orders, so only kEq closes.
   std::vector<VertexId> parent(vertices_.size());
   for (VertexId v = 0; v < parent.size(); ++v) parent[v] = v;
   auto find = [&](VertexId v) {
@@ -107,7 +148,7 @@ int JoinGraph::AddEquivalenceClosure() {
     return v;
   };
   for (const Edge& e : edges_) {
-    if (e.type != EdgeType::kEquiJoin) continue;
+    if (!e.IsEquiJoin()) continue;
     VertexId a = find(e.v1), b = find(e.v2);
     if (a != b) parent[a] = b;
   }
@@ -117,7 +158,7 @@ int JoinGraph::AddEquivalenceClosure() {
   };
   std::vector<uint64_t> have;
   for (const Edge& e : edges_) {
-    if (e.type == EdgeType::kEquiJoin) have.push_back(key(e.v1, e.v2));
+    if (e.IsEquiJoin()) have.push_back(key(e.v1, e.v2));
   }
   std::sort(have.begin(), have.end());
   // Group vertices by equivalence class and add missing pairs.
@@ -130,7 +171,7 @@ int JoinGraph::AddEquivalenceClosure() {
       uint64_t k = key(a, b);
       if (std::binary_search(have.begin(), have.end(), k)) continue;
       Edge e;
-      e.type = EdgeType::kEquiJoin;
+      e.type = EdgeType::kValueJoin;
       e.v1 = a;
       e.v2 = b;
       e.derived_equivalence = true;
@@ -208,11 +249,11 @@ Status JoinGraph::Validate() const {
       return Status::InvalidArgument(
           StrCat("step edge ", i, " spans documents"));
     }
-    if (e.type == EdgeType::kEquiJoin) {
+    if (e.type == EdgeType::kValueJoin) {
       for (VertexId v : {e.v1, e.v2}) {
         if (vertices_[v].type == VertexType::kRoot) {
           return Status::InvalidArgument(
-              StrCat("equi-join edge ", i, " touches a root vertex"));
+              StrCat("value-join edge ", i, " touches a root vertex"));
         }
       }
     }
@@ -258,7 +299,7 @@ std::string JoinGraph::EdgeLabel(EdgeId e) const {
   if (ed.type == EdgeType::kStep) {
     return StrCat(l1, " -", AxisName(ed.axis), "-> ", l2);
   }
-  return StrCat(l1, " = ", l2);
+  return StrCat(l1, " ", CmpOpName(ed.cmp), " ", l2);
 }
 
 std::vector<GraphComponent> SplitConnectedComponents(const JoinGraph& g) {
@@ -297,7 +338,7 @@ std::vector<GraphComponent> SplitConnectedComponents(const JoinGraph& g) {
     if (ed.type == EdgeType::kStep) {
       id = c.graph.AddStep(new_id[ed.v1], ed.axis, new_id[ed.v2]);
     } else {
-      id = c.graph.AddEquiJoin(new_id[ed.v1], new_id[ed.v2]);
+      id = c.graph.AddValueJoin(new_id[ed.v1], new_id[ed.v2], ed.cmp);
     }
     (void)id;
     c.orig_edge.push_back(e);
@@ -317,7 +358,8 @@ std::string JoinGraph::ToDot() const {
       out += StrCat("  v", e.v1, " -- v", e.v2, " [label=\"", AxisName(e.axis),
                     "\"];\n");
     } else {
-      out += StrCat("  v", e.v1, " -- v", e.v2, " [label=\"=\"",
+      out += StrCat("  v", e.v1, " -- v", e.v2, " [label=\"",
+                    CmpOpName(e.cmp), "\"",
                     e.derived_equivalence ? ", style=dashed" : "", "];\n");
     }
   }

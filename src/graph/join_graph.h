@@ -3,10 +3,12 @@
 // handed to the ROX run-time optimizer.
 //
 // Vertices denote node sets of one document: the document root, elements
-// with a qualified name, text nodes (optionally with an equality or
-// range predicate on their value), or attribute nodes (ditto). Edges are
-// either XPath step joins (with an axis, directed for presentation only)
-// or value-based equi-joins.
+// with a qualified name, text nodes (optionally with an equality,
+// inequality, range or disjunctive predicate on their value), or
+// attribute nodes (ditto). Edges are either XPath step joins (with an
+// axis, directed for presentation only) or value joins carrying one of
+// the six comparison operators (kEq is the paper's equi-join; the
+// others are theta edges, DESIGN.md §11).
 //
 // The graph itself is immutable topology + static annotations; run-time
 // state (materialized tables, samples, weights) lives in rox::RoxState.
@@ -15,6 +17,7 @@
 #define ROX_GRAPH_JOIN_GRAPH_H_
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,21 +41,43 @@ enum class VertexType : uint8_t {
   kAttribute  // attribute nodes named `name`, optionally restricted
 };
 
-// Optional value restriction on text/attribute vertices.
+// Optional value restriction on text/attribute vertices. Besides the
+// paper's equality and range restrictions, the frontend's disjunctive
+// step predicates lower to kAnyOf — a flat OR over kEquals/kNotEquals/
+// kRange terms on the same vertex (`[./x = 1 or ./x > 5]`).
 struct ValuePredicate {
-  enum class Kind : uint8_t { kNone, kEquals, kRange };
+  enum class Kind : uint8_t { kNone, kEquals, kNotEquals, kRange, kAnyOf };
   Kind kind = Kind::kNone;
-  StringId equals = kInvalidStringId;  // for kEquals
+  StringId equals = kInvalidStringId;  // for kEquals / kNotEquals
   NumericRange range;                  // for kRange
+  std::vector<ValuePredicate> any_of;  // for kAnyOf: non-kAnyOf terms
 
   static ValuePredicate None() { return {}; }
   static ValuePredicate Equals(StringId v) {
-    return {Kind::kEquals, v, NumericRange{}};
+    return {Kind::kEquals, v, NumericRange{}, {}};
+  }
+  static ValuePredicate NotEquals(StringId v) {
+    return {Kind::kNotEquals, v, NumericRange{}, {}};
   }
   static ValuePredicate Range(NumericRange r) {
-    return {Kind::kRange, kInvalidStringId, r};
+    return {Kind::kRange, kInvalidStringId, r, {}};
   }
+  static ValuePredicate AnyOf(std::vector<ValuePredicate> terms) {
+    ValuePredicate p;
+    p.kind = Kind::kAnyOf;
+    p.any_of = std::move(terms);
+    return p;
+  }
+
+  // Evaluates the predicate against the *value* of `node` (a text or
+  // attribute node of `doc`). kNone matches everything.
+  bool Matches(const Document& doc, Pre node) const;
 };
+
+// `nodes` restricted to those whose value satisfies `pred`.
+std::vector<Pre> FilterByPredicate(const Document& doc,
+                                   std::span<const Pre> nodes,
+                                   const ValuePredicate& pred);
 
 struct Vertex {
   VertexType type = VertexType::kElement;
@@ -69,19 +94,29 @@ struct Vertex {
   bool IndexSelectable() const;
 };
 
-enum class EdgeType : uint8_t { kStep, kEquiJoin };
+enum class EdgeType : uint8_t { kStep, kValueJoin };
 
 struct Edge {
   EdgeType type = EdgeType::kStep;
   VertexId v1 = kInvalidVertexId;  // step: context side (the "circle")
   VertexId v2 = kInvalidVertexId;  // step: result side
   Axis axis = Axis::kChild;        // step only: v2 = axis(v1)
+  // Value-join comparison: value(v1) cmp value(v2). kEq is the paper's
+  // equi-join; the range/inequality operators are theta edges.
+  CmpOp cmp = CmpOp::kEq;
   // Equivalence edges added by ROX (the dotted edges of Figure 4) are
   // marked so ablation runs can ignore them.
   bool derived_equivalence = false;
 
   VertexId Other(VertexId v) const { return v == v1 ? v2 : v1; }
   bool Touches(VertexId v) const { return v1 == v || v2 == v; }
+  bool IsEquiJoin() const {
+    return type == EdgeType::kValueJoin && cmp == CmpOp::kEq;
+  }
+  // The comparison as seen probing from `from` toward the other side.
+  CmpOp CmpFrom(VertexId from) const {
+    return from == v1 ? cmp : SwapCmp(cmp);
+  }
 };
 
 class JoinGraph {
@@ -100,8 +135,10 @@ class JoinGraph {
   // Adds a step edge: v2 = axis(v1). Vertices must be on the same doc.
   EdgeId AddStep(VertexId v1, Axis axis, VertexId v2);
 
-  // Adds a value equi-join edge between two (typically text/attribute)
-  // vertices, possibly on different documents.
+  // Adds a value-join edge between two (typically text/attribute)
+  // vertices, possibly on different documents, with value(v1) cmp
+  // value(v2) semantics. AddEquiJoin is the kEq convenience.
+  EdgeId AddValueJoin(VertexId v1, VertexId v2, CmpOp cmp);
   EdgeId AddEquiJoin(VertexId v1, VertexId v2);
 
   // Adds the transitive closure of equi-join equivalences: if a=b and

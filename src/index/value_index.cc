@@ -4,6 +4,41 @@
 
 namespace rox {
 
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CmpOp SwapCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+    case CmpOp::kEq:
+    case CmpOp::kNe:
+      break;
+  }
+  return op;
+}
+
 ValueIndex::ValueIndex(const Document& doc, Pre lo, Pre hi) {
   const StringPool& pool = doc.pool();
   hi = std::min(hi, doc.NodeCount());
@@ -13,6 +48,7 @@ ValueIndex::ValueIndex(const Document& doc, Pre lo, Pre hi) {
       ++text_node_count_;
       StringId v = doc.Value(p);
       text_by_value_[v].push_back(p);
+      all_text_.push_back(p);
       if (auto num = pool.NumericValue(v)) {
         numeric_text_.push_back({*num, p});
       }
@@ -20,6 +56,7 @@ ValueIndex::ValueIndex(const Document& doc, Pre lo, Pre hi) {
       ++attr_node_count_;
       StringId v = doc.Value(p);
       attr_by_value_[v].push_back(p);
+      all_attr_.push_back(p);
       if (auto num = pool.NumericValue(v)) {
         numeric_attr_.push_back({*num, p});
       }

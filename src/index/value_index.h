@@ -24,6 +24,21 @@
 
 namespace rox {
 
+// Comparison operator of value predicates and value-join edges. Lives
+// at the index layer so the join graph (edge annotation), the physical
+// operators (theta kernels) and the XQuery frontend all share one
+// vocabulary. Equality and inequality compare interned string ids;
+// the four range operators compare numeric projections (non-numeric
+// values never satisfy a range comparison).
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// The surface syntax of `op` ("=", "!=", "<", "<=", ">", ">=").
+const char* CmpOpName(CmpOp op);
+
+// The operator seen from the other side: a OP b  <=>  b SwapCmp(OP) a.
+// kEq/kNe are symmetric; kLt<->kGt and kLe<->kGe swap.
+CmpOp SwapCmp(CmpOp op);
+
 // Half-open / closed numeric interval with per-bound inclusivity, used
 // for range-selection predicates on text and attribute values.
 struct NumericRange {
@@ -82,6 +97,24 @@ class ValueIndex {
   // Attribute nodes whose numeric value lies in `range`.
   std::vector<Pre> AttrRangeLookup(const NumericRange& range) const;
 
+  // --- sorted runs (theta-join probes) ------------------------------------
+
+  // (numeric value, pre) pairs sorted ascending by (value, pre). A
+  // range-comparison probe binary-searches the run and emits a prefix
+  // or suffix — the sort-based value-join kernels of exec/value_join.h
+  // read these directly instead of materializing per-probe lookups.
+  struct NumEntry {
+    double value;
+    Pre pre;
+  };
+  std::span<const NumEntry> NumericTextRun() const { return numeric_text_; }
+  std::span<const NumEntry> NumericAttrRun() const { return numeric_attr_; }
+
+  // All indexed text/attribute nodes in document order (every such node
+  // carries a value). `!=` probes scan these and skip the equal ones.
+  std::span<const Pre> AllTextNodes() const { return all_text_; }
+  std::span<const Pre> AllAttrNodes() const { return all_attr_; }
+
   // --- sampling -----------------------------------------------------------
 
   // Uniform sample (without replacement, document order) of text nodes
@@ -93,13 +126,6 @@ class ValueIndex {
   uint64_t attr_node_count() const { return attr_node_count_; }
 
  private:
-  // Sorted (value, pre) pairs for numeric range scans; sorted by value
-  // then pre. Result of a range scan is re-sorted to document order.
-  struct NumEntry {
-    double value;
-    Pre pre;
-  };
-
   std::vector<Pre> RangeScan(const std::vector<NumEntry>& entries,
                              const NumericRange& range) const;
 
@@ -107,6 +133,8 @@ class ValueIndex {
   std::unordered_map<StringId, std::vector<Pre>> attr_by_value_;
   std::vector<NumEntry> numeric_text_;
   std::vector<NumEntry> numeric_attr_;
+  std::vector<Pre> all_text_;
+  std::vector<Pre> all_attr_;
   uint64_t text_node_count_ = 0;
   uint64_t attr_node_count_ = 0;
 };

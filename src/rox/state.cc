@@ -49,6 +49,11 @@ Result<std::vector<Pre>> LookupVertex(const Vertex& vx, const Document& doc,
         }
         case ValuePredicate::Kind::kRange:
           return vidx.TextRangeLookup(vx.pred.range);
+        case ValuePredicate::Kind::kNotEquals:
+        case ValuePredicate::Kind::kAnyOf:
+          // Scan the index's document-ordered all-text list; disjuncts
+          // and negations do not map onto a single hash/range lookup.
+          return FilterByPredicate(doc, vidx.AllTextNodes(), vx.pred);
         case ValuePredicate::Kind::kNone:
           return Status::FailedPrecondition(
               "unrestricted text vertex is not index-selectable");
@@ -56,16 +61,10 @@ Result<std::vector<Pre>> LookupVertex(const Vertex& vx, const Document& doc,
       break;
     case VertexType::kAttribute: {
       auto span = eidx.LookupAttr(vx.name);
-      std::vector<Pre> nodes(span.begin(), span.end());
-      switch (vx.pred.kind) {
-        case ValuePredicate::Kind::kNone:
-          return nodes;
-        case ValuePredicate::Kind::kEquals:
-          return FilterValueEquals(doc, nodes, vx.pred.equals);
-        case ValuePredicate::Kind::kRange:
-          return FilterNumericRange(doc, nodes, vx.pred.range);
+      if (vx.pred.kind == ValuePredicate::Kind::kNone) {
+        return std::vector<Pre>(span.begin(), span.end());
       }
-      break;
+      return FilterByPredicate(doc, span, vx.pred);
     }
   }
   return Status::Internal("unhandled vertex type in IndexLookup");
@@ -139,8 +138,15 @@ double RoxState::IndexCount(VertexId v) const {
       switch (vx.pred.kind) {
         case ValuePredicate::Kind::kEquals:
           return static_cast<double>(vidx.TextLookup(vx.pred.equals).size());
+        case ValuePredicate::Kind::kNotEquals:
+          return static_cast<double>(vidx.text_node_count() -
+                                     vidx.TextLookup(vx.pred.equals).size());
         case ValuePredicate::Kind::kRange:
           return static_cast<double>(vidx.TextRangeCount(vx.pred.range));
+        case ValuePredicate::Kind::kAnyOf: {
+          auto r = IndexLookup(v);
+          return r.ok() ? static_cast<double>(r.value().size()) : -1.0;
+        }
         case ValuePredicate::Kind::kNone:
           return static_cast<double>(vidx.text_node_count());
       }
@@ -229,8 +235,8 @@ void RoxState::InitializeSamplesAndWeights() {
             vs.sample = vidx.SampleText(vx.pred.equals, options_.tau, rng_);
           }
         } else {
-          // Range-restricted text vertex: the ordered index materializes
-          // the lookup anyway; keep it as T(v).
+          // Range-/inequality-/disjunction-restricted text vertex: the
+          // index materializes the lookup anyway; keep it as T(v).
           ROX_CHECK_OK(EnsureTable(v));
         }
         break;
@@ -317,17 +323,7 @@ bool RoxState::NodeSatisfiesVertex(VertexId v, Pre node) const {
       }
       break;
   }
-  switch (vx.pred.kind) {
-    case ValuePredicate::Kind::kNone:
-      return true;
-    case ValuePredicate::Kind::kEquals:
-      return doc.Value(node) == vx.pred.equals;
-    case ValuePredicate::Kind::kRange: {
-      auto num = doc.pool().NumericValue(doc.Value(node));
-      return num.has_value() && vx.pred.range.Contains(*num);
-    }
-  }
-  return true;
+  return vx.pred.Matches(doc, node);
 }
 
 void RoxState::FilterPairsForVertex(VertexId v, JoinPairs& pairs) const {
@@ -375,8 +371,18 @@ EdgeSample RoxState::SampleEdgeFrom(EdgeId e, VertexId from,
     ValueProbeSpec spec = tx.type == VertexType::kAttribute
                               ? ValueProbeSpec::Attr(tx.name)
                               : ValueProbeSpec::Text();
-    ValueIndexJoinPairsInto(from_doc, input, target_doc,
-                            corpus_.value_index(tx.doc), spec, limit, pairs);
+    CmpOp cmp = edge.CmpFrom(from);
+    if (cmp == CmpOp::kEq) {
+      ValueIndexJoinPairsInto(from_doc, input, target_doc,
+                              corpus_.value_index(tx.doc), spec, limit,
+                              pairs);
+    } else {
+      // Theta edges sample through the index's sorted runs — still
+      // zero-investment w.r.t. the input side (DESIGN.md §11).
+      ValueIndexThetaJoinPairsInto(from_doc, input, target_doc,
+                                   corpus_.value_index(tx.doc), spec, cmp,
+                                   limit, pairs);
+    }
   }
   FilterPairsForVertex(target, pairs);
   EdgeSample out;
@@ -433,8 +439,10 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
   VertexId v1 = edge.v1, v2 = edge.v2;
 
   // An equi-join already implied by executed equi-joins (transitivity
-  // within the equivalence class) contributes no new constraint.
-  if (edge.type == EdgeType::kEquiJoin && EquiJoinImplied(v1, v2)) {
+  // within the equivalence class) contributes no new constraint. Theta
+  // edges are never implied: a<b and b<c constrain a<c but do not
+  // equal it, so every theta edge executes.
+  if (edge.IsEquiJoin() && EquiJoinImplied(v1, v2)) {
     return Status::Ok();
   }
 
@@ -509,6 +517,28 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
     return finish(ShardedStructuralJoinParts(
         Sharded(), graph_.vertex(ctx).doc, target_doc, ctx_nodes,
         StepSpecFrom(e, ctx), idx, &stats_.sharded));
+  }
+  const CmpOp cmp = edge.CmpFrom(ctx);
+  if (cmp != CmpOp::kEq) {
+    // Theta edge: probe the target's sorted run per context row. A
+    // materialized (semi-join-reduced) target table builds a private
+    // run, usually far smaller than the full index projection; an
+    // unmaterialized target probes the index's pre-sorted run and the
+    // FilterPairsForVertex call inside finish() applies its predicate.
+    // Both sources emit identical per-row sequences (value_join.h), so
+    // all execution modes agree byte-for-byte.
+    if (vertices_[tgt].table.has_value()) {
+      return finish(ShardedSortThetaJoinParts(Sharded(), ctx_doc, ctx_nodes,
+                                              target_doc,
+                                              *vertices_[tgt].table, cmp,
+                                              &stats_.sharded));
+    }
+    ValueProbeSpec spec = tx.type == VertexType::kAttribute
+                              ? ValueProbeSpec::Attr(tx.name)
+                              : ValueProbeSpec::Text();
+    return finish(ShardedValueIndexThetaJoinParts(
+        Sharded(), ctx_doc, ctx_nodes, target_doc,
+        corpus_.value_index(tx.doc), spec, cmp, &stats_.sharded));
   }
   if (vertices_[tgt].table.has_value()) {
     // Both ends materialized: pick among the applicable algorithms
@@ -1099,7 +1129,7 @@ bool RoxState::EquiJoinImplied(VertexId a, VertexId b) const {
     stack.pop_back();
     for (EdgeId e : graph_.IncidentEdges(v)) {
       const Edge& ed = graph_.edge(e);
-      if (ed.type != EdgeType::kEquiJoin || !edges_[e].executed) continue;
+      if (!ed.IsEquiJoin() || !edges_[e].executed) continue;
       VertexId o = ed.Other(v);
       if (o == b) return true;
       if (!seen[o]) {

@@ -286,6 +286,13 @@ Result<std::vector<DocId>> AddDblpDocuments(
   return out;
 }
 
+std::string DblpAuthorYearQuery(const std::string& doc1,
+                                const std::string& doc2, CmpOp op) {
+  return StrCat("for $a in doc(\"", doc1, "\")//article, $b in doc(\"",
+                doc2, "\")//article\n", "where $a/author = $b/author and ",
+                "$a/year ", CmpOpName(op), " $b/year\n", "return $a");
+}
+
 DblpQueryGraph BuildDblpJoinGraph(const Corpus& corpus,
                                   const std::vector<DocId>& docs,
                                   bool add_equivalence_closure,

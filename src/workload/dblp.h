@@ -132,6 +132,19 @@ DblpQueryGraph BuildDblpJoinGraph(const Corpus& corpus,
                                   bool add_equivalence_closure = true,
                                   bool prune_root_edges = true);
 
+// --- theta-join query generator (DESIGN.md §11) ------------------------------
+
+// Author-equality + year-theta query joining two Table 3 documents:
+//   for $a in doc(d1)//article, $b in doc(d2)//article
+//   where $a/author = $b/author and $a/year OP $b/year
+//   return $a
+// The author equality bounds the join (same correlation structure as
+// the 4-way query); the year comparison adds a theta edge that closes
+// a cycle through the two articles. `op` = kEq degenerates to a pure
+// conjunctive equality query (useful as a differential baseline).
+std::string DblpAuthorYearQuery(const std::string& doc1,
+                                const std::string& doc2, CmpOp op);
+
 // --- correlation machinery (§4.2) --------------------------------------------
 
 // Histogram of author text values of one document: value id -> tag count.

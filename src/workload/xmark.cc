@@ -121,4 +121,33 @@ XmarkQ1Graph BuildXmarkQ1Graph(const Corpus& corpus, DocId doc,
   return g;
 }
 
+std::string XmarkQuantityIncreaseQuery(CmpOp op, int quantity_guard,
+                                       const std::string& doc_name) {
+  std::string items = StrCat("$d//item");
+  if (quantity_guard > 0) {
+    items = StrCat(items, "[./quantity = ", quantity_guard, "]");
+  }
+  return StrCat("let $d := doc(\"", doc_name, "\")\n", "for $i in ", items,
+                ", $b in $d//bidder\n", "where $i/quantity ", CmpOpName(op),
+                " $b/increase\n", "return $i");
+}
+
+std::string XmarkPriceThetaQuery(CmpOp op, int lo, int hi,
+                                 const std::string& doc_name) {
+  return StrCat("let $d := doc(\"", doc_name, "\")\n",
+                "for $a in $d//open_auction[.//current/text() < ", lo,
+                "],\n", "    $b in $d//open_auction[.//current/text() > ",
+                hi, "]\n", "where $a//reserve ", CmpOpName(op),
+                " $b//current\n", "return $a");
+}
+
+std::string XmarkDisjunctiveQuantityQuery(int q1, int q2,
+                                          const std::string& doc_name) {
+  return StrCat("let $d := doc(\"", doc_name, "\")\n",
+                "for $i in $d//item[./quantity = ", q1,
+                " or ./quantity = ", q2, "],\n",
+                "    $o in $d//open_auction\n",
+                "where $o//itemref/@item = $i/@id\n", "return $i");
+}
+
 }  // namespace rox

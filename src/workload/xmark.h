@@ -97,6 +97,37 @@ XmarkQ1Graph BuildXmarkQ1Graph(const Corpus& corpus, DocId doc,
                                double price_threshold, bool less_than,
                                bool prune_root_edges = true);
 
+// --- theta-join query generators (DESIGN.md §11) -----------------------------
+//
+// Parameterized XQuery texts exercising the theta edge class on the
+// XMark document; `doc_name` defaults to the generator's default. All
+// six CmpOps are accepted; operators other than kEq compile to theta
+// edges over the bounded numeric domains of the document (quantity
+// 1..5, increase 1..9, prices 0..max_price).
+
+// Item quantities against bidder increases:
+//   for $i in //item, $b in //bidder where $i/quantity OP $b/increase.
+// `quantity_guard` > 0 restricts items to [./quantity = guard] so the
+// outer side stays selective.
+std::string XmarkQuantityIncreaseQuery(CmpOp op, int quantity_guard = 0,
+                                       const std::string& doc_name =
+                                           "xmark.xml");
+
+// Cross-auction price theta join: reserves of auctions priced below
+// `lo` against currents of auctions priced above `hi`:
+//   for $a in //open_auction[.//current/text() < lo],
+//       $b in //open_auction[.//current/text() > hi]
+//   where $a//reserve OP $b//current.
+// Integer thresholds: the generated documents carry integer prices.
+std::string XmarkPriceThetaQuery(CmpOp op, int lo, int hi,
+                                 const std::string& doc_name = "xmark.xml");
+
+// Disjunctive step predicate riding the Q1 itemref join: items whose
+// quantity is q1 or q2, joined to their auctions.
+std::string XmarkDisjunctiveQuantityQuery(int q1, int q2,
+                                          const std::string& doc_name =
+                                              "xmark.xml");
+
 }  // namespace rox
 
 #endif  // ROX_WORKLOAD_XMARK_H_

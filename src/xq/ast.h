@@ -3,17 +3,21 @@
 // The frontend accepts the FLWOR shape used throughout the paper:
 //
 //   let $r := doc("auction.xml")
-//   for $a in $r//open_auction[./reserve]/bidder//personref,
-//       $b in doc("dblp.xml")//person[.//education]
-//   where $a/@person = $b/@id and ...
+//   for $a in $r//open_auction[./reserve and ./current > 40]/bidder,
+//       $b in doc("dblp.xml")//person[./age >= 65 or ./age < 10]
+//   where $a/@person = $b/@id and $a/increase <= $b/age and ...
 //   return $a
 //
-// i.e. let-bindings of documents, for-bindings of path expressions with
-// structural and value predicates, a conjunctive where clause of value
-// equality comparisons, and a variable return. This is exactly the
-// fragment whose join graphs Pathfinder's Join Graph Isolation [18]
-// would hand to ROX; anything beyond it (arithmetic, FLWOR nesting,
-// node construction) is out of scope for the optimizer experiments.
+// i.e. let-bindings of documents, for-bindings of path expressions
+// with structural and value predicates (standard-precedence and/or —
+// `and` binds tighter; an `or` disjunction must compare one shared
+// path against literals), a conjunctive where clause of value comparisons
+// between bound-variable paths — all six operators, so non-equality
+// comparisons compile to theta-join edges (DESIGN.md §11) — and a
+// variable return. This is the fragment whose join graphs Pathfinder's
+// Join Graph Isolation [18] would hand to ROX; anything beyond it
+// (arithmetic, FLWOR nesting, node construction) is out of scope for
+// the optimizer experiments.
 
 #ifndef ROX_XQ_AST_H_
 #define ROX_XQ_AST_H_
@@ -23,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "index/value_index.h"  // CmpOp
 #include "xml/node.h"
 
 namespace rox::xq {
@@ -35,17 +40,24 @@ struct AstStep {
   std::string name;  // element/attribute name (empty for text()/*)
 };
 
-// Comparison operator of a value predicate.
-enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
-const char* CmpOpName(CmpOp op);
-
-// A predicate inside [...]: a relative path, optionally compared
-// against a literal. Without comparison it is an existence test.
+// One predicate conjunct inside [...]: a relative path, optionally
+// compared against a literal (all six CmpOps). Without comparison it
+// is an existence test. The comparison operator enum is the shared
+// rox::CmpOp (index/value_index.h).
 struct AstPredicate {
   std::vector<AstStep> path;  // relative to the predicated node
   std::optional<CmpOp> op;
   std::string literal;   // raw literal text ("145", "dog")
   bool literal_is_number = false;
+};
+
+// One bracket pair's predicate expression with standard XQuery
+// precedence: `or` binds looser than `and`, so `[a and b or c]` is
+// `(a AND b) OR c`. Each alternative is one `or` branch — a
+// conjunction of predicates. Stacked brackets conjoin groups, so
+// and-of-or queries are written `[x = 1 or x = 2][y < 5]`.
+struct AstPredicateGroup {
+  std::vector<std::vector<AstPredicate>> alternatives;
 };
 
 // A path expression: a source (doc() call or variable reference)
@@ -55,7 +67,7 @@ struct AstPathExpr {
   std::string variable;  // non-empty when the source is $var
   struct PredicatedStep {
     AstStep step;
-    std::vector<AstPredicate> predicates;
+    std::vector<AstPredicateGroup> predicate_groups;
   };
   std::vector<PredicatedStep> steps;
 };
@@ -72,11 +84,13 @@ struct AstFor {
   AstPathExpr domain;
 };
 
-// where clause conjunct: <path> = <path>, where both sides start from
-// a bound variable.
+// where clause conjunct: <path> op <path>, where both sides start from
+// a bound variable. kEq compiles to the paper's equi-join edge; the
+// other operators compile to theta edges.
 struct AstComparison {
   AstPathExpr lhs;
   AstPathExpr rhs;
+  CmpOp op = CmpOp::kEq;
 };
 
 // The whole query.

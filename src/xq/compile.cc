@@ -30,9 +30,9 @@ class Compiler {
       out_.for_vertices.push_back(v);
     }
     for (const AstComparison& cmp : q.where) {
-      ROX_ASSIGN_OR_RETURN(VertexId lhs, CompilePath(cmp.lhs));
-      ROX_ASSIGN_OR_RETURN(VertexId rhs, CompilePath(cmp.rhs));
-      out_.graph.AddEquiJoin(lhs, rhs);
+      ROX_ASSIGN_OR_RETURN(VertexId lhs, CompileWhereOperand(cmp.lhs));
+      ROX_ASSIGN_OR_RETURN(VertexId rhs, CompileWhereOperand(cmp.rhs));
+      out_.graph.AddValueJoin(lhs, rhs, cmp.op);
     }
     auto it = out_.variables.find(q.return_variable);
     if (it == out_.variables.end()) {
@@ -86,11 +86,36 @@ class Compiler {
     for (const auto& ps : p.steps) {
       ROX_ASSIGN_OR_RETURN(
           cur, AddStepVertex(cur, ps.step, ValuePredicate::None()));
-      for (const AstPredicate& pred : ps.predicates) {
-        ROX_RETURN_IF_ERROR(CompilePredicate(cur, pred));
+      for (const AstPredicateGroup& group : ps.predicate_groups) {
+        ROX_RETURN_IF_ERROR(CompilePredicateGroup(cur, group));
       }
     }
     return cur;
+  }
+
+  // Compiles one side of a where comparison. The join edge compares
+  // node *values*, so an operand ending at an element is lowered to
+  // the element's text() child (XQuery atomization of element content:
+  // `$a/price < $b/price` joins the price texts); roots carry no value
+  // and are rejected.
+  Result<VertexId> CompileWhereOperand(const AstPathExpr& p) {
+    ROX_ASSIGN_OR_RETURN(VertexId v, CompilePath(p));
+    switch (out_.graph.vertex(v).type) {
+      case VertexType::kRoot:
+        return Status::InvalidArgument(
+            "where comparison operand denotes a document root, which "
+            "carries no value");
+      case VertexType::kElement: {
+        AstStep text_step;
+        text_step.axis = Axis::kChild;
+        text_step.test = AstStep::Test::kText;
+        return AddStepVertex(v, text_step, ValuePredicate::None());
+      }
+      case VertexType::kText:
+      case VertexType::kAttribute:
+        return v;
+    }
+    return v;
   }
 
   // Find, not Intern: compilation never mutates the shared pool. A name
@@ -133,44 +158,110 @@ class Compiler {
       case ValuePredicate::Kind::kNone:
         return "text()";
       case ValuePredicate::Kind::kEquals:
+      case ValuePredicate::Kind::kNotEquals: {
+        const char* op =
+            pred.kind == ValuePredicate::Kind::kEquals ? "=" : "!=";
         if (pred.equals >= corpus_.string_pool().size()) {
-          return "text()=<unseen literal>";
+          return StrCat("text()", op, "<unseen literal>");
         }
-        return StrCat("text()=", corpus_.string_pool().Get(pred.equals));
+        return StrCat("text()", op, corpus_.string_pool().Get(pred.equals));
+      }
       case ValuePredicate::Kind::kRange:
         return "text() in range";
+      case ValuePredicate::Kind::kAnyOf:
+        return StrCat("text() or-group(", pred.any_of.size(), ")");
     }
     return "text()";
   }
 
-  // Compiles a [...] predicate hanging off `anchor`.
-  Status CompilePredicate(VertexId anchor, const AstPredicate& pred) {
+  // Lowers one predicate path hanging off `anchor`, restricting its
+  // final vertex by `vp` (nullopt: existence test). A comparison on an
+  // element-final path becomes the element plus a predicated text()
+  // child (the shape of the paper's Figure 3.1 `quantity -> text()=1`).
+  Status CompilePredicatePath(VertexId anchor,
+                              const std::vector<AstStep>& path,
+                              const std::optional<ValuePredicate>& vp) {
     VertexId cur = anchor;
-    for (size_t i = 0; i < pred.path.size(); ++i) {
-      const AstStep& step = pred.path[i];
-      bool last = i + 1 == pred.path.size();
-      if (!last || !pred.op.has_value()) {
+    for (size_t i = 0; i < path.size(); ++i) {
+      const AstStep& step = path[i];
+      bool last = i + 1 == path.size();
+      if (!last || !vp.has_value()) {
         ROX_ASSIGN_OR_RETURN(
             cur, AddStepVertex(cur, step, ValuePredicate::None()));
         continue;
       }
-      // Final step with a value comparison.
-      ROX_ASSIGN_OR_RETURN(ValuePredicate vp, MakeValuePredicate(pred));
       if (step.test == AstStep::Test::kElement) {
-        // `[./quantity = 1]` — comparison on element content: lower to
-        // the element plus a predicated text() child (the shape of the
-        // paper's Figure 3.1 `quantity -> text()=1`).
         ROX_ASSIGN_OR_RETURN(
             cur, AddStepVertex(cur, step, ValuePredicate::None()));
         AstStep text_step;
         text_step.axis = Axis::kChild;
         text_step.test = AstStep::Test::kText;
-        ROX_ASSIGN_OR_RETURN(cur, AddStepVertex(cur, text_step, vp));
+        ROX_ASSIGN_OR_RETURN(cur, AddStepVertex(cur, text_step, *vp));
       } else {
-        ROX_ASSIGN_OR_RETURN(cur, AddStepVertex(cur, step, vp));
+        ROX_ASSIGN_OR_RETURN(cur, AddStepVertex(cur, step, *vp));
       }
     }
     return Status::Ok();
+  }
+
+  // Compiles a [...] predicate group hanging off `anchor`. A single
+  // `or` branch is a plain conjunction: every predicate lowers to its
+  // own vertex chain. A disjunction lowers to ONE vertex chain whose
+  // final vertex carries the kAnyOf predicate — which is why every
+  // branch must be a single comparison on the same relative path;
+  // anything else (existence branches, different paths, conjunctions
+  // inside a branch) would need a union operator the join graph does
+  // not have and reports Unimplemented.
+  Status CompilePredicateGroup(VertexId anchor,
+                               const AstPredicateGroup& group) {
+    if (group.alternatives.size() == 1) {
+      for (const AstPredicate& pred : group.alternatives[0]) {
+        std::optional<ValuePredicate> vp;
+        if (pred.op.has_value()) {
+          ROX_ASSIGN_OR_RETURN(vp, MakeValuePredicate(pred));
+        }
+        ROX_RETURN_IF_ERROR(CompilePredicatePath(anchor, pred.path, vp));
+      }
+      return Status::Ok();
+    }
+    const std::vector<AstStep>& path = group.alternatives[0][0].path;
+    std::vector<ValuePredicate> terms;
+    terms.reserve(group.alternatives.size());
+    for (const std::vector<AstPredicate>& branch : group.alternatives) {
+      if (branch.size() != 1) {
+        return Status::Unimplemented(
+            "an 'or' branch that is itself a conjunction is not "
+            "index-lowerable (write the conjunct as its own [..] "
+            "bracket)");
+      }
+      const AstPredicate& alt = branch[0];
+      if (!alt.op.has_value()) {
+        return Status::Unimplemented(
+            "every branch of an 'or' predicate needs a value comparison "
+            "(existence disjunctions are not index-lowerable)");
+      }
+      if (!SameSteps(alt.path, path)) {
+        return Status::Unimplemented(
+            "'or' predicate branches must compare the same relative "
+            "path");
+      }
+      ROX_ASSIGN_OR_RETURN(ValuePredicate term, MakeValuePredicate(alt));
+      terms.push_back(std::move(term));
+    }
+    return CompilePredicatePath(anchor, path,
+                                ValuePredicate::AnyOf(std::move(terms)));
+  }
+
+  static bool SameSteps(const std::vector<AstStep>& a,
+                        const std::vector<AstStep>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].axis != b[i].axis || a[i].test != b[i].test ||
+          a[i].name != b[i].name) {
+        return false;
+      }
+    }
+    return true;
   }
 
   Result<ValuePredicate> MakeValuePredicate(const AstPredicate& pred) {
@@ -179,8 +270,7 @@ class Compiler {
       return ValuePredicate::Equals(FindName(pred.literal));
     }
     if (op == CmpOp::kNe) {
-      return Status::Unimplemented(
-          "!= predicates are not index-selectable");
+      return ValuePredicate::NotEquals(FindName(pred.literal));
     }
     if (!pred.literal_is_number) {
       return Status::Unimplemented(

@@ -1,6 +1,7 @@
 #include "xq/parser.h"
 
 #include <cctype>
+#include <unordered_set>
 
 #include "common/str_util.h"
 
@@ -271,9 +272,9 @@ class Parser {
   void Advance() {
     if (pos_ + 1 < toks_.size()) ++pos_;
   }
-  Status Err(std::string msg) const {
-    return Status::ParseError(
-        StrCat(Cur().line, ":", Cur().col, ": ", msg));
+  Status Err(std::string msg) const { return ErrAt(Cur(), std::move(msg)); }
+  static Status ErrAt(const Token& t, std::string msg) {
+    return Status::ParseError(StrCat(t.line, ":", t.col, ": ", msg));
   }
 
   Result<AstLet> ParseLet() {
@@ -284,6 +285,7 @@ class Parser {
     if (!At(Tok::kAssign)) return Err("expected ':='");
     Advance();
     ROX_ASSIGN_OR_RETURN(let.value, ParsePathExpr());
+    bound_.insert(let.variable);
     return let;
   }
 
@@ -295,6 +297,7 @@ class Parser {
     if (!AtKeyword("in")) return Err("expected 'in'");
     Advance();
     ROX_ASSIGN_OR_RETURN(f.domain, ParsePathExpr());
+    bound_.insert(f.variable);
     return f;
   }
 
@@ -320,8 +323,24 @@ class Parser {
       ROX_ASSIGN_OR_RETURN(ps.step, ParseStep());
       while (At(Tok::kLBracket)) {
         Advance();
-        ROX_ASSIGN_OR_RETURN(AstPredicate pred, ParsePredicate());
-        ps.predicates.push_back(std::move(pred));
+        // Standard XQuery precedence: `and` binds tighter than `or`,
+        // so each `or` branch is a conjunction of predicates and
+        // `[a and b or c]` parses as (a AND b) OR c. A single-branch
+        // group is a plain conjunction (`[a and b]` == `[a][b]`).
+        AstPredicateGroup group;
+        for (;;) {
+          std::vector<AstPredicate> conjunction;
+          for (;;) {
+            ROX_ASSIGN_OR_RETURN(AstPredicate pred, ParsePredicate());
+            conjunction.push_back(std::move(pred));
+            if (!AtKeyword("and")) break;
+            Advance();
+          }
+          group.alternatives.push_back(std::move(conjunction));
+          if (!AtKeyword("or")) break;
+          Advance();
+        }
+        ps.predicate_groups.push_back(std::move(group));
         if (!At(Tok::kRBracket)) return Err("expected ']'");
         Advance();
       }
@@ -434,28 +453,8 @@ class Parser {
       pred.path.push_back(std::move(s));
     }
     if (pred.path.empty()) return Err("empty predicate path");
-    if (At(Tok::kEq) || At(Tok::kNe) || At(Tok::kLt) || At(Tok::kLe) ||
-        At(Tok::kGt) || At(Tok::kGe)) {
-      switch (Cur().kind) {
-        case Tok::kEq:
-          pred.op = CmpOp::kEq;
-          break;
-        case Tok::kNe:
-          pred.op = CmpOp::kNe;
-          break;
-        case Tok::kLt:
-          pred.op = CmpOp::kLt;
-          break;
-        case Tok::kLe:
-          pred.op = CmpOp::kLe;
-          break;
-        case Tok::kGt:
-          pred.op = CmpOp::kGt;
-          break;
-        default:
-          pred.op = CmpOp::kGe;
-          break;
-      }
+    if (std::optional<CmpOp> op = TokToCmp(Cur().kind)) {
+      pred.op = *op;
       Advance();
       if (At(Tok::kNumber)) {
         pred.literal = Cur().text;
@@ -471,41 +470,71 @@ class Parser {
     return pred;
   }
 
+  // Maps a comparison token to its operator; nullopt for other tokens.
+  static std::optional<CmpOp> TokToCmp(Tok k) {
+    switch (k) {
+      case Tok::kEq:
+        return CmpOp::kEq;
+      case Tok::kNe:
+        return CmpOp::kNe;
+      case Tok::kLt:
+        return CmpOp::kLt;
+      case Tok::kLe:
+        return CmpOp::kLe;
+      case Tok::kGt:
+        return CmpOp::kGt;
+      case Tok::kGe:
+        return CmpOp::kGe;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // One side of a where comparison: a path rooted at a bound variable.
+  // Malformed operands get precise, position-carrying diagnoses here
+  // rather than the generic path-parse error.
+  Result<AstPathExpr> ParseComparisonOperand() {
+    const Token start = Cur();
+    if (At(Tok::kNumber) || At(Tok::kString)) {
+      return ErrAt(start,
+                   StrCat("where comparison operand must be a path from a "
+                          "bound variable, not the literal '",
+                          start.text, "'"));
+    }
+    if (At(Tok::kVariable) && !bound_.contains(start.text)) {
+      return ErrAt(start, StrCat("unbound variable $", start.text,
+                                 " in where clause"));
+    }
+    ROX_ASSIGN_OR_RETURN(AstPathExpr p, ParsePathExpr());
+    if (p.variable.empty()) {
+      return ErrAt(start,
+                   "where comparisons must start from bound variables "
+                   "(doc(...) operands are not join paths)");
+    }
+    return p;
+  }
+
   Result<AstComparison> ParseComparison() {
     AstComparison cmp;
-    ROX_ASSIGN_OR_RETURN(cmp.lhs, ParsePathExpr());
-    if (!At(Tok::kEq)) return Err("where comparisons must be equalities");
-    Advance();
-    ROX_ASSIGN_OR_RETURN(cmp.rhs, ParsePathExpr());
-    if (cmp.lhs.variable.empty() || cmp.rhs.variable.empty()) {
-      return Err("where comparisons must start from bound variables");
+    ROX_ASSIGN_OR_RETURN(cmp.lhs, ParseComparisonOperand());
+    std::optional<CmpOp> op = TokToCmp(Cur().kind);
+    if (!op.has_value()) {
+      return Err("expected a comparison operator (=, !=, <, <=, >, >=)");
     }
+    cmp.op = *op;
+    Advance();
+    ROX_ASSIGN_OR_RETURN(cmp.rhs, ParseComparisonOperand());
     return cmp;
   }
 
   std::vector<Token> toks_;
   size_t pos_ = 0;
+  // Variables bound by preceding let/for clauses, for precise unbound-
+  // variable diagnoses in the where clause.
+  std::unordered_set<std::string> bound_;
 };
 
 }  // namespace
-
-const char* CmpOpName(CmpOp op) {
-  switch (op) {
-    case CmpOp::kEq:
-      return "=";
-    case CmpOp::kNe:
-      return "!=";
-    case CmpOp::kLt:
-      return "<";
-    case CmpOp::kLe:
-      return "<=";
-    case CmpOp::kGt:
-      return ">";
-    case CmpOp::kGe:
-      return ">=";
-  }
-  return "?";
-}
 
 Result<AstQuery> ParseXQuery(std::string_view text) {
   Lexer lexer(text);

@@ -52,6 +52,57 @@ TEST_F(JoinGraphTest, EquiJoinOnRootRejected) {
   EXPECT_FALSE(g.Validate().ok());
 }
 
+TEST_F(JoinGraphTest, ThetaEdgesCarryTheirOperatorAndSkipClosure) {
+  JoinGraph g;
+  VertexId t1 = g.AddText(doc1_, ValuePredicate::None(), "t1");
+  VertexId t2 = g.AddText(doc1_, ValuePredicate::None(), "t2");
+  VertexId t3 = g.AddText(doc2_, ValuePredicate::None(), "t3");
+  g.AddEquiJoin(t1, t2);
+  EdgeId lt = g.AddValueJoin(t2, t3, CmpOp::kLt);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.edge(lt).cmp, CmpOp::kLt);
+  EXPECT_FALSE(g.edge(lt).IsEquiJoin());
+  EXPECT_EQ(g.edge(lt).CmpFrom(t2), CmpOp::kLt);
+  EXPECT_EQ(g.edge(lt).CmpFrom(t3), CmpOp::kGt);
+  // Theta edges form no equivalence class: nothing to close.
+  EXPECT_EQ(g.AddEquivalenceClosure(), 0);
+  EXPECT_EQ(g.EdgeCount(), 2u);
+  EXPECT_NE(g.EdgeLabel(lt).find("<"), std::string::npos);
+  // Component split preserves the operator.
+  auto comps = SplitConnectedComponents(g);
+  ASSERT_EQ(comps.size(), 1u);
+  int theta = 0;
+  for (EdgeId e = 0; e < comps[0].graph.EdgeCount(); ++e) {
+    theta += comps[0].graph.edge(e).cmp == CmpOp::kLt;
+  }
+  EXPECT_EQ(theta, 1);
+}
+
+TEST_F(JoinGraphTest, ValuePredicateMatchesAllKinds) {
+  const Document& doc = corpus_.doc(doc1_);
+  // Find a text node and its value.
+  Pre text = kInvalidPre;
+  for (Pre p = 0; p < doc.NodeCount(); ++p) {
+    if (doc.Kind(p) == NodeKind::kText) {
+      text = p;
+      break;
+    }
+  }
+  ASSERT_NE(text, kInvalidPre);
+  StringId v = doc.Value(text);
+  EXPECT_TRUE(ValuePredicate::None().Matches(doc, text));
+  EXPECT_TRUE(ValuePredicate::Equals(v).Matches(doc, text));
+  EXPECT_FALSE(ValuePredicate::NotEquals(v).Matches(doc, text));
+  EXPECT_TRUE(ValuePredicate::NotEquals(v + 12345).Matches(doc, text));
+  std::vector<ValuePredicate> terms;
+  terms.push_back(ValuePredicate::NotEquals(v));
+  terms.push_back(ValuePredicate::Equals(v));
+  EXPECT_TRUE(ValuePredicate::AnyOf(terms).Matches(doc, text));
+  std::vector<ValuePredicate> miss;
+  miss.push_back(ValuePredicate::NotEquals(v));
+  EXPECT_FALSE(ValuePredicate::AnyOf(miss).Matches(doc, text));
+}
+
 TEST_F(JoinGraphTest, EquivalenceClosure) {
   JoinGraph g;
   VertexId t1 = g.AddText(doc1_, ValuePredicate::None(), "t1");

@@ -120,7 +120,10 @@ struct NameBook {
 std::string MakeQuery(Rng& rng, const NameBook& names) {
   const std::string n1 = names.Pick(rng);
   const std::string n2 = names.Pick(rng);
-  switch (rng.Below(6)) {
+  // Non-equality operators for the theta-join cases (DESIGN.md §11).
+  static const char* kThetaOps[] = {"<", "<=", ">", ">=", "!="};
+  const char* theta_op = kThetaOps[rng.Below(5)];
+  switch (rng.Below(9)) {
     case 0:
       return "for $p in doc(\"" + n1 + "\")//person return $p";
     case 1:
@@ -136,11 +139,27 @@ std::string MakeQuery(Rng& rng, const NameBook& names) {
     case 4:
       return "for $x in doc(\"" + n1 + "\")//article[./year = \"" +
              std::to_string(2000 + rng.Below(6)) + "\"] return $x";
-    default:
+    case 5:
       // Cross-document attribute join: personrefs of one document
       // against persons of another (the shared p-vocabulary matches).
       return "for $b in doc(\"" + n1 + "\")//personref, $p in doc(\"" + n2 +
              "\")//person where $b/@person = $p/@id return $b";
+    case 6:
+      // Theta join on article years, bounded by author equality.
+      return "for $a in doc(\"" + n1 + "\")//article, $b in doc(\"" + n2 +
+             "\")//article where $a/author = $b/author and $a/year " +
+             theta_op + " $b/year return $a";
+    case 7:
+      // Pure inequality join on attribute values (near-cross-product
+      // on these tiny documents; exercises the != kernels).
+      return "for $b in doc(\"" + n1 + "\")//personref, $p in doc(\"" + n2 +
+             "\")//person where $b/@person " + theta_op +
+             " $p/@id return $b";
+    default:
+      // Disjunctive step predicate over the numeric current values.
+      return "for $o in doc(\"" + n1 + "\")//open_auction[./current < " +
+             std::to_string(rng.Below(40)) + " or ./current >= " +
+             std::to_string(40 + rng.Below(60)) + "] return $o";
   }
 }
 

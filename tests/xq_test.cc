@@ -29,8 +29,12 @@ TEST(XqParserTest, PaperQueryQ) {
   ASSERT_EQ(q->fors[0].domain.steps.size(), 3u);
   EXPECT_EQ(q->fors[0].domain.steps[0].step.axis, Axis::kDescendant);
   EXPECT_EQ(q->fors[0].domain.steps[0].step.name, "open_auction");
-  ASSERT_EQ(q->fors[0].domain.steps[0].predicates.size(), 1u);
-  EXPECT_FALSE(q->fors[0].domain.steps[0].predicates[0].op.has_value());
+  ASSERT_EQ(q->fors[0].domain.steps[0].predicate_groups.size(), 1u);
+  EXPECT_FALSE(q->fors[0]
+                   .domain.steps[0]
+                   .predicate_groups[0]
+                   .alternatives[0][0]
+                   .op.has_value());
   EXPECT_EQ(q->fors[0].domain.steps[1].step.axis, Axis::kChild);
   ASSERT_EQ(q->where.size(), 1u);
   EXPECT_EQ(q->where[0].lhs.variable, "a");
@@ -47,14 +51,16 @@ TEST(XqParserTest, ValuePredicates) {
     return $o
   )");
   ASSERT_TRUE(q.ok()) << q.status().ToString();
-  const AstPredicate& p0 = q->fors[0].domain.steps[0].predicates[0];
+  const AstPredicate& p0 =
+      q->fors[0].domain.steps[0].predicate_groups[0].alternatives[0][0];
   ASSERT_TRUE(p0.op.has_value());
   EXPECT_EQ(*p0.op, CmpOp::kLt);
   EXPECT_EQ(p0.literal, "145");
   EXPECT_TRUE(p0.literal_is_number);
   ASSERT_EQ(p0.path.size(), 2u);
   EXPECT_EQ(p0.path[1].test, AstStep::Test::kText);
-  const AstPredicate& p1 = q->fors[1].domain.steps[0].predicates[0];
+  const AstPredicate& p1 =
+      q->fors[1].domain.steps[0].predicate_groups[0].alternatives[0][0];
   EXPECT_EQ(*p1.op, CmpOp::kEq);
 }
 
@@ -65,20 +71,115 @@ TEST(XqParserTest, CommentsAndStrings) {
     return $a
   )");
   ASSERT_TRUE(q.ok()) << q.status().ToString();
-  EXPECT_EQ(q->fors[0].domain.steps[0].predicates[0].literal, "blue");
-  EXPECT_FALSE(q->fors[0].domain.steps[0].predicates[0].literal_is_number);
+  const AstPredicate& p =
+      q->fors[0].domain.steps[0].predicate_groups[0].alternatives[0][0];
+  EXPECT_EQ(p.literal, "blue");
+  EXPECT_FALSE(p.literal_is_number);
 }
 
 TEST(XqParserTest, Errors) {
   EXPECT_FALSE(ParseXQuery("return $a").ok());           // no for
   EXPECT_FALSE(ParseXQuery("for $a in //x return $a").ok());  // no source
   EXPECT_FALSE(ParseXQuery("for $a in doc('d')//x").ok());    // no return
-  EXPECT_FALSE(ParseXQuery(
-                   "for $a in doc('d')//x where $a < $a return $a")
-                   .ok());  // non-equality where
   EXPECT_FALSE(
       ParseXQuery("for $a in doc('d')//x return $a extra").ok());
   EXPECT_FALSE(ParseXQuery("for $a in doc('d')//x[./y !] return $a").ok());
+}
+
+TEST(XqParserTest, ThetaWhereComparisons) {
+  // All six operators parse and record their CmpOp; `<` between bound
+  // variables used to be rejected with "must be equalities".
+  struct Case {
+    const char* op;
+    CmpOp expect;
+  };
+  for (const Case& c : {Case{"=", CmpOp::kEq}, Case{"!=", CmpOp::kNe},
+                        Case{"<", CmpOp::kLt}, Case{"<=", CmpOp::kLe},
+                        Case{">", CmpOp::kGt}, Case{">=", CmpOp::kGe}}) {
+    std::string text =
+        std::string("for $a in doc('d')//x, $b in doc('d')//y "
+                    "where $a/@k ") +
+        c.op + " $b/@k return $a";
+    auto q = ParseXQuery(text);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    ASSERT_EQ(q->where.size(), 1u);
+    EXPECT_EQ(q->where[0].op, c.expect);
+  }
+}
+
+TEST(XqParserTest, WhereErrorsArePreciseAndPositioned) {
+  // Literal operand: diagnosed as such, with the literal's position.
+  auto lit = ParseXQuery(
+      "for $a in doc('d')//x where $a/@k = 145 return $a");
+  ASSERT_FALSE(lit.ok());
+  EXPECT_NE(lit.status().message().find("literal '145'"),
+            std::string::npos)
+      << lit.status().ToString();
+  EXPECT_NE(lit.status().message().find("1:37"), std::string::npos)
+      << lit.status().ToString();
+
+  auto lit2 = ParseXQuery(
+      "for $a in doc('d')//x where \"cat\" = $a/@k return $a");
+  ASSERT_FALSE(lit2.ok());
+  EXPECT_NE(lit2.status().message().find("literal 'cat'"),
+            std::string::npos);
+
+  // Unbound variable: named, with its position.
+  auto unbound = ParseXQuery(
+      "for $a in doc('d')//x where $a/@k = $nope/@k return $a");
+  ASSERT_FALSE(unbound.ok());
+  EXPECT_NE(unbound.status().message().find("unbound variable $nope"),
+            std::string::npos)
+      << unbound.status().ToString();
+  EXPECT_NE(unbound.status().message().find("1:37"), std::string::npos)
+      << unbound.status().ToString();
+
+  // doc() operand: not a join path.
+  auto docside = ParseXQuery(
+      "for $a in doc('d')//x where doc('d')//y = $a/@k return $a");
+  ASSERT_FALSE(docside.ok());
+  EXPECT_NE(docside.status().message().find("bound variables"),
+            std::string::npos);
+}
+
+TEST(XqParserTest, DisjunctivePredicateGroups) {
+  auto q = ParseXQuery(R"(
+    for $i in doc("d.xml")//item[./quantity = 1 or ./quantity >= 4]
+    return $i
+  )");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const auto& groups = q->fors[0].domain.steps[0].predicate_groups;
+  ASSERT_EQ(groups.size(), 1u);
+  ASSERT_EQ(groups[0].alternatives.size(), 2u);
+  ASSERT_EQ(groups[0].alternatives[0].size(), 1u);
+  EXPECT_EQ(*groups[0].alternatives[0][0].op, CmpOp::kEq);
+  EXPECT_EQ(*groups[0].alternatives[1][0].op, CmpOp::kGe);
+
+  // Standard XQuery precedence: `and` binds tighter than `or`, so
+  // `[a and b or c]` is (a AND b) OR c — one group with two branches,
+  // the first a two-predicate conjunction.
+  auto q2 = ParseXQuery(R"(
+    for $o in doc("d.xml")//a[./x = 1 and ./y = 2 or ./y != 3]
+    return $o
+  )");
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  const auto& groups2 = q2->fors[0].domain.steps[0].predicate_groups;
+  ASSERT_EQ(groups2.size(), 1u);
+  ASSERT_EQ(groups2[0].alternatives.size(), 2u);
+  ASSERT_EQ(groups2[0].alternatives[0].size(), 2u);
+  EXPECT_EQ(*groups2[0].alternatives[0][1].op, CmpOp::kEq);
+  ASSERT_EQ(groups2[0].alternatives[1].size(), 1u);
+  EXPECT_EQ(*groups2[0].alternatives[1][0].op, CmpOp::kNe);
+
+  // `[a and b]` is a single-branch conjunction, equivalent to [a][b].
+  auto q3 = ParseXQuery(R"(
+    for $o in doc("d.xml")//a[./x = 1 and ./y < 2] return $o
+  )");
+  ASSERT_TRUE(q3.ok()) << q3.status().ToString();
+  const auto& groups3 = q3->fors[0].domain.steps[0].predicate_groups;
+  ASSERT_EQ(groups3.size(), 1u);
+  ASSERT_EQ(groups3[0].alternatives.size(), 1u);
+  EXPECT_EQ(groups3[0].alternatives[0].size(), 2u);
 }
 
 
@@ -344,6 +445,127 @@ TEST_F(XqCompileTest, UnsupportedConstructsReportUnimplemented) {
       corpus_,
       "let $d := doc(\"xmark.xml\")//item for $a in $d//x return $a");
   EXPECT_FALSE(c2.ok());
+}
+
+TEST_F(XqCompileTest, ThetaWhereCompilesToThetaEdge) {
+  auto compiled = CompileXQuery(corpus_, R"(
+    let $d := doc("xmark.xml")
+    for $i in $d//item, $b in $d//bidder
+    where $i/quantity < $b/increase
+    return $i
+  )");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  int theta_edges = 0;
+  for (EdgeId e = 0; e < compiled->graph.EdgeCount(); ++e) {
+    const Edge& edge = compiled->graph.edge(e);
+    if (edge.type != EdgeType::kValueJoin) continue;
+    EXPECT_EQ(edge.cmp, CmpOp::kLt);
+    // Element-final operands are lowered to their text() children.
+    EXPECT_EQ(compiled->graph.vertex(edge.v1).type, VertexType::kText);
+    EXPECT_EQ(compiled->graph.vertex(edge.v2).type, VertexType::kText);
+    ++theta_edges;
+  }
+  EXPECT_EQ(theta_edges, 1);
+  auto seq = RunXQuery(corpus_, *compiled, RoxOptions{});
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  EXPECT_FALSE(seq->empty());
+}
+
+TEST_F(XqCompileTest, NotEqualsPredicateCompiles) {
+  auto ne = CompileXQuery(corpus_, R"(
+    for $i in doc("xmark.xml")//item[./quantity != 1] return $i
+  )");
+  ASSERT_TRUE(ne.ok()) << ne.status().ToString();
+  auto eq = CompileXQuery(corpus_, R"(
+    for $i in doc("xmark.xml")//item[./quantity = 1] return $i
+  )");
+  ASSERT_TRUE(eq.ok());
+  RoxOptions opt;
+  opt.tau = 20;
+  auto ne_seq = RunXQuery(corpus_, *ne, opt);
+  auto eq_seq = RunXQuery(corpus_, *eq, opt);
+  ASSERT_TRUE(ne_seq.ok()) << ne_seq.status().ToString();
+  ASSERT_TRUE(eq_seq.ok());
+  // != and = partition the items (every item has one quantity).
+  StringId item = corpus_.Find("item");
+  uint64_t total = corpus_.element_index(doc_).Count(item);
+  EXPECT_EQ(ne_seq->size() + eq_seq->size(), total);
+  EXPECT_FALSE(ne_seq->empty());
+}
+
+TEST_F(XqCompileTest, DisjunctiveGroupLowersToAnyOfVertex) {
+  auto compiled = CompileXQuery(corpus_, R"(
+    for $i in doc("xmark.xml")//item[./quantity = 1 or ./quantity >= 4]
+    return $i
+  )");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  int any_of = 0;
+  for (VertexId v = 0; v < compiled->graph.VertexCount(); ++v) {
+    const Vertex& vx = compiled->graph.vertex(v);
+    if (vx.pred.kind != ValuePredicate::Kind::kAnyOf) continue;
+    EXPECT_EQ(vx.pred.any_of.size(), 2u);
+    EXPECT_EQ(vx.pred.any_of[0].kind, ValuePredicate::Kind::kEquals);
+    EXPECT_EQ(vx.pred.any_of[1].kind, ValuePredicate::Kind::kRange);
+    ++any_of;
+  }
+  EXPECT_EQ(any_of, 1);
+}
+
+TEST_F(XqCompileTest, UnsupportedDisjunctionsReportUnimplemented) {
+  // Alternatives over different relative paths.
+  auto mixed = CompileXQuery(corpus_, R"(
+    for $i in doc("xmark.xml")//item[./quantity = 1 or ./name = "thing 2"]
+    return $i
+  )");
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_EQ(mixed.status().code(), StatusCode::kUnimplemented);
+  // Existence alternative inside a disjunction.
+  auto exist = CompileXQuery(corpus_, R"(
+    for $p in doc("xmark.xml")//person[.//province or .//education]
+    return $p
+  )");
+  ASSERT_FALSE(exist.ok());
+  EXPECT_EQ(exist.status().code(), StatusCode::kUnimplemented);
+  // An `or` branch that is itself a conjunction ((a AND b) OR c under
+  // standard precedence) has no single-vertex lowering.
+  auto conj = CompileXQuery(corpus_, R"(
+    for $i in doc("xmark.xml")//item[./quantity = 1 and ./quantity = 2
+                                     or ./quantity = 3]
+    return $i
+  )");
+  ASSERT_FALSE(conj.ok());
+  EXPECT_EQ(conj.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(XqCompileTest, AndInsideBracketEqualsStackedBrackets) {
+  auto both = [&](const char* text) {
+    auto c = CompileXQuery(corpus_, text);
+    ROX_CHECK_OK(c.status());
+    RoxOptions opt;
+    opt.tau = 20;
+    auto seq = RunXQuery(corpus_, *c, opt);
+    ROX_CHECK_OK(seq.status());
+    return *seq;
+  };
+  auto a = both(R"(
+    for $o in doc("xmark.xml")//open_auction[./reserve and ./bidder]
+    return $o)");
+  auto b = both(R"(
+    for $o in doc("xmark.xml")//open_auction[./reserve][./bidder]
+    return $o)");
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST_F(XqCompileTest, RootWhereOperandRejected) {
+  auto compiled = CompileXQuery(corpus_, R"(
+    let $d := doc("xmark.xml")
+    for $i in $d//item
+    where $d = $i/@id
+    return $i
+  )");
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(XqCompileTest, GreaterThanPredicate) {

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Perf-trend gate for the CI bench jobs.
+
+Extracts wall-time metrics from the bench JSON reports, compares them
+against the previous run's (restored via actions/cache), fails on
+regressions beyond --max-regression, and appends the current run to the
+rolling history file (uploaded as an artifact).
+
+Supported report shapes:
+  * rox report benches: {"bench": ..., "metrics": {"<name>_ms": ...}}
+    or {"bench": ..., "queries": [{"name": ..., "*_ms": ...}]}
+  * google-benchmark --benchmark_format=json: {"benchmarks": [...]}
+
+Metrics below --min-ms in the baseline are compared only informationally
+(sub-threshold timings on shared runners are noise, not signal).
+
+Usage:
+  perf_trend.py --history perf_history.json [--max-regression 1.5]
+                [--min-ms 20] report.json [report.json ...]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def extract_metrics(path):
+    """Returns {metric_name: milliseconds} for one report file."""
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    if "benchmarks" in report:  # google-benchmark
+        for b in report["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            unit = b.get("time_unit", "ns")
+            scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+            out[f"operators/{b['name']}"] = b["real_time"] * scale
+        return out
+    bench = report.get("bench", os.path.basename(path))
+    if "metrics" in report:  # flat metric map: authoritative
+        for key, value in report["metrics"].items():
+            if isinstance(value, (int, float)):
+                out[f"{bench}/{key}"] = float(value)
+        return out
+    for query in report.get("queries", []):
+        name = query.get("name", "?")
+        for key, value in query.items():
+            if key.endswith("_ms") and isinstance(value, (int, float)):
+                out[f"{bench}/{name}/{key}"] = float(value)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--history", required=True)
+    parser.add_argument("--max-regression", type=float, default=1.5)
+    parser.add_argument("--min-ms", type=float, default=20.0)
+    parser.add_argument("reports", nargs="+")
+    args = parser.parse_args()
+
+    current = {}
+    for path in args.reports:
+        if not os.path.exists(path):
+            print(f"perf-trend: missing report {path}", file=sys.stderr)
+            return 1
+        current.update(extract_metrics(path))
+    if not current:
+        print("perf-trend: no metrics extracted", file=sys.stderr)
+        return 1
+
+    history = []
+    if os.path.exists(args.history):
+        with open(args.history) as f:
+            history = json.load(f)
+
+    regressions = []
+    if history:
+        previous = history[-1]["metrics"]
+        for name in sorted(current):
+            prev = previous.get(name)
+            if prev is None:
+                print(f"  NEW    {name}: {current[name]:.1f} ms")
+                continue
+            ratio = current[name] / prev if prev > 0 else float("inf")
+            gated = prev >= args.min_ms
+            marker = " "
+            if ratio > args.max_regression:
+                marker = "!" if gated else "~"  # ~ = sub-threshold noise
+                if gated:
+                    regressions.append((name, prev, current[name], ratio))
+            print(f"  {marker} {name}: {prev:.1f} -> {current[name]:.1f} ms "
+                  f"({ratio:.2f}x)")
+    else:
+        print("perf-trend: no previous run; recording baseline")
+        for name in sorted(current):
+            print(f"  BASE   {name}: {current[name]:.1f} ms")
+
+    if regressions:
+        # Do NOT record the regressed run: the pre-regression numbers
+        # stay the baseline, so re-running a red job cannot launder a
+        # real regression into the history.
+        print(f"\nFAIL: {len(regressions)} metric(s) regressed beyond "
+              f"{args.max_regression}x (history left unchanged):",
+              file=sys.stderr)
+        for name, prev, cur, ratio in regressions:
+            print(f"  {name}: {prev:.1f} -> {cur:.1f} ms ({ratio:.2f}x)",
+                  file=sys.stderr)
+        return 1
+
+    history.append({
+        "run": os.environ.get("GITHUB_RUN_NUMBER", str(int(time.time()))),
+        "sha": os.environ.get("GITHUB_SHA", ""),
+        "timestamp": int(time.time()),
+        "metrics": current,
+    })
+    # Bound the artifact: keep the trailing year of daily runs.
+    history = history[-365:]
+    with open(args.history, "w") as f:
+        json.dump(history, f, indent=1)
+    print("\nperf-trend: no regression beyond "
+          f"{args.max_regression}x (floor {args.min_ms} ms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
