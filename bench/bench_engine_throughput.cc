@@ -18,6 +18,16 @@
 //        [--skip_warm_sweep=0] [--seed=42] [--num_shards=1]
 //        [--min_qps=0]
 //
+// --trace_overhead=1 runs a different experiment instead of the
+// sweeps: the same executed workload (result cache off) through two
+// otherwise-identical engines, one with trace_level=off and one with
+// trace_level=spans, interleaved best-of---overhead_rounds. It reports
+// the spans-level q/s cost, writes --json (default
+// BENCH_engine_trace_overhead.json), and fails when the overhead
+// exceeds --max_trace_overhead_pct (0 disables the gate). This is the
+// CI guard on the "near-zero cost when off, cheap when on" trace
+// contract (DESIGN.md §12).
+//
 // Exit status: 0 only when every query of every level succeeded and
 // every level reached --min_qps queries/sec (so a CI smoke run fails
 // on broken flags or a silently failing workload instead of printing
@@ -175,6 +185,13 @@ int Main(int argc, char** argv) {
   const size_t num_shards =
       static_cast<size_t>(flags.GetInt("num_shards", 1));
   const double min_qps = flags.GetDouble("min_qps", 0.0);
+  const bool trace_overhead = flags.GetBool("trace_overhead", false);
+  const int overhead_rounds =
+      static_cast<int>(flags.GetInt("overhead_rounds", 5));
+  const double max_trace_overhead_pct =
+      flags.GetDouble("max_trace_overhead_pct", 0.0);
+  const std::string json_path =
+      flags.GetString("json", "BENCH_engine_trace_overhead.json");
   flags.FailOnUnused();
 
   const std::vector<size_t> levels = {1, 4, 16};
@@ -192,8 +209,9 @@ int Main(int argc, char** argv) {
       "pool of %zu threads\n",
       DistinctQueries().size(), repeat, workload.size(), threads);
 
-  auto make_engine =
-      [&](bool cache_results) -> Result<std::unique_ptr<engine::Engine>> {
+  auto make_engine = [&](bool cache_results,
+                         obs::TraceLevel trace_level = obs::TraceLevel::kOff)
+      -> Result<std::unique_ptr<engine::Engine>> {
     ROX_ASSIGN_OR_RETURN(Corpus corpus,
                          BuildMixedCorpus(xmark_scale, dblp_tag_scale, 1));
     engine::EngineOptions opts;
@@ -202,8 +220,79 @@ int Main(int argc, char** argv) {
     opts.num_shards = num_shards;
     opts.rox.tau = tau;
     opts.rox.seed = seed;
+    opts.trace_level = trace_level;
     return std::make_unique<engine::Engine>(std::move(corpus), opts);
   };
+
+  // --- trace-overhead experiment (replaces the sweeps) --------------------
+  if (trace_overhead) {
+    std::printf(
+        "\n== trace overhead: trace off vs spans, result cache off, "
+        "concurrency 4, best of %d rounds ==\n",
+        overhead_rounds);
+    auto off_eng = make_engine(/*cache_results=*/false, obs::TraceLevel::kOff);
+    auto spans_eng =
+        make_engine(/*cache_results=*/false, obs::TraceLevel::kSpans);
+    if (!off_eng.ok() || !spans_eng.ok()) {
+      std::fprintf(stderr, "corpus: %s\n",
+                   (!off_eng.ok() ? off_eng : spans_eng)
+                       .status()
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    // Interleave the rounds so drift (thermal, page cache, a noisy CI
+    // neighbor) hits both configurations alike; best-of-N on each side
+    // then cancels it out.
+    double best_off = 0, best_spans = 0;
+    size_t failed = 0;
+    for (int r = 0; r < overhead_rounds; ++r) {
+      LevelResult off = RunLevel(**off_eng, workload, 4);
+      LevelResult spans = RunLevel(**spans_eng, workload, 4);
+      failed += off.failed + spans.failed;
+      if (off.qps > best_off) best_off = off.qps;
+      if (spans.qps > best_spans) best_spans = spans.qps;
+      std::printf("  round %d: off %.1f q/s, spans %.1f q/s\n", r + 1,
+                  off.qps, spans.qps);
+    }
+    double overhead_pct =
+        best_off > 0 ? 100.0 * (best_off - best_spans) / best_off : 0.0;
+    std::printf(
+        "  best: off %.1f q/s, spans %.1f q/s -> spans overhead %.2f%%\n",
+        best_off, best_spans, overhead_pct);
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      // overhead_pct stays outside "metrics": it is the bench's own
+      // gate (below), not a trend series — it can be negative on a
+      // noisy run, which fits neither a timing nor a rate for
+      // perf_trend.py.
+      std::fprintf(f,
+                   "{\n  \"bench\": \"engine_trace_overhead\",\n"
+                   "  \"rounds\": %d,\n  \"queries\": %zu,\n"
+                   "  \"trace_overhead_pct\": %.3f,\n"
+                   "  \"metrics\": {\n"
+                   "    \"qps_trace_off\": %.2f,\n"
+                   "    \"qps_trace_spans\": %.2f\n  }\n}\n",
+                   overhead_rounds, workload.size(), overhead_pct, best_off,
+                   best_spans);
+      std::fclose(f);
+      std::printf("  wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    if (failed > 0) {
+      std::fprintf(stderr, "FAIL: %zu queries failed\n", failed);
+      return 1;
+    }
+    if (max_trace_overhead_pct > 0 && overhead_pct > max_trace_overhead_pct) {
+      std::fprintf(stderr,
+                   "FAIL: spans-level tracing cost %.2f%% q/s "
+                   "(> --max_trace_overhead_pct=%.2f)\n",
+                   overhead_pct, max_trace_overhead_pct);
+      return 1;
+    }
+    return 0;
+  }
 
   // --- sweep 1: full session cache (plans + weights + results) -----------
   std::printf("\n== session sweep: plan/weight/result cache %s ==\n",

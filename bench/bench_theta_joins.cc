@@ -49,6 +49,11 @@ std::vector<BenchQuery> Queries() {
 
 struct ModeRun {
   double best_total_ms = 0;
+  // Intermediate rows the best repeat pushed through its join kernels —
+  // with best_total_ms this yields the per-kernel rows/sec rate the
+  // perf-trend job tracks (row counts are representation-independent,
+  // so lazy and eager rates are directly comparable).
+  uint64_t intermediate_rows = 0;
   std::vector<Pre> items;
 };
 
@@ -59,11 +64,15 @@ Result<ModeRun> RunMode(const Corpus& corpus,
   for (int r = 0; r < repeat; ++r) {
     RoxOptions rox = base;
     rox.lazy_materialization = lazy;
+    RoxStats stats;
     StopWatch watch;
-    auto items = xq::RunXQuery(corpus, compiled, rox);
+    auto items = xq::RunXQuery(corpus, compiled, rox, &stats);
     double ms = watch.ElapsedMillis();
     ROX_RETURN_IF_ERROR(items.status());
-    if (r == 0 || ms < out.best_total_ms) out.best_total_ms = ms;
+    if (r == 0 || ms < out.best_total_ms) {
+      out.best_total_ms = ms;
+      out.intermediate_rows = stats.cumulative_intermediate_rows;
+    }
     if (r == 0) {
       out.items = std::move(*items);
     } else if (*items != out.items) {
@@ -72,6 +81,14 @@ Result<ModeRun> RunMode(const Corpus& corpus,
     }
   }
   return out;
+}
+
+// Rows/sec of a mode run (0 when the wall time rounds to zero).
+double RowsPerSec(const ModeRun& run) {
+  return run.best_total_ms > 0
+             ? static_cast<double>(run.intermediate_rows) /
+                   (run.best_total_ms / 1000.0)
+             : 0.0;
 }
 
 int Main(int argc, char** argv) {
@@ -118,6 +135,7 @@ int Main(int argc, char** argv) {
     std::string name;
     uint64_t items = 0;
     double eager_ms = 0, lazy_ms = 0, speedup = 0;
+    double eager_rows_per_sec = 0, lazy_rows_per_sec = 0;
     bool identical = false;
   };
   std::vector<Row> rows;
@@ -146,6 +164,8 @@ int Main(int argc, char** argv) {
     row.eager_ms = eager->best_total_ms;
     row.lazy_ms = lazy->best_total_ms;
     row.speedup = row.lazy_ms > 0 ? row.eager_ms / row.lazy_ms : 0;
+    row.eager_rows_per_sec = RowsPerSec(*eager);
+    row.lazy_rows_per_sec = RowsPerSec(*lazy);
     row.identical = eager->items == lazy->items;
     all_identical &= row.identical;
     if (max_regression > 0 && row.lazy_ms > row.eager_ms * max_regression) {
@@ -184,9 +204,15 @@ int Main(int argc, char** argv) {
     std::fprintf(f, "  ],\n  \"metrics\": {\n");
     for (size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
-      std::fprintf(f, "    \"%s_lazy_ms\": %.3f, \"%s_eager_ms\": %.3f%s\n",
+      // *_rows_per_sec metrics are higher-is-better; perf_trend.py
+      // detects the suffix and inverts its regression ratio for them.
+      std::fprintf(f,
+                   "    \"%s_lazy_ms\": %.3f, \"%s_eager_ms\": %.3f,\n"
+                   "    \"%s_lazy_rows_per_sec\": %.1f, "
+                   "\"%s_eager_rows_per_sec\": %.1f%s\n",
                    r.name.c_str(), r.lazy_ms, r.name.c_str(), r.eager_ms,
-                   i + 1 < rows.size() ? "," : "");
+                   r.name.c_str(), r.lazy_rows_per_sec, r.name.c_str(),
+                   r.eager_rows_per_sec, i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);

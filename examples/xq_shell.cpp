@@ -1,6 +1,7 @@
 // Interactive XQuery shell over the concurrent query engine.
 //
-//   $ ./xq_shell [--num_shards=K] file1.xml file2.xml ...
+//   $ ./xq_shell [--num_shards=K] [--trace_level=off|spans|full]
+//                file1.xml file2.xml ...
 //
 // Loads the given XML files into a corpus (doc("<basename>") resolves
 // them), hands the corpus to an Engine, then reads XQueries from stdin
@@ -10,7 +11,8 @@
 // generated as doc("xmark.xml"). --num_shards=K (default 1) turns on
 // sharded intra-query execution: each query's materialization steps
 // fan out over K corpus shards (\stats shows the per-shard row
-// counts).
+// counts). --trace_level=spans|full (default off) records a flight-
+// recorder trace for every query, not just \profile's (DESIGN.md §12).
 //
 // The corpus is *live* (DESIGN.md §10): \load and \drop publish new
 // epochs while the engine keeps serving — queries in flight finish on
@@ -23,6 +25,9 @@
 //   \epoch              current epoch + publish counters
 //   \stats  engine statistics (latency percentiles, cache hit rates)
 //   \cache  query cache contents (most recently used first)
+//   \explain QUERY      compile + ROX Phase-1 estimates, no execution
+//   \profile QUERY      execute with a full trace; print the span tree
+//   \metrics            process-wide metrics registry (text exposition)
 //   \quit
 
 #include <cstdio>
@@ -36,6 +41,8 @@
 
 #include "engine/engine.h"
 #include "index/corpus.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/xmark.h"
 #include "xml/parser.h"
 
@@ -71,10 +78,12 @@ int main(int argc, char** argv) {
   Corpus corpus;
 
   size_t num_shards = 1;
+  obs::TraceLevel trace_level = obs::TraceLevel::kOff;
   std::vector<char*> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     const std::string prefix = "--num_shards=";
+    const std::string trace_prefix = "--trace_level=";
     if (arg.rfind(prefix, 0) == 0) {
       char* end = nullptr;
       long v = std::strtol(arg.c_str() + prefix.size(), &end, 10);
@@ -85,6 +94,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       num_shards = static_cast<size_t>(v);
+    } else if (arg.rfind(trace_prefix, 0) == 0) {
+      if (!obs::ParseTraceLevel(arg.c_str() + trace_prefix.size(),
+                                &trace_level)) {
+        std::fprintf(stderr, "invalid %s (want off, spans, or full)\n",
+                     arg.c_str());
+        return 2;
+      }
     } else {
       files.push_back(argv[i]);
     }
@@ -124,6 +140,7 @@ int main(int argc, char** argv) {
   engine::EngineOptions options;
   options.num_threads = 4;
   options.num_shards = num_shards;
+  options.trace_level = trace_level;
   engine::Engine eng(std::move(corpus), options);
   if (num_shards > 1) {
     std::printf("sharded execution: %zu shards per document\n", num_shards);
@@ -131,7 +148,8 @@ int main(int argc, char** argv) {
 
   std::printf(
       "enter an XQuery terminated by a ';' line "
-      "(\\docs, \\load, \\drop, \\epoch, \\stats, \\cache, \\quit)\n");
+      "(\\docs, \\load, \\drop, \\epoch, \\stats, \\cache, \\explain, "
+      "\\profile, \\metrics, \\quit)\n");
   std::string query, line;
   while (std::printf("xq> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
@@ -230,10 +248,48 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (cmd == "\\explain" || cmd == "\\profile") {
+      // The rest of the line is the query (one-liners only — these are
+      // inspection surfaces, not the main query path).
+      std::string rest = line.substr(cmd.size());
+      size_t start = rest.find_first_not_of(" \t");
+      rest = start == std::string::npos ? std::string() : rest.substr(start);
+      if (!rest.empty() && rest.back() == ';') rest.pop_back();
+      if (rest.empty()) {
+        std::printf("usage: %s QUERY (on one line)\n", cmd.c_str());
+        continue;
+      }
+      if (cmd == "\\explain") {
+        auto text = eng.Explain(rest);
+        if (!text.ok()) {
+          std::printf("error: %s\n", text.status().ToString().c_str());
+          continue;
+        }
+        std::printf("%s", text->c_str());
+      } else {
+        engine::QueryResult r = eng.Profile(rest);
+        if (!r.ok()) {
+          std::printf("error: %s\n", r.status.ToString().c_str());
+          if (r.trace != nullptr) std::printf("%s", r.trace->ToTree().c_str());
+          continue;
+        }
+        std::printf("%s", r.trace->ToTree().c_str());
+        std::printf("%zu items in %.2f ms (epoch %llu)%s%s\n",
+                    r.items->size(), r.wall_ms,
+                    static_cast<unsigned long long>(r.epoch),
+                    r.plan_cache_hit ? " (cached plan)" : "",
+                    r.warm_started ? " (warm-started weights)" : "");
+      }
+      continue;
+    }
+    if (cmd == "\\metrics") {
+      std::printf("%s", obs::MetricsRegistry::Global().DumpText().c_str());
+      continue;
+    }
     if (!cmd.empty()) {
       std::printf(
           "unknown command %s (try \\docs, \\load, \\drop, \\epoch, "
-          "\\stats, \\cache, \\quit)\n",
+          "\\stats, \\cache, \\explain, \\profile, \\metrics, \\quit)\n",
           cmd.c_str());
       continue;
     }

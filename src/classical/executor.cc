@@ -1,6 +1,7 @@
 #include "classical/executor.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <unordered_map>
 
@@ -54,6 +55,9 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
                                                 StepPlacement placement) const {
   StopWatch watch;
   PlanRunStats stats;
+  obs::ScopedSpan plan_span(trace_, "plan",
+                            order.Label() + " / " +
+                                StepPlacementName(placement));
   // Backs all lazy views of this run; unused (empty) on eager runs.
   ColumnArena arena;
 
@@ -186,6 +190,12 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
   auto record_join = [&](const Partition& p) {
     stats.join_result_sizes.push_back(rows_of(p));
     stats.cumulative_join_rows += rows_of(p);
+    if (trace_ != nullptr) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%llu rows",
+                    static_cast<unsigned long long>(rows_of(p)));
+      trace_->Event("join", buf);
+    }
   };
 
   Partition result;
@@ -242,6 +252,13 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
 
   stats.result_rows = rows_of(result);
   stats.elapsed_ms = watch.ElapsedMillis();
+  if (plan_span.armed()) {
+    plan_span.AttrNum("joins",
+                      static_cast<double>(stats.join_result_sizes.size()));
+    plan_span.AttrNum("cumulative_rows",
+                      static_cast<double>(stats.cumulative_join_rows));
+    plan_span.AttrNum("result_rows", static_cast<double>(stats.result_rows));
+  }
   return stats;
 }
 

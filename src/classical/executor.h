@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "index/corpus.h"
 #include "index/sharded_corpus.h"
+#include "obs/trace.h"
 
 namespace rox {
 
@@ -58,12 +59,20 @@ class CanonicalPlanExecutor {
   // Slowest of the three (used for the "largest" class).
   Result<PlanRunStats> RunWorstPlacement(const JoinOrder& order) const;
 
+  // Flight recorder for subsequent Run() calls (null = off, the
+  // default): each run opens a "plan" span annotated with the order
+  // label and placement; every join records a per-join "join" event
+  // with its result size. Same contract as RoxOptions::query_trace —
+  // recorded from the calling thread only, must outlive the runs.
+  void set_trace(obs::QueryTrace* trace) { trace_ = trace; }
+
  private:
   const Corpus& corpus_;
   std::vector<DocId> docs_;
   StringId author_;
   const ShardedExec* sharded_;
   bool lazy_;
+  obs::QueryTrace* trace_ = nullptr;
 };
 
 // Cumulative join cardinality of a join order computed purely from the

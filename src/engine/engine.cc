@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "xq/parser.h"
 
 namespace rox::engine {
 
@@ -80,6 +81,9 @@ Engine::Engine(std::shared_ptr<const Corpus> corpus, EngineOptions options)
       cache_(options.cache_capacity),
       pool_(options.num_threads) {
   ROX_CHECK(corpus != nullptr);
+  stats_.BindMetrics(options_.metrics != nullptr
+                         ? options_.metrics
+                         : &obs::MetricsRegistry::Global());
   if (options_.num_shards > 1) {
     size_t workers = options_.shard_threads > 0 ? options_.shard_threads
                                                 : options_.num_shards;
@@ -170,12 +174,106 @@ Status Engine::RemoveDocument(std::string_view name) {
 std::future<QueryResult> Engine::Submit(std::string query_text) {
   uint64_t seq = next_sequence_.fetch_add(1);
   return pool_.Async([this, text = std::move(query_text), seq]() {
-    return Execute(text, seq);
+    return Execute(text, seq, options_.trace_level);
   });
 }
 
 QueryResult Engine::Run(std::string query_text) {
-  return Execute(query_text, next_sequence_.fetch_add(1));
+  return Execute(query_text, next_sequence_.fetch_add(1),
+                 options_.trace_level);
+}
+
+QueryResult Engine::Profile(std::string query_text) {
+  return Execute(query_text, next_sequence_.fetch_add(1),
+                 obs::TraceLevel::kFull, /*allow_result_replay=*/false);
+}
+
+Result<std::string> Engine::Explain(const std::string& query_text) {
+  auto st = Published();
+  const uint64_t epoch = st->corpus->epoch();
+  CorpusSnapshot snapshot(st->corpus);
+
+  // Share the plan cache (and its learned weights) so an explain after
+  // real runs reports the warm estimates those runs would start from.
+  const std::string key = QueryCache::Normalize(query_text);
+  std::shared_ptr<const xq::CompiledQuery> compiled;
+  std::vector<double> warm_weights;
+  bool have_warm = false;
+  if (options_.enable_cache) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    CacheEntry* entry = cache_.Lookup(epoch, key, /*count_hit=*/false);
+    if (entry != nullptr && entry->epoch == epoch) {
+      compiled = entry->compiled;
+      if (options_.warm_start && !entry->warm_edge_weights.empty()) {
+        warm_weights = entry->warm_edge_weights;
+        have_warm = true;
+      }
+    }
+  }
+  if (compiled == nullptr) {
+    ROX_ASSIGN_OR_RETURN(
+        xq::CompiledQuery fresh,
+        xq::CompileXQuery(snapshot, query_text, options_.compile));
+    compiled = std::make_shared<const xq::CompiledQuery>(std::move(fresh));
+  }
+
+  RoxOptions rox = options_.rox;
+  rox.seed = MixSeed(options_.rox.seed, next_sequence_.fetch_add(1));
+  if (st->sharded != nullptr) rox.sharded = &st->exec;
+  ROX_ASSIGN_OR_RETURN(
+      xq::ExplainInfo info,
+      xq::ExplainXQuery(snapshot, *compiled, rox,
+                        have_warm ? &warm_weights : nullptr));
+
+  const JoinGraph& g = compiled->graph;
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "explain (epoch %llu, phase-1 estimates only)\n",
+                static_cast<unsigned long long>(epoch));
+  out += buf;
+  out += "vertices:\n";
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    double card = v < info.vertex_cards.size() ? info.vertex_cards[v] : -1.0;
+    if (card >= 0) {
+      std::snprintf(buf, sizeof(buf), "  v%u %s  card~%.0f\n", v,
+                    g.vertex(v).label.c_str(), card);
+    } else {
+      std::snprintf(buf, sizeof(buf), "  v%u %s  card=?\n", v,
+                    g.vertex(v).label.c_str());
+    }
+    out += buf;
+  }
+  out += "edges (w = phase-1 sampled output-cardinality estimate):\n";
+  for (EdgeId e = 0; e < g.EdgeCount(); ++e) {
+    double w = e < info.edge_weights.size() ? info.edge_weights[e] : -1.0;
+    bool first = std::find(info.predicted_first.begin(),
+                           info.predicted_first.end(),
+                           e) != info.predicted_first.end();
+    if (w >= 0) {
+      std::snprintf(buf, sizeof(buf), "  e%u %s  w~%.0f%s\n", e,
+                    g.EdgeLabel(e).c_str(), w,
+                    first ? "  <- predicted first" : "");
+    } else {
+      std::snprintf(buf, sizeof(buf), "  e%u %s  w=?%s\n", e,
+                    g.EdgeLabel(e).c_str(),
+                    first ? "  <- predicted first" : "");
+    }
+    out += buf;
+  }
+  if (info.warm_started_weights > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "warm-started weights: %llu (from cached prior runs)\n",
+                  static_cast<unsigned long long>(info.warm_started_weights));
+    out += buf;
+  }
+  out +=
+      "join order beyond each component's first edge is chosen at run "
+      "time (re-weighted after every edge execution); run \\profile to "
+      "see the order a real execution took.\n"
+      "plan tail: project for-vars -> dedup -> doc-order sort -> "
+      "project return var.\n";
+  return out;
 }
 
 std::vector<QueryResult> Engine::RunBatch(
@@ -201,7 +299,7 @@ std::vector<QueryResult> Engine::RunBatch(
         std::counting_semaphore<>* limiter;
         ~Slot() { limiter->release(); }
       } slot{&limiter};
-      return Execute(q, seq);
+      return Execute(q, seq, options_.trace_level);
     }));
   }
   std::vector<QueryResult> out;
@@ -210,10 +308,33 @@ std::vector<QueryResult> Engine::RunBatch(
   return out;
 }
 
-QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
+QueryResult Engine::Execute(const std::string& text, uint64_t seq,
+                            obs::TraceLevel trace_level,
+                            bool allow_result_replay) {
   StopWatch watch;
   QueryResult out;
   out.sequence = seq;
+
+  // The flight recorder. Off (the default) allocates nothing; every
+  // instrumentation site below and in the layers underneath is a
+  // single null check.
+  std::shared_ptr<obs::QueryTrace> trace;
+  uint32_t root_span = 0;
+  if (trace_level != obs::TraceLevel::kOff) {
+    trace = std::make_shared<obs::QueryTrace>(trace_level);
+    root_span = trace->BeginSpan("query");
+    trace->AttrNum(root_span, "seq", static_cast<double>(seq));
+  }
+  // Closes the root span and hands the trace to the result on every
+  // return path.
+  auto finish_trace = [&]() {
+    if (trace != nullptr) {
+      trace->AttrStr(root_span, "status",
+                     out.ok() ? "ok" : out.status.ToString());
+      trace->EndSpan(root_span);
+      out.trace = std::move(trace);
+    }
+  };
 
   // Pin the published epoch for the whole execution: the snapshot (and
   // the sharded view / fan-out bundle packaged with it) stays alive
@@ -223,6 +344,9 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
   CorpusSnapshot snapshot(st->corpus);
   out.epoch = epoch;
   out.snapshot = st->corpus;
+  if (trace != nullptr) {
+    trace->AttrNum(root_span, "epoch", static_cast<double>(epoch));
+  }
 
   const std::string key = QueryCache::Normalize(text);
   std::shared_ptr<const xq::CompiledQuery> compiled;
@@ -230,6 +354,7 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
   bool have_warm = false;
 
   if (options_.enable_cache) {
+    obs::ScopedSpan cache_span(trace.get(), "cache_lookup");
     std::lock_guard<std::mutex> lock(cache_mu_);
     CacheEntry* entry = cache_.Lookup(epoch, key);
     if (entry != nullptr && entry->epoch != epoch) {
@@ -241,16 +366,20 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
     if (entry != nullptr) {
       out.plan_cache_hit = true;
       compiled = entry->compiled;
-      if (options_.cache_results && entry->result != nullptr) {
+      if (options_.cache_results && allow_result_replay &&
+          entry->result != nullptr) {
         out.compiled = compiled;
         out.items = entry->result;
         out.result_doc =
             compiled->graph.vertex(compiled->return_vertex).doc;
         out.result_cache_hit = true;
+        cache_span.AttrStr("plan_cache", "hit");
+        cache_span.AttrStr("result_cache", "hit");
         out.wall_ms = watch.ElapsedMillis();
         stats_.Record({.latency_ms = out.wall_ms,
                        .plan_cache_hit = true,
                        .result_cache_hit = true});
+        finish_trace();
         return out;
       }
       if (options_.warm_start && !entry->warm_edge_weights.empty()) {
@@ -258,17 +387,32 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
         have_warm = true;
       }
     }
+    cache_span.AttrStr("plan_cache", entry != nullptr ? "hit" : "miss");
+    cache_span.AttrStr("warm_weights", have_warm ? "hit" : "miss");
   }
 
   bool compiled_now = false;
   if (compiled == nullptr) {
-    auto result = xq::CompileXQuery(snapshot, text, options_.compile);
+    // Parse and compile separately so each gets its own span; the
+    // combined xq::CompileXQuery(text) overload is exactly these two
+    // calls.
+    Result<xq::AstQuery> ast = [&]() {
+      obs::ScopedSpan parse_span(trace.get(), "parse");
+      return xq::ParseXQuery(text);
+    }();
+    Result<xq::CompiledQuery> result =
+        ast.ok() ? [&]() {
+          obs::ScopedSpan compile_span(trace.get(), "compile");
+          return xq::CompileXQuery(snapshot, *ast, options_.compile);
+        }()
+                 : Result<xq::CompiledQuery>(ast.status());
     if (!result.ok()) {
       out.status = result.status();
       out.wall_ms = watch.ElapsedMillis();
       stats_.Record({.latency_ms = out.wall_ms,
                      .failed = true,
                      .plan_cache_miss = true});
+      finish_trace();
       return out;
     }
     compiled =
@@ -292,10 +436,27 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
   rox.lazy_materialization =
       options_.lazy_materialization && options_.rox.lazy_materialization;
   if (st->sharded != nullptr) rox.sharded = &st->exec;
+  rox.query_trace = trace.get();
   std::vector<double> learned;
   RoxStats rox_stats;
-  auto items = xq::RunXQuery(snapshot, *compiled, rox, &rox_stats,
-                             have_warm ? &warm_weights : nullptr, &learned);
+  Result<std::vector<Pre>> items = [&]() {
+    obs::ScopedSpan exec_span(trace.get(), "execute");
+    auto r = xq::RunXQuery(snapshot, *compiled, rox, &rox_stats,
+                           have_warm ? &warm_weights : nullptr, &learned);
+    if (exec_span.armed()) {
+      exec_span.AttrNum("edges_executed",
+                        static_cast<double>(rox_stats.edges_executed));
+      exec_span.AttrNum("sampled_tuples",
+                        static_cast<double>(rox_stats.sampled_tuples));
+      exec_span.AttrNum("gather_bytes",
+                        static_cast<double>(rox_stats.gather.bytes_gathered));
+      exec_span.AttrNum("arena_bytes",
+                        static_cast<double>(rox_stats.arena_bytes));
+      exec_span.AttrNum("fanouts",
+                        static_cast<double>(rox_stats.sharded.fanouts));
+    }
+    return r;
+  }();
   out.rox_stats = rox_stats;
   out.warm_started = rox_stats.warm_started_weights > 0;
   if (!items.ok()) {
@@ -305,6 +466,7 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
                    .failed = true,
                    .plan_cache_hit = out.plan_cache_hit,
                    .plan_cache_miss = compiled_now});
+    finish_trace();
     return out;
   }
   out.items = std::make_shared<const std::vector<Pre>>(std::move(*items));
@@ -332,6 +494,7 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq) {
                  .plan_cache_hit = out.plan_cache_hit,
                  .plan_cache_miss = compiled_now,
                  .rox = &rox_stats});
+  finish_trace();
   return out;
 }
 

@@ -42,6 +42,8 @@
 #include "engine/query_cache.h"
 #include "index/corpus.h"
 #include "index/sharded_corpus.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rox/options.h"
 #include "xq/compile.h"
 
@@ -94,6 +96,18 @@ struct EngineOptions {
   // engine (see index/sharded_corpus.h).
   int sample_shard = ShardedExec::kSampleUnion;
 
+  // Query flight recorder (DESIGN.md §12): kOff records nothing and
+  // costs one null check per instrumentation site; kSpans captures the
+  // span tree and per-edge payloads; kFull adds per-decision events
+  // (chain rounds, re-sampling, cut-off counts). \profile overrides
+  // this to kFull for its one query.
+  obs::TraceLevel trace_level = obs::TraceLevel::kOff;
+
+  // The metrics registry this engine's StatsCollector mirrors into;
+  // null binds the process-wide obs::MetricsRegistry::Global() (tests
+  // inject private registries).
+  obs::MetricsRegistry* metrics = nullptr;
+
   // Base per-query optimizer options; each query's seed is derived
   // from rox.seed and the query's sequence number.
   RoxOptions rox;
@@ -131,8 +145,14 @@ struct QueryResult {
   double wall_ms = 0;
   // Engine-assigned sequence number (also the query's RNG stream id).
   uint64_t sequence = 0;
+  // The query's flight recorder; null when the effective trace level
+  // was kOff (the default).
+  std::shared_ptr<const obs::QueryTrace> trace;
 
   bool ok() const { return status.ok(); }
+  // The trace as one JSON document ("{}" when tracing was off) — what
+  // benches and the fuzz harness dump on failure.
+  std::string trace_json() const { return trace ? trace->ToJson() : "{}"; }
 };
 
 class Engine {
@@ -195,6 +215,19 @@ class Engine {
   // Synchronous execution on the calling thread (same cache/stats).
   QueryResult Run(std::string query_text);
 
+  // Like Run but forces a full-detail trace for this one query and
+  // bypasses the result-cache replay so an execution actually happens
+  // (plan cache and warm weights still apply, and are recorded in the
+  // trace as provenance). The shell's \profile surface.
+  QueryResult Profile(std::string query_text);
+
+  // EXPLAIN (no execution): compiles the query (sharing the plan
+  // cache) and runs ROX Phase 1 sampling only, then renders the join
+  // graph with estimated cardinalities/weights and each component's
+  // predicted first edge. The order beyond that is decided at run time
+  // — the paper's point — and the rendering says so.
+  Result<std::string> Explain(const std::string& query_text);
+
   // Executes `queries` with at most `concurrency` in flight at a time
   // (0 = pool size; capped at the pool size) and returns results in
   // input order. Blocks until the whole batch is done. An empty batch
@@ -242,7 +275,9 @@ class Engine {
   // builder started from (still current, since writers are serial).
   void Publish(CorpusBuilder builder, const PublishedState& base);
 
-  QueryResult Execute(const std::string& text, uint64_t seq);
+  QueryResult Execute(const std::string& text, uint64_t seq,
+                      obs::TraceLevel trace_level,
+                      bool allow_result_replay = true);
 
   EngineOptions options_;
   StatsCollector stats_;

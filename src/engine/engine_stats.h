@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "rox/state.h"
 
 namespace rox::engine {
@@ -107,18 +108,60 @@ struct QueryRecord {
 
 class StatsCollector {
  public:
-  StatsCollector() = default;
+  // `latency_capacity` bounds the latency reservoir (tests shrink it to
+  // exercise the sampled path without 65k+ queries).
+  explicit StatsCollector(size_t latency_capacity = kMaxLatencySamples)
+      : latency_capacity_(latency_capacity > 0 ? latency_capacity : 1) {}
+
+  // Mirrors every Record/RecordPublish into named instruments of
+  // `registry` (DESIGN.md §12) in addition to the EngineStats counters
+  // — the struct stays the snapshot view, the registry is the
+  // process-wide exposition surface. Call once, before queries run;
+  // null unbinds. Instrument names are prefixed "engine.".
+  void BindMetrics(obs::MetricsRegistry* registry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (registry == nullptr) {
+      m_ = {};
+      return;
+    }
+    m_.completed = registry->GetCounter("engine.queries.completed");
+    m_.failed = registry->GetCounter("engine.queries.failed");
+    m_.plan_hits = registry->GetCounter("engine.cache.plan_hits");
+    m_.plan_misses = registry->GetCounter("engine.cache.plan_misses");
+    m_.result_hits = registry->GetCounter("engine.cache.result_hits");
+    m_.warm_runs = registry->GetCounter("engine.warm.runs");
+    m_.warm_weights = registry->GetCounter("engine.warm.weights");
+    m_.edges = registry->GetCounter("engine.rox.edges_executed");
+    m_.gathers = registry->GetCounter("engine.gather.count");
+    m_.gather_bytes = registry->GetCounter("engine.gather.bytes");
+    m_.fanouts = registry->GetCounter("engine.sharded.fanouts");
+    m_.publishes = registry->GetCounter("engine.corpus.publishes");
+    m_.docs_added = registry->GetCounter("engine.corpus.docs_added");
+    m_.docs_removed = registry->GetCounter("engine.corpus.docs_removed");
+    m_.invalidations = registry->GetCounter("engine.cache.invalidations");
+    m_.sampling_ms = registry->GetGauge("engine.rox.sampling_ms_total");
+    m_.execution_ms = registry->GetGauge("engine.rox.execution_ms_total");
+    m_.latency = registry->GetHistogram("engine.query.latency_ms",
+                                        obs::Histogram::LatencyBucketsMs());
+  }
 
   void Record(const QueryRecord& r) {
     std::lock_guard<std::mutex> lock(mu_);
     if (r.failed) {
       ++counters_.failed;
+      if (m_.failed != nullptr) m_.failed->Inc();
     } else {
       ++counters_.completed;
+      if (m_.completed != nullptr) m_.completed->Inc();
     }
     counters_.plan_cache_hits += r.plan_cache_hit ? 1 : 0;
     counters_.plan_cache_misses += r.plan_cache_miss ? 1 : 0;
     counters_.result_cache_hits += r.result_cache_hit ? 1 : 0;
+    if (m_.plan_hits != nullptr) {
+      if (r.plan_cache_hit) m_.plan_hits->Inc();
+      if (r.plan_cache_miss) m_.plan_misses->Inc();
+      if (r.result_cache_hit) m_.result_hits->Inc();
+    }
     if (r.rox != nullptr) {
       counters_.edges_executed += r.rox->edges_executed;
       counters_.warm_started_weights += r.rox->warm_started_weights;
@@ -130,8 +173,21 @@ class StatsCollector {
       counters_.peak_intermediate_rows = std::max(
           counters_.peak_intermediate_rows, r.rox->peak_intermediate_rows);
       counters_.sharded.Merge(r.rox->sharded);
+      if (m_.edges != nullptr) {
+        m_.edges->Inc(r.rox->edges_executed);
+        m_.warm_weights->Inc(r.rox->warm_started_weights);
+        if (r.rox->warm_started_weights > 0) m_.warm_runs->Inc();
+        m_.gathers->Inc(r.rox->gather.gather_count);
+        m_.gather_bytes->Inc(r.rox->gather.bytes_gathered);
+        m_.fanouts->Inc(r.rox->sharded.fanouts);
+        m_.sampling_ms->Add(r.rox->sampling_time.TotalMillis());
+        m_.execution_ms->Add(r.rox->execution_time.TotalMillis());
+      }
     }
-    if (!r.failed) RecordLatency(r.latency_ms);
+    if (!r.failed) {
+      RecordLatency(r.latency_ms);
+      if (m_.latency != nullptr) m_.latency->Observe(r.latency_ms);
+    }
   }
 
   // One epoch publish: how many documents the builder added/removed
@@ -142,6 +198,12 @@ class StatsCollector {
     counters_.docs_added += added;
     counters_.docs_removed += removed;
     counters_.cache_invalidations += invalidated;
+    if (m_.publishes != nullptr) {
+      m_.publishes->Inc();
+      m_.docs_added->Inc(added);
+      m_.docs_removed->Inc(removed);
+      m_.invalidations->Inc(invalidated);
+    }
   }
 
   // Defensive: a cache lookup surfaced an entry of the wrong epoch.
@@ -175,7 +237,9 @@ class StatsCollector {
     since_reset_.Restart();
   }
 
-  // Nearest-rank quantile of an ascending-sorted sample.
+  // Linearly interpolated quantile of an ascending-sorted sample
+  // (C = 1 convention: rank q*(n-1), fractional ranks interpolate
+  // between the two neighbors — p50 of {10, 20} is 15, not 10 or 20).
   static double Quantile(const std::vector<double>& sorted, double q) {
     if (sorted.empty()) return 0;
     double rank = q * static_cast<double>(sorted.size() - 1);
@@ -185,30 +249,56 @@ class StatsCollector {
     return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
   }
 
+  // Default latency-reservoir bound (see RecordLatency).
+  static constexpr size_t kMaxLatencySamples = 65536;
+
  private:
   // Latency samples are kept in a bounded reservoir (Vitter's
   // Algorithm R): a long-running engine serves unbounded query counts,
   // so storing every latency — and copy-sorting it per Snapshot —
-  // would grow without limit. Up to kMaxLatencySamples the percentiles
+  // would grow without limit. Up to latency_capacity_ the percentiles
   // are exact; beyond that they are over a uniform sample.
-  static constexpr size_t kMaxLatencySamples = 65536;
-
   void RecordLatency(double ms) {
     ++latencies_seen_;
-    if (latencies_ms_.size() < kMaxLatencySamples) {
+    if (latencies_ms_.size() < latency_capacity_) {
       latencies_ms_.push_back(ms);
       return;
     }
     uint64_t slot = reservoir_rng_.Below(latencies_seen_);
-    if (slot < kMaxLatencySamples) latencies_ms_[slot] = ms;
+    if (slot < latency_capacity_) latencies_ms_[slot] = ms;
   }
 
   mutable std::mutex mu_;
+  const size_t latency_capacity_;
   EngineStats counters_;  // latency/wall fields unused here
   std::vector<double> latencies_ms_;
   uint64_t latencies_seen_ = 0;
   Rng reservoir_rng_{0x5747ca7515ULL};  // fixed seed: stats stay reproducible
   StopWatch since_reset_;
+
+  // Bound instrument pointers (stable for the registry's lifetime; see
+  // obs/metrics.h). All null until BindMetrics.
+  struct Instruments {
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* plan_hits = nullptr;
+    obs::Counter* plan_misses = nullptr;
+    obs::Counter* result_hits = nullptr;
+    obs::Counter* warm_runs = nullptr;
+    obs::Counter* warm_weights = nullptr;
+    obs::Counter* edges = nullptr;
+    obs::Counter* gathers = nullptr;
+    obs::Counter* gather_bytes = nullptr;
+    obs::Counter* fanouts = nullptr;
+    obs::Counter* publishes = nullptr;
+    obs::Counter* docs_added = nullptr;
+    obs::Counter* docs_removed = nullptr;
+    obs::Counter* invalidations = nullptr;
+    obs::Gauge* sampling_ms = nullptr;
+    obs::Gauge* execution_ms = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+  Instruments m_;
 };
 
 }  // namespace rox::engine

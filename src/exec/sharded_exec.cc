@@ -18,8 +18,11 @@ void RecordFanout(const std::vector<JoinPairs>& parts,
   if (stats->shard_rows.size() < parts.size()) {
     stats->shard_rows.resize(parts.size(), 0);
   }
+  stats->last_lanes = parts.size();
+  stats->last_lane_rows.resize(parts.size());
   for (size_t s = 0; s < parts.size(); ++s) {
     stats->shard_rows[s] += parts[s].right_nodes.size();
+    stats->last_lane_rows[s] = parts[s].right_nodes.size();
   }
 }
 

@@ -44,6 +44,19 @@ struct ShardFanoutStats {
   uint64_t fanouts = 0;
   std::vector<uint64_t> shard_rows;
 
+  // The most recent real fan-out: its width (lanes) and the rows each
+  // lane produced. The query trace reads these right after an edge
+  // execution to record that edge's fan-out payload (obs/trace.h);
+  // callers reset them before executing when they want the per-edge
+  // delta. Sequential fallbacks leave them untouched.
+  uint64_t last_lanes = 0;
+  std::vector<uint64_t> last_lane_rows;
+
+  void ResetLastFanout() {
+    last_lanes = 0;
+    last_lane_rows.clear();
+  }
+
   void Merge(const ShardFanoutStats& other) {
     fanouts += other.fanouts;
     if (shard_rows.size() < other.shard_rows.size()) {

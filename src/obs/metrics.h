@@ -1,0 +1,123 @@
+// Process-wide metrics registry (DESIGN.md §12): named counters,
+// gauges, and fixed-bucket histograms with lock-free hot-path updates,
+// plus text/JSON exposition dumps ready for a /metrics endpoint.
+//
+// Instruments are registered once (under a mutex) and then updated
+// wait-free through stable pointers: registration returns the existing
+// instrument when the name is already taken, so concurrent engines
+// aggregate into the same process-wide instrument. The ad-hoc counters
+// of EngineStats/RoxStats remain as per-engine snapshot views; the
+// registry is the cross-engine, cross-query aggregation of the same
+// events (StatsCollector mirrors every Record into it).
+
+#ifndef ROX_OBS_METRICS_H_
+#define ROX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rox::obs {
+
+// Monotonically increasing count of events.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+// A value that can go up and down (current epoch, cache size, summed
+// milliseconds). fetch_add on atomic<double> is C++20.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+// Fixed-bucket histogram: `bounds` are ascending inclusive upper
+// bounds, with an implicit +inf bucket at the end. Observe() is a
+// branchless-ish upper_bound over the immutable bounds plus two
+// relaxed atomic adds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Quantile estimated by linear interpolation within the owning
+  // bucket (the +inf bucket reports its lower bound).
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<uint64_t> BucketCounts() const;
+  void Reset();
+
+  // Default latency buckets: 0.25 ms .. ~8 s, doubling.
+  static std::vector<double> LatencyBucketsMs();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every Engine binds to by default.
+  static MetricsRegistry& Global();
+
+  // Get-or-register. Returns the existing instrument when `name` is
+  // already registered with the same kind, null when it is registered
+  // with a different kind (a programming error surfaced gently).
+  Counter* GetCounter(const std::string& name, std::string help = "");
+  Gauge* GetGauge(const std::string& name, std::string help = "");
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds, std::string help = "");
+
+  // Prometheus-style text exposition / one JSON object keyed by name.
+  std::string DumpText() const;
+  std::string DumpJson() const;
+
+  // Zeroes every registered instrument (tests; instruments stay
+  // registered and pointers stay valid).
+  void ResetAll();
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    // Exactly one of these is set; unique_ptr keeps addresses stable
+    // across map growth.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;  // registration and dumps only, never updates
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace rox::obs
+
+#endif  // ROX_OBS_METRICS_H_

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/str_util.h"
+#include "obs/trace.h"
 
 namespace rox {
 
@@ -63,17 +64,24 @@ Status RoxOptimizer::ExecutePath(const std::vector<EdgeId>& path) {
   return Status::Ok();
 }
 
-Status RoxOptimizer::RunLoop() {
+Status RoxOptimizer::Prepare() {
   ROX_RETURN_IF_ERROR(graph_.Validate());
   if (!graph_.IsConnected()) {
     return Status::InvalidArgument(
         "join graph must be connected (split disconnected graphs into "
         "separate ROX runs, as the paper's plans do)");
   }
-
   state_ = std::make_unique<RoxState>(snapshot_, graph_, options_);
   // Phase 1 (lines 1-4).
   state_->InitializeSamplesAndWeights();
+  return Status::Ok();
+}
+
+Status RoxOptimizer::RunLoop() {
+  // An EXPLAIN-style caller may have Prepare()d already; reuse its
+  // Phase 1 state instead of re-sampling.
+  if (state_ == nullptr) ROX_RETURN_IF_ERROR(Prepare());
+  obs::QueryTrace* qt = options_.query_trace;
 
   // Phase 2 (lines 5-19).
   ChainSampler sampler(*state_);
@@ -110,6 +118,14 @@ Status RoxOptimizer::RunLoop() {
       }
       if (path.empty()) break;
     }
+    if (qt != nullptr && qt->full_enabled()) {
+      std::string detail;
+      for (EdgeId e : path) {
+        if (!detail.empty()) detail += " -> ";
+        detail += graph_.EdgeLabel(e);
+      }
+      qt->Event("chain_round", std::move(detail));
+    }
     ROX_RETURN_IF_ERROR(ExecutePath(path));
   }
   return Status::Ok();
@@ -127,7 +143,10 @@ std::vector<double> RoxOptimizer::FinalEdgeWeights() const {
 Result<RoxResult> RoxOptimizer::Run() {
   ROX_RETURN_IF_ERROR(RunLoop());
   RoxResult out;
-  ROX_ASSIGN_OR_RETURN(out.table, state_->AssembleFinal(&out.columns));
+  {
+    obs::ScopedSpan span(options_.query_trace, "assembly");
+    ROX_ASSIGN_OR_RETURN(out.table, state_->AssembleFinal(&out.columns));
+  }
   out.IndexColumns();
   out.stats = state_->stats();
   out.final_edge_weights = FinalEdgeWeights();
@@ -139,9 +158,12 @@ Result<RoxViewResult> RoxOptimizer::RunView(
   ROX_CHECK(options_.lazy_materialization);
   ROX_RETURN_IF_ERROR(RunLoop());
   RoxViewResult out;
-  ROX_ASSIGN_OR_RETURN(out.view,
-                       state_->AssembleFinalView(&out.columns,
-                                                 output_vertices));
+  {
+    obs::ScopedSpan span(options_.query_trace, "assembly");
+    ROX_ASSIGN_OR_RETURN(out.view,
+                         state_->AssembleFinalView(&out.columns,
+                                                   output_vertices));
+  }
   out.stats = state_->stats();
   out.final_edge_weights = FinalEdgeWeights();
   return out;

@@ -107,6 +107,13 @@ class RoxOptimizer {
   // tail's for-variable columns) and nothing else ever materializes.
   Result<RoxViewResult> RunView(std::span<const VertexId> output_vertices);
 
+  // Phase 1 only: validates the graph, draws the index samples and
+  // estimates every edge weight, executing nothing. state() then
+  // exposes the sampled cardinalities and weights — the EXPLAIN
+  // surface's estimates. A Prepare()d optimizer can still Run(): the
+  // loop reuses the prepared state instead of re-sampling.
+  Status Prepare();
+
   // Access to the live state (after Run) for diagnostics.
   const RoxState& state() const { return *state_; }
 

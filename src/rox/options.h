@@ -10,6 +10,10 @@
 
 namespace rox {
 
+namespace obs {
+class QueryTrace;
+}
+
 struct ShardedExec;
 
 struct RoxOptions {
@@ -88,6 +92,13 @@ struct RoxOptions {
 
   // Print per-decision traces to stderr.
   bool trace = false;
+
+  // Per-query flight recorder (obs/trace.h). When non-null, the
+  // optimizer and state record spans and per-edge payloads into it —
+  // from the query's thread only, so one trace serves one query. Null
+  // (the default) records nothing; every instrumentation site is a
+  // single null check.
+  obs::QueryTrace* query_trace = nullptr;
 };
 
 }  // namespace rox

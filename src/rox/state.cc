@@ -199,6 +199,7 @@ Status RoxState::EnsureTable(VertexId v) {
 // --- phase 1 ----------------------------------------------------------------
 
 void RoxState::InitializeSamplesAndWeights() {
+  obs::ScopedSpan span(options_.query_trace, "phase1");
   ScopedTimer timer(stats_.sampling_time);
   for (VertexId v = 0; v < graph_.VertexCount(); ++v) {
     const Vertex& vx = graph_.vertex(v);
@@ -271,6 +272,12 @@ void RoxState::InitializeSamplesAndWeights() {
     } else {
       edges_[e].weight = EstimateCardinalityLocked(e);
     }
+  }
+  if (span.armed()) {
+    span.AttrNum("edges", static_cast<double>(graph_.EdgeCount()));
+    span.AttrNum("warm_weights",
+                 static_cast<double>(stats_.warm_started_weights));
+    span.AttrNum("sampled_tuples", static_cast<double>(stats_.sampled_tuples));
   }
 }
 
@@ -351,6 +358,12 @@ void RoxState::FilterPairsForVertex(VertexId v, JoinPairs& pairs) const {
 EdgeSample RoxState::SampleEdgeFrom(EdgeId e, VertexId from,
                                     std::span<const Pre> input,
                                     uint64_t limit) {
+  if (options_.query_trace != nullptr &&
+      options_.query_trace->full_enabled()) {
+    // Cut-off sampled execution: counted, never spanned — Phase 1 and
+    // chain sampling issue thousands of these per query.
+    options_.query_trace->CountSampleCall(e);
+  }
   const Edge& edge = graph_.edge(e);
   VertexId target = edge.Other(from);
   const Vertex& tx = graph_.vertex(target);
@@ -423,14 +436,41 @@ double RoxState::EstimateCardinalityLocked(EdgeId e) {
 
 Status RoxState::ExecuteEdge(EdgeId e) {
   ROX_CHECK(!edges_[e].executed);
+  obs::QueryTrace* qt = options_.query_trace;
+  obs::EdgeTrace* et = nullptr;
+  if (qt != nullptr && qt->spans_enabled()) {
+    et = qt->BeginEdge(e, graph_.EdgeLabel(e));
+    // w(e) as last sampled before the decision to execute — the
+    // "estimated cardinality" half of the drift payload.
+    et->estimated = edges_[e].weight;
+    stats_.sharded.ResetLastFanout();
+  }
+  last_kernel_ = "";
+  Status executed = Status::Ok();
   {
     ScopedTimer timer(stats_.execution_time);
-    ROX_RETURN_IF_ERROR(ExecuteEdgeInternal(e));
+    executed = ExecuteEdgeInternal(e);
+  }
+  if (!executed.ok()) {
+    if (et != nullptr) qt->EndEdge();
+    return executed;
   }
   edges_[e].executed = true;
   ++stats_.edges_executed;
   stats_.execution_order.push_back(e);
+  if (et != nullptr) {
+    et->kernel = last_kernel_;
+    et->observed = static_cast<double>(edges_[e].ResultRows());
+    et->fanout_lanes = stats_.sharded.last_lanes;
+    et->lane_rows = stats_.sharded.last_lane_rows;
+  }
   UpdateAfterExecution(e);
+  if (et != nullptr) {
+    const Edge& edge = graph_.edge(e);
+    et->card_v1 = vertices_[edge.v1].card;
+    et->card_v2 = vertices_[edge.v2].card;
+    qt->EndEdge();
+  }
   return Status::Ok();
 }
 
@@ -443,6 +483,7 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
   // edges are never implied: a<b and b<c constrain a<c but do not
   // equal it, so every theta edge executes.
   if (edge.IsEquiJoin() && EquiJoinImplied(v1, v2)) {
+    last_kernel_ = "implied-skip";
     return Status::Ok();
   }
 
@@ -511,6 +552,7 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
   };
 
   if (edge.type == EdgeType::kStep) {
+    last_kernel_ = "structural";
     const ElementIndex* idx = options_.use_index_acceleration
                                   ? &corpus_.element_index(tx.doc)
                                   : nullptr;
@@ -528,11 +570,13 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
     // Both sources emit identical per-row sequences (value_join.h), so
     // all execution modes agree byte-for-byte.
     if (vertices_[tgt].table.has_value()) {
+      last_kernel_ = "theta-run";
       return finish(ShardedSortThetaJoinParts(Sharded(), ctx_doc, ctx_nodes,
                                               target_doc,
                                               *vertices_[tgt].table, cmp,
                                               &stats_.sharded));
     }
+    last_kernel_ = "theta-index";
     ValueProbeSpec spec = tx.type == VertexType::kAttribute
                               ? ValueProbeSpec::Attr(tx.name)
                               : ValueProbeSpec::Text();
@@ -549,10 +593,12 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
                         : EquiAlgo::kHash;
     switch (algo) {
       case EquiAlgo::kHash:
+        last_kernel_ = "hash";
         return finish(ShardedHashValueJoinParts(
             Sharded(), ctx_doc, ctx_nodes, target_doc,
             *vertices_[tgt].table, &stats_.sharded));
       case EquiAlgo::kMerge: {
+        last_kernel_ = "merge";
         std::vector<Pre> outer_sorted = SortByValueId(ctx_doc, ctx_nodes);
         std::vector<Pre> inner_sorted =
             SortByValueId(target_doc, *vertices_[tgt].table);
@@ -586,6 +632,7 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
         return Status::Ok();
       }
       case EquiAlgo::kIndexNl:
+        last_kernel_ = "index-nl";
         return finish(ShardedValueIndexJoinParts(
             Sharded(), ctx_doc, ctx_nodes, target_doc,
             corpus_.value_index(tx.doc),
@@ -595,6 +642,7 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
     }
     return Status::Internal("unhandled equi-join algorithm");
   }
+  last_kernel_ = "index-nl";
   ValueProbeSpec spec = tx.type == VertexType::kAttribute
                             ? ValueProbeSpec::Attr(tx.name)
                             : ValueProbeSpec::Text();
@@ -668,12 +716,24 @@ void RoxState::UpdateAfterExecution(EdgeId e) {
   // Re-weigh un-executed edges incident to the executed edge's
   // endpoints (Algorithm 1, lines 18-19). Re-sampling — rather than
   // scaling by the hit ratio — is what detects correlations.
+  obs::QueryTrace* qt = options_.query_trace;
+  bool trace_full = qt != nullptr && qt->full_enabled();
   int side = 0;
   for (VertexId v : {edge.v1, edge.v2}) {
     for (EdgeId inc : graph_.IncidentEdges(v)) {
       if (edges_[inc].executed) continue;
       if (options_.resample_after_execute) {
+        double old_w = edges_[inc].weight;
         edges_[inc].weight = EstimateCardinality(inc);
+        if (trace_full) {
+          // Re-sampling event, recorded as a child of the executed
+          // edge's span (the execution caused the re-weigh).
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "w %.0f -> %.0f", old_w,
+                        edges_[inc].weight);
+          qt->Event("resample", graph_.EdgeLabel(inc) + ": " + buf);
+          if (qt->open_edge() != nullptr) ++qt->open_edge()->resamples;
+        }
       } else if (edges_[inc].weight >= 0 && old_cards[side] > 0 &&
                  vertices_[v].card >= 0) {
         edges_[inc].weight *= vertices_[v].card / old_cards[side];

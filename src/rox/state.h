@@ -36,6 +36,7 @@
 #include "graph/join_graph.h"
 #include "index/corpus.h"
 #include "index/sharded_corpus.h"
+#include "obs/trace.h"
 #include "rox/options.h"
 
 namespace rox {
@@ -188,6 +189,9 @@ class RoxState {
   RoxStats& stats() { return stats_; }
   const RoxStats& stats() const { return stats_; }
 
+  // The query's flight recorder, or null when tracing is off.
+  obs::QueryTrace* query_trace() const { return options_.query_trace; }
+
   // The per-query column arena backing lazy views (see result_view.h).
   ColumnArena& arena() { return arena_; }
 
@@ -269,6 +273,10 @@ class RoxState {
   std::vector<VertexState> vertices_;
   std::vector<EdgeState> edges_;
   RoxStats stats_;
+
+  // The physical kernel the most recent ExecuteEdgeInternal ran, for
+  // the trace's per-edge payload (static strings only).
+  const char* last_kernel_ = "";
 
   // Arena backing lazy views (edge results, assembly intermediates).
   ColumnArena arena_;

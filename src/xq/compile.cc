@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "obs/trace.h"
 #include "xq/parser.h"
 
 namespace rox::xq {
@@ -362,6 +363,7 @@ Result<std::vector<Pre>> RunXQuery(CorpusSnapshot snapshot,
   GatherStats tail_gather;
   const bool lazy = rox_options.lazy_materialization;
   bool first = true;
+  size_t comp_index = 0;
   for (const GraphComponent& comp : comps) {
     // Only components containing a for-variable contribute to the
     // result (pruned roots end up isolated and are skipped).
@@ -384,6 +386,8 @@ Result<std::vector<Pre>> RunXQuery(CorpusSnapshot snapshot,
       }
       comp_options.warm_edge_weights = &comp_warm;
     }
+    obs::ScopedSpan comp_span(comp_options.query_trace, "rox",
+                              StrCat("component ", comp_index++));
     RoxOptimizer rox(snapshot, comp.graph, comp_options);
     ResultTable part;
     std::vector<VertexId> cols;
@@ -406,6 +410,8 @@ Result<std::vector<Pre>> RunXQuery(CorpusSnapshot snapshot,
       learned_weights = std::move(vr.final_edge_weights);
       MergeStats(stats, vr.stats);
       part = ResultTable(local_out.size());
+      uint64_t bytes_before = tail_gather.bytes_gathered;
+      obs::ScopedSpan gather_span(comp_options.query_trace, "gather");
       for (size_t i = 0; i < local_out.size(); ++i) {
         size_t col = static_cast<size_t>(-1);
         for (size_t c = 0; c < vr.columns.size(); ++c) {
@@ -417,12 +423,27 @@ Result<std::vector<Pre>> RunXQuery(CorpusSnapshot snapshot,
         vr.view.GatherColumnInto(col, part.MutableCol(i), &tail_gather);
         cols.push_back(comp.orig_vertex[local_out[i]]);
       }
+      if (gather_span.armed()) {
+        gather_span.AttrNum("columns", static_cast<double>(local_out.size()));
+        gather_span.AttrNum(
+            "bytes",
+            static_cast<double>(tail_gather.bytes_gathered - bytes_before));
+        gather_span.AttrNum("arena_bytes",
+                            static_cast<double>(vr.stats.arena_bytes));
+      }
     } else {
       ROX_ASSIGN_OR_RETURN(RoxResult result, rox.Run());
       learned_weights = std::move(result.final_edge_weights);
       MergeStats(stats, result.stats);
       part = std::move(result.table);
       for (VertexId v : result.columns) cols.push_back(comp.orig_vertex[v]);
+    }
+    if (comp_span.armed()) {
+      comp_span.AttrNum("edges_executed",
+                        static_cast<double>(stats.edges_executed));
+      comp_span.AttrNum("chain_rounds",
+                        static_cast<double>(stats.chain_rounds));
+      comp_span.AttrNum("rows", static_cast<double>(part.NumRows()));
     }
     if (learned_weights_out != nullptr) {
       for (EdgeId e = 0; e < comp.orig_edge.size(); ++e) {
@@ -445,6 +466,7 @@ Result<std::vector<Pre>> RunXQuery(CorpusSnapshot snapshot,
   if (stats_out != nullptr) *stats_out = stats;
 
   // Plan tail (Figure 1): π(for-vars) -> δ -> τ(sort) -> π(return var).
+  obs::ScopedSpan tail_span(rox_options.query_trace, "plan_tail");
   auto column_of = [&](VertexId v) -> size_t {
     for (size_t i = 0; i < combined_cols.size(); ++i) {
       if (combined_cols[i] == v) return i;
@@ -474,7 +496,64 @@ Result<std::vector<Pre>> RunXQuery(CorpusSnapshot snapshot,
   std::vector<size_t> sort_keys(for_cols.size());
   for (size_t i = 0; i < sort_keys.size(); ++i) sort_keys[i] = i;
   tail = tail.SortRows(sort_keys);
+  if (tail_span.armed()) {
+    tail_span.AttrNum("rows", static_cast<double>(tail.NumRows()));
+  }
   return tail.Col(return_col_in_proj);
+}
+
+Result<ExplainInfo> ExplainXQuery(
+    CorpusSnapshot snapshot, const CompiledQuery& compiled,
+    const RoxOptions& rox_options,
+    const std::vector<double>* warm_edge_weights) {
+  if (warm_edge_weights != nullptr &&
+      warm_edge_weights->size() != compiled.graph.EdgeCount()) {
+    warm_edge_weights = nullptr;  // stale cache entry: ignore
+  }
+  ExplainInfo info;
+  info.edge_weights.assign(compiled.graph.EdgeCount(), -1.0);
+  info.vertex_cards.assign(compiled.graph.VertexCount(), -1.0);
+  std::vector<GraphComponent> comps =
+      SplitConnectedComponents(compiled.graph);
+  for (const GraphComponent& comp : comps) {
+    // Same component filter as RunXQuery: only components containing a
+    // for-variable contribute.
+    bool needed = false;
+    for (VertexId orig : comp.orig_vertex) {
+      for (VertexId fv : compiled.for_vertices) needed |= fv == orig;
+    }
+    if (!needed) continue;
+    if (comp.graph.EdgeCount() == 0) {
+      return Status::Unimplemented(
+          "for-variable bound to a bare document root is not supported");
+    }
+    RoxOptions comp_options = rox_options;
+    std::vector<double> comp_warm;
+    if (warm_edge_weights != nullptr) {
+      comp_warm.reserve(comp.orig_edge.size());
+      for (EdgeId orig : comp.orig_edge) {
+        comp_warm.push_back((*warm_edge_weights)[orig]);
+      }
+      comp_options.warm_edge_weights = &comp_warm;
+    }
+    RoxOptimizer rox(snapshot, comp.graph, comp_options);
+    ROX_RETURN_IF_ERROR(rox.Prepare());
+    const RoxState& st = rox.state();
+    for (EdgeId e = 0; e < comp.graph.EdgeCount(); ++e) {
+      info.edge_weights[comp.orig_edge[e]] = st.estate(e).weight;
+    }
+    for (VertexId v = 0; v < comp.graph.VertexCount(); ++v) {
+      info.vertex_cards[comp.orig_vertex[v]] = st.vstate(v).card;
+    }
+    EdgeId first = st.MinWeightEdge();
+    info.predicted_first.push_back(
+        first == kInvalidEdgeId ? kInvalidEdgeId : comp.orig_edge[first]);
+    info.warm_started_weights += st.stats().warm_started_weights;
+  }
+  if (info.predicted_first.empty()) {
+    return Status::FailedPrecondition("query produced no joined component");
+  }
+  return info;
 }
 
 }  // namespace rox::xq

@@ -82,6 +82,28 @@ Result<std::vector<Pre>> RunXQuery(
     const std::vector<double>* warm_edge_weights = nullptr,
     std::vector<double>* learned_weights_out = nullptr);
 
+// EXPLAIN support (\explain): runs Phase 1 sampling per connected
+// component — index samples and cut-off sampled edge weights, no full
+// edge executes — and maps the estimates back to the compiled graph's
+// ids. The join *order* beyond each component's predicted first edge
+// is decided at run time (ROX's whole point), so that is all an
+// explain can honestly promise. `warm_edge_weights` follows the
+// RunXQuery contract: cached weights are adopted where Phase 1 would
+// have sampled.
+struct ExplainInfo {
+  // Indexed by the compiled graph's ids; < 0 means "no estimate".
+  std::vector<double> edge_weights;
+  std::vector<double> vertex_cards;
+  // Per contributing component: the min-weight edge ROX would execute
+  // first (original edge id), and the component's edge count.
+  std::vector<EdgeId> predicted_first;
+  uint64_t warm_started_weights = 0;
+};
+Result<ExplainInfo> ExplainXQuery(
+    CorpusSnapshot snapshot, const CompiledQuery& compiled,
+    const RoxOptions& rox_options = {},
+    const std::vector<double>* warm_edge_weights = nullptr);
+
 }  // namespace rox::xq
 
 #endif  // ROX_XQ_COMPILE_H_

@@ -1,0 +1,251 @@
+// Tests for the process-wide metrics registry (obs/metrics.h) and the
+// StatsCollector's latency quantiles — the interpolation contract
+// (p50 of {10, 20} is 15) and the bounded-reservoir sampled path.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/engine_stats.h"
+
+namespace rox::obs {
+namespace {
+
+// --- instruments -------------------------------------------------------------
+
+TEST(CounterTest, IncAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 4.0);
+  g.Add(-3.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 1.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketsCountAndSum) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket 0 (<= 1)
+  h.Observe(1.0);    // bucket 0 (boundary is inclusive)
+  h.Observe(5.0);    // bucket 1
+  h.Observe(50.0);   // bucket 2
+  h.Observe(500.0);  // overflow bucket
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 5.0 + 50.0 + 500.0);
+  std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram h({10.0, 20.0, 40.0});
+  // 10 observations in (10, 20].
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);
+  // The median rank falls mid-bucket: linear interpolation within
+  // (10, 20] puts it strictly between the bounds.
+  double p50 = h.Quantile(0.5);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+  EXPECT_EQ(h.Quantile(0.0), 10.0);  // everything is in the first
+  EXPECT_EQ(h.Quantile(1.0), 20.0);  // occupied bucket
+}
+
+TEST(HistogramTest, LatencyBucketsAreSortedAndCoverMs) {
+  std::vector<double> b = Histogram::LatencyBucketsMs();
+  ASSERT_GT(b.size(), 4u);
+  for (size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+  EXPECT_LE(b.front(), 1.0);     // sub-millisecond queries resolve
+  EXPECT_GE(b.back(), 1000.0);   // second-scale queries resolve
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(MetricsRegistryTest, GetOrRegisterReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x.count");
+  Counter* b = reg.GetCounter("x.count");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);  // same instrument, not a new registration
+  a->Inc();
+  EXPECT_EQ(b->Value(), 1u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchReturnsNull) {
+  MetricsRegistry reg;
+  ASSERT_NE(reg.GetCounter("m"), nullptr);
+  EXPECT_EQ(reg.GetGauge("m"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("m", {1.0}), nullptr);
+  EXPECT_NE(reg.GetCounter("m"), nullptr);  // original still served
+}
+
+TEST(MetricsRegistryTest, DumpTextSanitizesNames) {
+  MetricsRegistry reg;
+  reg.GetCounter("engine.cache.plan-hits")->Inc(3);
+  std::string text = reg.DumpText();
+  // Prometheus exposition: dots and dashes become underscores.
+  EXPECT_NE(text.find("engine_cache_plan_hits 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE engine_cache_plan_hits counter"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DumpJsonContainsInstruments) {
+  MetricsRegistry reg;
+  reg.GetCounter("a.count")->Inc(7);
+  reg.GetGauge("b.gauge")->Set(1.5);
+  reg.GetHistogram("c.hist", {10.0})->Observe(4.0);
+  std::string json = reg.DumpJson();
+  EXPECT_NE(json.find("\"a.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"b.gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.hist\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAllZerosEveryInstrument) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  Gauge* g = reg.GetGauge("g");
+  Histogram* h = reg.GetHistogram("h", {1.0});
+  c->Inc(5);
+  g->Set(5);
+  h->Observe(0.5);
+  reg.ResetAll();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->Count(), 0u);
+}
+
+// --- StatsCollector quantiles (engine/engine_stats.h) -----------------------
+
+TEST(StatsQuantileTest, InterpolatesBetweenSamples) {
+  // The documented contract: p50 of {10, 20} is the midpoint, not
+  // either endpoint (nearest-rank would return 10 or 20).
+  EXPECT_DOUBLE_EQ(engine::StatsCollector::Quantile({10.0, 20.0}, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(engine::StatsCollector::Quantile({10.0, 20.0}, 0.25), 12.5);
+  EXPECT_DOUBLE_EQ(engine::StatsCollector::Quantile({1.0, 2.0, 3.0}, 0.5),
+                   2.0);
+  EXPECT_DOUBLE_EQ(engine::StatsCollector::Quantile({5.0}, 0.95), 5.0);
+  EXPECT_DOUBLE_EQ(engine::StatsCollector::Quantile({}, 0.5), 0.0);
+}
+
+TEST(StatsQuantileTest, PinsP50AndP95OnKnownDistribution) {
+  // 1..100 ms through the collector itself (exact path: 100 samples
+  // fit any reservoir). rank(p) = p * 99, linearly interpolated:
+  //   p50 -> rank 49.5 -> (50 + 51) / 2 = 50.5
+  //   p95 -> rank 94.05 -> 95 + 0.05 * 1 = 95.05
+  engine::StatsCollector stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.Record({.latency_ms = static_cast<double>(i)});
+  }
+  engine::EngineStats snap = stats.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.p50_ms, 50.5);
+  EXPECT_DOUBLE_EQ(snap.p95_ms, 95.05);
+  EXPECT_DOUBLE_EQ(snap.max_ms, 100.0);
+  EXPECT_DOUBLE_EQ(snap.mean_ms, 50.5);
+  EXPECT_EQ(snap.completed, 100u);
+}
+
+TEST(StatsQuantileTest, ReservoirPathStaysWithinDistributionBounds) {
+  // A tiny injected capacity forces Vitter replacement after 8
+  // samples. With every latency equal, any uniform subsample must
+  // report exactly that value at every percentile.
+  engine::StatsCollector constant(/*latency_capacity=*/8);
+  for (int i = 0; i < 10000; ++i) constant.Record({.latency_ms = 7.0});
+  engine::EngineStats snap = constant.Snapshot();
+  EXPECT_EQ(snap.completed, 10000u);
+  EXPECT_DOUBLE_EQ(snap.p50_ms, 7.0);
+  EXPECT_DOUBLE_EQ(snap.p95_ms, 7.0);
+  EXPECT_DOUBLE_EQ(snap.max_ms, 7.0);
+
+  // A two-valued stream: every percentile lies in [lo, hi] whatever
+  // the (seeded, deterministic) reservoir kept, and the bimodal p50
+  // cannot escape the value set's convex hull.
+  engine::StatsCollector bimodal(/*latency_capacity=*/64);
+  for (int i = 0; i < 5000; ++i) {
+    bimodal.Record({.latency_ms = i % 2 == 0 ? 10.0 : 20.0});
+  }
+  snap = bimodal.Snapshot();
+  EXPECT_GE(snap.p50_ms, 10.0);
+  EXPECT_LE(snap.p50_ms, 20.0);
+  EXPECT_GE(snap.p95_ms, snap.p50_ms);
+  EXPECT_LE(snap.p95_ms, 20.0);
+}
+
+TEST(StatsQuantileTest, DefaultCapacityTakesExactPathPastManySamples) {
+  // Below the default 65536-sample bound the percentiles stay exact:
+  // feed a skewed distribution bigger than any test-sized reservoir
+  // but smaller than the default, and pin the exact interpolation.
+  engine::StatsCollector stats;
+  for (int i = 0; i < 1000; ++i) {
+    stats.Record({.latency_ms = static_cast<double>(i < 900 ? 1 : 100)});
+  }
+  engine::EngineStats snap = stats.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.p50_ms, 1.0);
+  // rank(0.95) = 949.05, samples 949/950 are 100 -> exactly 100.
+  EXPECT_DOUBLE_EQ(snap.p95_ms, 100.0);
+}
+
+// --- StatsCollector -> registry mirroring ------------------------------------
+
+TEST(StatsMetricsBindingTest, RecordMirrorsIntoRegistry) {
+  MetricsRegistry reg;
+  engine::StatsCollector stats;
+  stats.BindMetrics(&reg);
+
+  RoxStats rox;
+  rox.edges_executed = 3;
+  rox.warm_started_weights = 2;
+  rox.gather.gather_count = 1;
+  rox.gather.bytes_gathered = 640;
+  stats.Record({.latency_ms = 5.0, .plan_cache_hit = true, .rox = &rox});
+  stats.Record({.latency_ms = 1.0, .failed = true, .plan_cache_miss = true});
+  stats.RecordPublish(/*added=*/2, /*removed=*/1, /*invalidated=*/4);
+
+  EXPECT_EQ(reg.GetCounter("engine.queries.completed")->Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("engine.queries.failed")->Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("engine.cache.plan_hits")->Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("engine.cache.plan_misses")->Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("engine.rox.edges_executed")->Value(), 3u);
+  EXPECT_EQ(reg.GetCounter("engine.warm.weights")->Value(), 2u);
+  EXPECT_EQ(reg.GetCounter("engine.warm.runs")->Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("engine.gather.count")->Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("engine.gather.bytes")->Value(), 640u);
+  EXPECT_EQ(reg.GetCounter("engine.corpus.publishes")->Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("engine.corpus.docs_added")->Value(), 2u);
+  EXPECT_EQ(reg.GetCounter("engine.corpus.docs_removed")->Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("engine.cache.invalidations")->Value(), 4u);
+  // Failed queries contribute no latency observation.
+  EXPECT_EQ(reg.GetHistogram("engine.query.latency_ms",
+                             Histogram::LatencyBucketsMs())
+                ->Count(),
+            1u);
+
+  // The struct snapshot stays authoritative and agrees.
+  engine::EngineStats snap = stats.Snapshot();
+  EXPECT_EQ(snap.completed, 1u);
+  EXPECT_EQ(snap.failed, 1u);
+  EXPECT_EQ(snap.edges_executed, 3u);
+}
+
+}  // namespace
+}  // namespace rox::obs

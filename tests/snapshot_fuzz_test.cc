@@ -15,6 +15,14 @@
 //   ROX_FUZZ_SEED_FILE  where to record the seed on failure
 //                       (default snapshot_fuzz_seed.txt), so CI can
 //                       upload it and a failure reproduces exactly.
+//   ROX_FUZZ_TRACE_FILE where to dump the failing query's execution
+//                       trace JSON (default snapshot_fuzz_trace.json);
+//                       uploaded next to the seed file, it shows the
+//                       join order / kernels / cardinalities the live
+//                       engine actually took. The live engine runs at
+//                       trace_level=spans throughout, which doubles as
+//                       a differential check that tracing never
+//                       perturbs results.
 
 #include <gtest/gtest.h>
 
@@ -31,6 +39,7 @@
 #include "common/rng.h"
 #include "engine/engine.h"
 #include "index/corpus.h"
+#include "obs/trace.h"
 
 namespace rox {
 namespace {
@@ -50,6 +59,20 @@ void DumpSeed(uint64_t seed, const std::string& context) {
   std::ofstream out(path != nullptr ? path : "snapshot_fuzz_seed.txt",
                     std::ios::app);
   out << "ROX_FUZZ_SEED=" << seed << "  # " << context << "\n";
+}
+
+// Dumps the failing query's flight-recorder JSON next to the seed file
+// (one JSON object per line, same append discipline), so the CI
+// artifact shows the exact span tree / join order / kernels of the
+// mismatching execution, not just how to re-run it.
+void DumpTrace(const engine::QueryResult& r, const std::string& context) {
+  const char* path = std::getenv("ROX_FUZZ_TRACE_FILE");
+  std::ofstream out(path != nullptr ? path : "snapshot_fuzz_trace.json",
+                    std::ios::app);
+  std::string ctx;
+  obs::AppendJsonEscaped(&ctx, context);  // query text contains quotes
+  out << "{\"context\": \"" << ctx << "\", \"trace\": " << r.trace_json()
+      << "}\n";
 }
 
 // --- generated documents ----------------------------------------------------
@@ -189,6 +212,10 @@ void RunDifferentialFuzz(const FuzzConfig& cfg) {
   live_opts.lazy_materialization = cfg.lazy;
   live_opts.rox.tau = 20;
   live_opts.rox.seed = seed;
+  // Record spans on every live query: any mismatch dumps the trace,
+  // and running traced against an untraced reference differentially
+  // proves tracing changes no results.
+  live_opts.trace_level = obs::TraceLevel::kSpans;
 
   // The reference runs everything the live engine does NOT: other
   // materialization mode, one shard, no cache, fresh seed.
@@ -284,6 +311,7 @@ void RunDifferentialFuzz(const FuzzConfig& cfg) {
           (r.ok() && *r.items != *rr.items) ||
           (!r.ok() && r.status.code() != rr.status.code())) {
         DumpSeed(seed, Describe(cfg, iter, queries[i]));
+        DumpTrace(r, Describe(cfg, iter, queries[i]));
         FAIL() << "differential mismatch at " << Describe(cfg, iter, queries[i])
                << "\n  live: "
                << (r.ok() ? std::to_string(r.items->size()) + " items"

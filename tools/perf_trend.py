@@ -14,6 +14,16 @@ Supported report shapes:
 Metrics below --min-ms in the baseline are compared only informationally
 (sub-threshold timings on shared runners are noise, not signal).
 
+Most metrics are timings (lower is better). Throughput metrics —
+names ending in _rows_per_sec, _per_second or starting with qps_ —
+are higher-is-better: their regression ratio is inverted (prev/cur)
+before gating, and they are gated whenever the current *timing*
+metrics would be (the --min-ms floor does not apply to rates; rates
+from the report benches are macro measurements, not sub-ms noise).
+google-benchmark items_per_second rates are extracted informationally
+(items_per_second on a shared runner is too jittery to gate, but the
+trend line in the history artifact is worth having).
+
 Usage:
   perf_trend.py --history perf_history.json [--max-regression 1.5]
                 [--min-ms 20] report.json [report.json ...]
@@ -38,6 +48,9 @@ def extract_metrics(path):
             unit = b.get("time_unit", "ns")
             scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
             out[f"operators/{b['name']}"] = b["real_time"] * scale
+            if "items_per_second" in b:
+                out[f"operators/{b['name']}/items_per_sec"] = float(
+                    b["items_per_second"])
         return out
     bench = report.get("bench", os.path.basename(path))
     if "metrics" in report:  # flat metric map: authoritative
@@ -51,6 +64,23 @@ def extract_metrics(path):
             if key.endswith("_ms") and isinstance(value, (int, float)):
                 out[f"{bench}/{name}/{key}"] = float(value)
     return out
+
+
+def is_rate(name):
+    """Higher-is-better throughput metric (vs default lower-is-better)."""
+    base = name.rsplit("/", 1)[-1]
+    return (base.endswith("_rows_per_sec") or base.endswith("_per_sec")
+            or base.endswith("_per_second") or base.startswith("qps_"))
+
+
+def is_informational(name):
+    """Tracked in the history but never gated (too jittery to fail on)."""
+    # google-benchmark items/sec: micro-bench rates on shared runners.
+    return name.startswith("operators/") and is_rate(name)
+
+
+def fmt(name, value):
+    return f"{value:.1f}/s" if is_rate(name) else f"{value:.1f} ms"
 
 
 def main():
@@ -82,21 +112,28 @@ def main():
         for name in sorted(current):
             prev = previous.get(name)
             if prev is None:
-                print(f"  NEW    {name}: {current[name]:.1f} ms")
+                print(f"  NEW    {name}: {fmt(name, current[name])}")
                 continue
-            ratio = current[name] / prev if prev > 0 else float("inf")
-            gated = prev >= args.min_ms
+            if is_rate(name):
+                # Higher is better: invert so ratio > 1 still means
+                # "got worse" and the one gate below covers both kinds.
+                ratio = prev / current[name] if current[name] > 0 \
+                    else float("inf")
+                gated = not is_informational(name)
+            else:
+                ratio = current[name] / prev if prev > 0 else float("inf")
+                gated = prev >= args.min_ms
             marker = " "
             if ratio > args.max_regression:
-                marker = "!" if gated else "~"  # ~ = sub-threshold noise
+                marker = "!" if gated else "~"  # ~ = ungated noise
                 if gated:
                     regressions.append((name, prev, current[name], ratio))
-            print(f"  {marker} {name}: {prev:.1f} -> {current[name]:.1f} ms "
-                  f"({ratio:.2f}x)")
+            print(f"  {marker} {name}: {fmt(name, prev)} -> "
+                  f"{fmt(name, current[name])} ({ratio:.2f}x)")
     else:
         print("perf-trend: no previous run; recording baseline")
         for name in sorted(current):
-            print(f"  BASE   {name}: {current[name]:.1f} ms")
+            print(f"  BASE   {name}: {fmt(name, current[name])}")
 
     if regressions:
         # Do NOT record the regressed run: the pre-regression numbers
@@ -106,8 +143,8 @@ def main():
               f"{args.max_regression}x (history left unchanged):",
               file=sys.stderr)
         for name, prev, cur, ratio in regressions:
-            print(f"  {name}: {prev:.1f} -> {cur:.1f} ms ({ratio:.2f}x)",
-                  file=sys.stderr)
+            print(f"  {name}: {fmt(name, prev)} -> {fmt(name, cur)} "
+                  f"({ratio:.2f}x)", file=sys.stderr)
         return 1
 
     history.append({
