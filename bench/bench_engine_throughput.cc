@@ -28,6 +28,16 @@
 // CI guard on the "near-zero cost when off, cheap when on" trace
 // contract (DESIGN.md §12).
 //
+// --overload=1 runs the admission-control experiment instead
+// (DESIGN.md §13): one engine with a small admission gate
+// (--overload_cap concurrent, --overload_queue queued) is driven at
+// 10x the cap. It fails unless every refused query carries a
+// governance code (shed / deadline / cancelled — never a crash or an
+// internal error), at least one query was shed, at least one ran to
+// completion, and the p95 latency of completed queries stays under
+// --overload_max_p95_ms — i.e. overload degrades by shedding, not by
+// collapsing.
+//
 // Exit status: 0 only when every query of every level succeeded and
 // every level reached --min_qps queries/sec (so a CI smoke run fails
 // on broken flags or a silently failing workload instead of printing
@@ -192,6 +202,13 @@ int Main(int argc, char** argv) {
       flags.GetDouble("max_trace_overhead_pct", 0.0);
   const std::string json_path =
       flags.GetString("json", "BENCH_engine_trace_overhead.json");
+  const bool overload = flags.GetBool("overload", false);
+  const size_t overload_cap =
+      static_cast<size_t>(flags.GetInt("overload_cap", 2));
+  const size_t overload_queue =
+      static_cast<size_t>(flags.GetInt("overload_queue", 4));
+  const double overload_max_p95_ms =
+      flags.GetDouble("overload_max_p95_ms", 10000.0);
   flags.FailOnUnused();
 
   const std::vector<size_t> levels = {1, 4, 16};
@@ -223,6 +240,93 @@ int Main(int argc, char** argv) {
     opts.trace_level = trace_level;
     return std::make_unique<engine::Engine>(std::move(corpus), opts);
   };
+
+  // --- overload experiment (replaces the sweeps) --------------------------
+  if (overload) {
+    const size_t drive = 10 * overload_cap;
+    std::printf(
+        "\n== overload: admission cap %zu (+%zu queued), driven at "
+        "concurrency %zu (10x) ==\n",
+        overload_cap, overload_queue, drive);
+    auto corpus = BuildMixedCorpus(xmark_scale, dblp_tag_scale, 1);
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "corpus: %s\n",
+                   corpus.status().ToString().c_str());
+      return 1;
+    }
+    engine::EngineOptions opts;
+    opts.num_threads = drive;  // RunBatch can actually drive 10x the cap
+    opts.cache_results = false;  // every admitted query must execute
+    opts.num_shards = num_shards;
+    opts.rox.tau = tau;
+    opts.rox.seed = seed;
+    opts.max_concurrent_queries = overload_cap;
+    opts.max_queued_queries = overload_queue;
+    engine::Engine eng(std::move(*corpus), opts);
+
+    StopWatch watch;
+    std::vector<engine::QueryResult> results = eng.RunBatch(workload, drive);
+    const double wall_ms = watch.ElapsedMillis();
+    size_t ok = 0, shed = 0, deadline = 0, cancelled = 0, other = 0;
+    for (const auto& r : results) {
+      if (r.ok()) {
+        ++ok;
+        continue;
+      }
+      switch (r.status.code()) {
+        case StatusCode::kResourceExhausted:
+          ++shed;
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++deadline;
+          break;
+        case StatusCode::kCancelled:
+          ++cancelled;
+          break;
+        default:
+          ++other;
+          std::fprintf(stderr, "non-governance failure: %s\n",
+                       r.status.ToString().c_str());
+          break;
+      }
+    }
+    engine::EngineStats stats = eng.Stats();
+    std::printf(
+        "  %zu queries in %.1f ms: %zu completed, %zu shed, %zu "
+        "deadline-exceeded, %zu cancelled, %zu other failures\n"
+        "  completed latency: p50 %.2f ms, p95 %.2f ms; peak admission "
+        "queue %zu\n",
+        results.size(), wall_ms, ok, shed, deadline, cancelled, other,
+        stats.p50_ms, stats.p95_ms, stats.peak_admission_queued);
+    if (other > 0) {
+      std::fprintf(stderr,
+                   "FAIL: %zu queries failed outside the governance "
+                   "codes\n",
+                   other);
+      return 1;
+    }
+    if (shed == 0) {
+      std::fprintf(stderr,
+                   "FAIL: 10x drive shed nothing — the admission gate "
+                   "did not engage\n");
+      return 1;
+    }
+    if (ok == 0) {
+      std::fprintf(stderr, "FAIL: no query completed under overload\n");
+      return 1;
+    }
+    if (overload_max_p95_ms > 0 && stats.p95_ms > overload_max_p95_ms) {
+      std::fprintf(stderr,
+                   "FAIL: completed-query p95 %.2f ms > "
+                   "--overload_max_p95_ms=%.2f\n",
+                   stats.p95_ms, overload_max_p95_ms);
+      return 1;
+    }
+    std::printf(
+        "  PASS: overload degraded by shedding (bounded p95, no "
+        "non-governance failures)\n");
+    return 0;
+  }
 
   // --- trace-overhead experiment (replaces the sweeps) --------------------
   if (trace_overhead) {

@@ -1,6 +1,7 @@
 // Interactive XQuery shell over the concurrent query engine.
 //
 //   $ ./xq_shell [--num_shards=K] [--trace_level=off|spans|full]
+//                [--deadline_ms=N] [--memory_budget_mb=N]
 //                file1.xml file2.xml ...
 //
 // Loads the given XML files into a corpus (doc("<basename>") resolves
@@ -13,6 +14,10 @@
 // fan out over K corpus shards (\stats shows the per-shard row
 // counts). --trace_level=spans|full (default off) records a flight-
 // recorder trace for every query, not just \profile's (DESIGN.md §12).
+// --deadline_ms=N / --memory_budget_mb=N (default 0 = unlimited) apply
+// a per-query deadline / memory budget to every query (DESIGN.md §13):
+// a query past either limit unwinds cooperatively with
+// kDeadlineExceeded / kResourceExhausted instead of running on.
 //
 // The corpus is *live* (DESIGN.md §10): \load and \drop publish new
 // epochs while the engine keeps serving — queries in flight finish on
@@ -28,7 +33,14 @@
 //   \explain QUERY      compile + ROX Phase-1 estimates, no execution
 //   \profile QUERY      execute with a full trace; print the span tree
 //   \metrics            process-wide metrics registry (text exposition)
+//   \kill               cancel every in-flight query (cooperative: each
+//                       unwinds at its next checkpoint with kCancelled)
+//   \wait               collect results of background queries
 //   \quit
+//
+// A query terminated by "&" instead of ";" runs in the background on
+// the engine's pool — the prompt returns immediately, \kill can cancel
+// it, and \wait (or \quit) collects its result.
 
 #include <cstdio>
 #include <cstdlib>
@@ -79,12 +91,33 @@ int main(int argc, char** argv) {
 
   size_t num_shards = 1;
   obs::TraceLevel trace_level = obs::TraceLevel::kOff;
+  QueryLimits limits;
   std::vector<char*> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     const std::string prefix = "--num_shards=";
     const std::string trace_prefix = "--trace_level=";
-    if (arg.rfind(prefix, 0) == 0) {
+    const std::string deadline_prefix = "--deadline_ms=";
+    const std::string budget_prefix = "--memory_budget_mb=";
+    if (arg.rfind(deadline_prefix, 0) == 0 ||
+        arg.rfind(budget_prefix, 0) == 0) {
+      bool is_deadline = arg.rfind(deadline_prefix, 0) == 0;
+      size_t skip = is_deadline ? deadline_prefix.size()
+                                : budget_prefix.size();
+      char* end = nullptr;
+      long v = std::strtol(arg.c_str() + skip, &end, 10);
+      if (end == nullptr || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "invalid %s (want a non-negative integer)\n",
+                     arg.c_str());
+        return 2;
+      }
+      if (is_deadline) {
+        limits.deadline_ms = static_cast<double>(v);
+      } else {
+        limits.memory_budget_bytes =
+            static_cast<uint64_t>(v) * 1024 * 1024;
+      }
+    } else if (arg.rfind(prefix, 0) == 0) {
       char* end = nullptr;
       long v = std::strtol(arg.c_str() + prefix.size(), &end, 10);
       if (end == nullptr || *end != '\0' || v < 1 || v > 1024) {
@@ -141,15 +174,76 @@ int main(int argc, char** argv) {
   options.num_threads = 4;
   options.num_shards = num_shards;
   options.trace_level = trace_level;
+  options.default_limits = limits;
   engine::Engine eng(std::move(corpus), options);
   if (num_shards > 1) {
     std::printf("sharded execution: %zu shards per document\n", num_shards);
   }
+  if (limits.deadline_ms > 0) {
+    std::printf("per-query deadline: %.0f ms\n", limits.deadline_ms);
+  }
+  if (limits.memory_budget_bytes > 0) {
+    std::printf("per-query memory budget: %llu MB\n",
+                static_cast<unsigned long long>(limits.memory_budget_bytes /
+                                                (1024 * 1024)));
+  }
 
   std::printf(
-      "enter an XQuery terminated by a ';' line "
+      "enter an XQuery terminated by a ';' line ('&' runs it in the "
+      "background)\n"
       "(\\docs, \\load, \\drop, \\epoch, \\stats, \\cache, \\explain, "
-      "\\profile, \\metrics, \\quit)\n");
+      "\\profile, \\metrics, \\kill, \\wait, \\quit)\n");
+
+  // Serializes and prints one finished query result (sync or
+  // background).
+  auto print_result = [](const engine::QueryResult& r) {
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status.ToString().c_str());
+      return;
+    }
+    // Serialize through the query's own pinned snapshot: a concurrent
+    // (or just-issued) \drop cannot invalidate the result's documents.
+    const Document& doc = r.snapshot->doc(r.result_doc);
+    size_t shown = 0;
+    for (Pre p : *r.items) {
+      if (shown++ == 20) {
+        std::printf("  ... (%zu more)\n", r.items->size() - 20);
+        break;
+      }
+      std::string s = SerializeSubtree(doc, p);
+      if (s.size() > 200) s = s.substr(0, 200) + "...";
+      std::printf("  %s\n", s.c_str());
+    }
+    if (r.result_cache_hit) {
+      std::printf("%zu items in %.2f ms (replayed from result cache)\n",
+                  r.items->size(), r.wall_ms);
+    } else {
+      std::printf(
+          "%zu items in %.2f ms (epoch %llu); %llu edges executed%s; "
+          "sampling %.2f ms, execution %.2f ms%s\n",
+          r.items->size(), r.wall_ms,
+          static_cast<unsigned long long>(r.epoch),
+          static_cast<unsigned long long>(r.rox_stats.edges_executed),
+          r.plan_cache_hit ? " (cached plan)" : "",
+          r.rox_stats.sampling_time.TotalMillis(),
+          r.rox_stats.execution_time.TotalMillis(),
+          r.warm_started ? " (warm-started weights)" : "");
+    }
+  };
+
+  // Queries running on the engine pool (submitted with '&'); \wait and
+  // shell exit collect them.
+  std::vector<std::future<engine::QueryResult>> background;
+  auto collect_background = [&]() {
+    for (auto& f : background) {
+      engine::QueryResult r = f.get();
+      std::printf("[background query %llu]\n",
+                  static_cast<unsigned long long>(r.sequence));
+      print_result(r);
+    }
+    background.clear();
+  };
+
   std::string query, line;
   while (std::printf("xq> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
@@ -286,53 +380,49 @@ int main(int argc, char** argv) {
       std::printf("%s", obs::MetricsRegistry::Global().DumpText().c_str());
       continue;
     }
+    if (cmd == "\\kill") {
+      size_t n = eng.KillAll();
+      std::printf("cancel signalled to %zu in-flight quer%s\n", n,
+                  n == 1 ? "y" : "ies");
+      continue;
+    }
+    if (cmd == "\\wait") {
+      if (background.empty()) {
+        std::printf("  (no background queries)\n");
+        continue;
+      }
+      collect_background();
+      continue;
+    }
     if (!cmd.empty()) {
       std::printf(
           "unknown command %s (try \\docs, \\load, \\drop, \\epoch, "
-          "\\stats, \\cache, \\explain, \\profile, \\metrics, \\quit)\n",
+          "\\stats, \\cache, \\explain, \\profile, \\metrics, \\kill, "
+          "\\wait, \\quit)\n",
           cmd.c_str());
       continue;
     }
-    if (line != ";") {
+    if (line != ";" && line != "&") {
       query += line;
       query += '\n';
+      continue;
+    }
+    if (line == "&") {
+      // Run on the engine pool; the prompt stays live so \kill can
+      // cancel it cooperatively.
+      background.push_back(eng.Submit(query));
+      std::printf("submitted in background (\\kill cancels, \\wait "
+                  "collects)\n");
+      query.clear();
       continue;
     }
     // Execute the accumulated query through the engine.
     engine::QueryResult r = eng.Run(query);
     query.clear();
-    if (!r.ok()) {
-      std::printf("error: %s\n", r.status.ToString().c_str());
-      continue;
-    }
-    // Serialize through the query's own pinned snapshot: a concurrent
-    // (or just-issued) \drop cannot invalidate the result's documents.
-    const Document& doc = r.snapshot->doc(r.result_doc);
-    size_t shown = 0;
-    for (Pre p : *r.items) {
-      if (shown++ == 20) {
-        std::printf("  ... (%zu more)\n", r.items->size() - 20);
-        break;
-      }
-      std::string s = SerializeSubtree(doc, p);
-      if (s.size() > 200) s = s.substr(0, 200) + "...";
-      std::printf("  %s\n", s.c_str());
-    }
-    if (r.result_cache_hit) {
-      std::printf("%zu items in %.2f ms (replayed from result cache)\n",
-                  r.items->size(), r.wall_ms);
-    } else {
-      std::printf(
-          "%zu items in %.2f ms (epoch %llu); %llu edges executed%s; "
-          "sampling %.2f ms, execution %.2f ms%s\n",
-          r.items->size(), r.wall_ms,
-          static_cast<unsigned long long>(r.epoch),
-          static_cast<unsigned long long>(r.rox_stats.edges_executed),
-          r.plan_cache_hit ? " (cached plan)" : "",
-          r.rox_stats.sampling_time.TotalMillis(),
-          r.rox_stats.execution_time.TotalMillis(),
-          r.warm_started ? " (warm-started weights)" : "");
-    }
+    print_result(r);
   }
+  // Collect (and thereby wait for) any background queries still in
+  // flight so their results are not silently dropped at exit.
+  collect_background();
   return 0;
 }

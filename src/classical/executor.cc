@@ -85,7 +85,8 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
     auto authors_span = corpus_.element_index(d).Lookup(author_);
     std::vector<Pre> authors(authors_span.begin(), authors_span.end());
     JoinPairs pairs = ShardedStructuralJoinPairs(
-        sharded_, d, doc, authors, StepSpec::ChildText(), nullptr, nullptr);
+        sharded_, d, doc, authors, StepSpec::ChildText(), nullptr, nullptr,
+        cancel_);
     Partition part;
     if (lazy_) {
       // The pair arrays are the view: authors as the base of a
@@ -143,7 +144,7 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
     const Document& part_doc = corpus_.doc(docs_[part.docs[0]]);
     JoinPairs pairs = ShardedValueIndexJoinPairs(
         sharded_, part_doc, probe_col(part), corpus_.doc(d),
-        corpus_.value_index(d), ValueProbeSpec::Text(), nullptr);
+        corpus_.value_index(d), ValueProbeSpec::Text(), nullptr, cancel_);
     Partition out;
     if (lazy_) {
       out.view = ExtendViewWithPairs(part.view, std::move(pairs), arena);
@@ -167,7 +168,7 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
                                  ? y.view.DistinctColumn(y.join_value_col)
                                  : y.table.DistinctColumn(y.join_value_col);
     JoinPairs pairs = ShardedHashValueJoinPairs(sharded_, xd, probe_col(x),
-                                                yd, inner, nullptr);
+                                                yd, inner, nullptr, cancel_);
     Partition out;
     size_t x_cols = cols_of(x);
     if (lazy_) {
@@ -250,6 +251,11 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
     }
   }
 
+  // A tripped token made the kernels above stop early (truncated
+  // partitions); report the governance error instead of a wrong count.
+  if (cancel_ != nullptr) {
+    ROX_RETURN_IF_ERROR(cancel_->Check());
+  }
   stats.result_rows = rows_of(result);
   stats.elapsed_ms = watch.ElapsedMillis();
   if (plan_span.armed()) {

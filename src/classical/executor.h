@@ -14,6 +14,7 @@
 
 #include "classical/plans.h"
 #include "common/status.h"
+#include "engine/governor.h"
 #include "index/corpus.h"
 #include "index/sharded_corpus.h"
 #include "obs/trace.h"
@@ -66,6 +67,12 @@ class CanonicalPlanExecutor {
   // recorded from the calling thread only, must outlive the runs.
   void set_trace(obs::QueryTrace* trace) { trace_ = trace; }
 
+  // Cooperative cancellation for subsequent Run() calls (null = off,
+  // the default). The token is handed to every join kernel and checked
+  // after each join; a tripped run returns the token's governance
+  // Status (DESIGN.md §13). Same lifetime contract as set_trace.
+  void set_cancel(const CancellationToken* cancel) { cancel_ = cancel; }
+
  private:
   const Corpus& corpus_;
   std::vector<DocId> docs_;
@@ -73,6 +80,7 @@ class CanonicalPlanExecutor {
   const ShardedExec* sharded_;
   bool lazy_;
   obs::QueryTrace* trace_ = nullptr;
+  const CancellationToken* cancel_ = nullptr;
 };
 
 // Cumulative join cardinality of a join order computed purely from the

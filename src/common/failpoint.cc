@@ -1,0 +1,69 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <thread>
+
+namespace rox {
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+void FailpointRegistry::Enable(const std::string& name, FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = armed_.insert_or_assign(name, Armed{std::move(spec)});
+  (void)it;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_release);
+}
+
+void FailpointRegistry::Disable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_.erase(name) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void FailpointRegistry::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(static_cast<int>(armed_.size()),
+                         std::memory_order_release);
+  armed_.clear();
+}
+
+Status FailpointRegistry::Hit(const char* name) {
+  if (armed_count_.load(std::memory_order_acquire) == 0) {
+    return Status::Ok();
+  }
+  FailpointSpec fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = armed_.find(name);
+    if (it == armed_.end()) return Status::Ok();
+    Armed& a = it->second;
+    ++a.hits;
+    if (a.hits <= a.spec.skip_hits) return Status::Ok();
+    if (a.spec.max_fires > 0 && a.fires >= a.spec.max_fires) {
+      return Status::Ok();
+    }
+    ++a.fires;
+    fired = a.spec;
+  }
+  // Sleep outside the lock so a delay failpoint cannot serialize
+  // unrelated sites.
+  if (fired.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fired.delay_ms));
+  }
+  if (fired.code == StatusCode::kOk) return Status::Ok();
+  return Status(fired.code, fired.message.empty()
+                                ? std::string("failpoint ") + name
+                                : fired.message);
+}
+
+uint64_t FailpointRegistry::HitCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = armed_.find(name);
+  return it == armed_.end() ? 0 : it->second.hits;
+}
+
+}  // namespace rox

@@ -1,0 +1,105 @@
+// Deterministic fault injection for governance-relevant sites
+// (DESIGN.md §13). A failpoint is a named hook compiled into the code
+// path; tests arm it with an error to return, a delay to sleep, or a
+// trigger countdown, making every rarely-taken error path reachable on
+// demand.
+//
+// The hooks are compiled OUT by default: without the ROX_FAILPOINTS
+// compile definition (CMake option of the same name) the macros expand
+// to nothing and the hot paths carry zero cost. The registry type
+// itself is always built so tests can compile either way and skip when
+// the hooks are absent.
+//
+//   ROX_FAILPOINT(name)      returns the armed error Status from the
+//                            enclosing function (after any delay);
+//                            no-op when unarmed
+//   ROX_FAILPOINT_HIT(name)  boolean expression: true when the armed
+//                            failpoint fires (after any delay); usable
+//                            where no Status can be returned, e.g. to
+//                            force a budget latch
+//
+// Arming is process-global and thread-safe; hit accounting is exposed
+// so tests can assert a site was actually reached.
+
+#ifndef ROX_COMMON_FAILPOINT_H_
+#define ROX_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace rox {
+
+// What an armed failpoint does when its site is hit.
+struct FailpointSpec {
+  // Error returned by ROX_FAILPOINT sites; kOk means delay-only.
+  // ROX_FAILPOINT_HIT sites fire whenever the code is non-kOk (the
+  // specific code is ignored there — the site supplies its own
+  // failure semantics, e.g. forcing a budget latch).
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  // Sleep applied before returning/firing (both macro forms).
+  int64_t delay_ms = 0;
+  // Fire only after this many hits have passed through (0: every hit).
+  uint64_t skip_hits = 0;
+  // Disarm after this many fires (0: stay armed).
+  uint64_t max_fires = 0;
+};
+
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Global();
+
+  // Arms `name` with `spec`, replacing any previous arming.
+  void Enable(const std::string& name, FailpointSpec spec);
+  void Disable(const std::string& name);
+  void DisableAll();
+
+  // Site entry point (wrapped by the macros): applies the armed spec.
+  // Returns the armed error (kOk when unarmed, delay-only, skipped, or
+  // expired).
+  Status Hit(const char* name);
+
+  // True when the armed failpoint fired on this hit (non-Status sites).
+  bool HitBool(const char* name) { return !Hit(name).ok(); }
+
+  // Total times the named site was reached (armed or not) since the
+  // last Enable/DisableAll for it. Returns 0 for unknown names.
+  uint64_t HitCount(const std::string& name) const;
+
+ private:
+  struct Armed {
+    FailpointSpec spec;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  // Fast-path guard: sites skip the mutex while nothing is armed.
+  std::atomic<int> armed_count_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, Armed> armed_;
+};
+
+}  // namespace rox
+
+#ifdef ROX_FAILPOINTS
+#define ROX_FAILPOINT(name)                                         \
+  do {                                                              \
+    ::rox::Status rox_fp_status_ =                                  \
+        ::rox::FailpointRegistry::Global().Hit(name);               \
+    if (!rox_fp_status_.ok()) return rox_fp_status_;                \
+  } while (false)
+#define ROX_FAILPOINT_HIT(name) \
+  (::rox::FailpointRegistry::Global().HitBool(name))
+#else
+#define ROX_FAILPOINT(name) \
+  do {                      \
+  } while (false)
+#define ROX_FAILPOINT_HIT(name) (false)
+#endif
+
+#endif  // ROX_COMMON_FAILPOINT_H_

@@ -24,6 +24,11 @@ enum class StatusCode : uint8_t {
   kParseError,
   kInternal,
   kUnimplemented,
+  // Query-lifecycle governance (DESIGN.md §13): the three ways a query
+  // is stopped before producing its result.
+  kCancelled,          // externally killed (\kill, client disconnect)
+  kDeadlineExceeded,   // per-query deadline elapsed
+  kResourceExhausted,  // memory/row budget exceeded or admission shed
 };
 
 // Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -59,6 +64,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -64,6 +64,45 @@ class TimeAccumulator {
   int depth_ = 0;
 };
 
+// A monotonic point in time a query must finish by. Built on
+// steady_clock so deadline math is immune to wall-clock adjustments —
+// the same rule all latency measurement in this codebase follows
+// (never system_clock). Default-constructed deadlines are infinite.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Infinite: never expires.
+  Deadline() : when_(Clock::time_point::max()) {}
+  explicit Deadline(Clock::time_point when) : when_(when) {}
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline AfterMillis(int64_t ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+
+  bool IsInfinite() const { return when_ == Clock::time_point::max(); }
+  bool Expired() const { return !IsInfinite() && Clock::now() >= when_; }
+
+  // Time left; clamped at zero once expired, huge when infinite.
+  std::chrono::nanoseconds Remaining() const {
+    if (IsInfinite()) return std::chrono::nanoseconds::max();
+    auto left = when_ - Clock::now();
+    return left.count() < 0 ? std::chrono::nanoseconds(0)
+                            : std::chrono::duration_cast<
+                                  std::chrono::nanoseconds>(left);
+  }
+  double RemainingMillis() const {
+    if (IsInfinite()) return 1e300;
+    return static_cast<double>(Remaining().count()) / 1e6;
+  }
+
+  Clock::time_point when() const { return when_; }
+
+ private:
+  Clock::time_point when_;
+};
+
 // RAII guard that accumulates the lifetime of a scope into `acc`.
 class ScopedTimer {
  public:

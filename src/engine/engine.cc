@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/timer.h"
 #include "xq/parser.h"
 
@@ -58,6 +59,23 @@ std::string EngineStats::ToString() const {
       static_cast<double>(bytes_gathered) / (1024.0 * 1024.0),
       static_cast<unsigned long long>(peak_intermediate_rows));
   std::string out = buf;
+  if (queries_shed + queries_cancelled + queries_deadline_exceeded +
+          queries_budget_exceeded + peak_query_memory_bytes +
+          admission_running + admission_queued >
+      0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "\ngovernor: %llu shed, %llu cancelled, %llu deadline-exceeded, "
+        "%llu over-budget; peak query memory %.2f MB; admission %zu "
+        "running / %zu queued (peak %zu)",
+        static_cast<unsigned long long>(queries_shed),
+        static_cast<unsigned long long>(queries_cancelled),
+        static_cast<unsigned long long>(queries_deadline_exceeded),
+        static_cast<unsigned long long>(queries_budget_exceeded),
+        static_cast<double>(peak_query_memory_bytes) / (1024.0 * 1024.0),
+        admission_running, admission_queued, peak_admission_queued);
+    out += buf;
+  }
   if (num_shards > 1) {
     std::snprintf(buf, sizeof(buf),
                   "\nshards: %zu, %llu fan-out steps; rows per shard:",
@@ -78,6 +96,7 @@ Engine::Engine(Corpus corpus, EngineOptions options)
 
 Engine::Engine(std::shared_ptr<const Corpus> corpus, EngineOptions options)
     : options_(options),
+      gate_(options.max_concurrent_queries, options.max_queued_queries),
       cache_(options.cache_capacity),
       pool_(options.num_threads) {
   ROX_CHECK(corpus != nullptr);
@@ -178,9 +197,38 @@ std::future<QueryResult> Engine::Submit(std::string query_text) {
   });
 }
 
+std::future<QueryResult> Engine::Submit(std::string query_text,
+                                        QueryLimits limits) {
+  uint64_t seq = next_sequence_.fetch_add(1);
+  return pool_.Async([this, text = std::move(query_text), seq, limits]() {
+    return Execute(text, seq, options_.trace_level,
+                   /*allow_result_replay=*/true, &limits);
+  });
+}
+
 QueryResult Engine::Run(std::string query_text) {
   return Execute(query_text, next_sequence_.fetch_add(1),
                  options_.trace_level);
+}
+
+QueryResult Engine::Run(std::string query_text, QueryLimits limits) {
+  return Execute(query_text, next_sequence_.fetch_add(1),
+                 options_.trace_level, /*allow_result_replay=*/true,
+                 &limits);
+}
+
+bool Engine::Kill(uint64_t sequence) {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  auto it = active_.find(sequence);
+  if (it == active_.end()) return false;
+  it->second->Cancel();
+  return true;
+}
+
+size_t Engine::KillAll() {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  for (auto& [seq, token] : active_) token->Cancel();
+  return active_.size();
 }
 
 QueryResult Engine::Profile(std::string query_text) {
@@ -310,10 +358,61 @@ std::vector<QueryResult> Engine::RunBatch(
 
 QueryResult Engine::Execute(const std::string& text, uint64_t seq,
                             obs::TraceLevel trace_level,
-                            bool allow_result_replay) {
+                            bool allow_result_replay,
+                            const QueryLimits* limits_in) {
   StopWatch watch;
   QueryResult out;
   out.sequence = seq;
+
+  // --- query governance (DESIGN.md §13) -------------------------------------
+  // The deadline is armed before admission so time spent queued counts
+  // against it; the budget meters every query (limit 0 never latches),
+  // so peak-footprint stats stay meaningful even ungoverned.
+  const QueryLimits limits =
+      limits_in != nullptr ? *limits_in : options_.default_limits;
+  MemoryBudget budget(limits.memory_budget_bytes);
+  CancellationToken token;
+  token.set_budget(&budget);
+  if (limits.deadline_ms > 0) {
+    token.ArmDeadline(
+        Deadline::AfterMillis(static_cast<int64_t>(limits.deadline_ms)));
+  }
+
+  // Registered before admission so Kill() reaches queued queries too;
+  // the guard unregisters on every return path (the token is on this
+  // stack frame, so the map entry must not outlive it).
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    active_.emplace(seq, &token);
+  }
+  struct ActiveGuard {
+    Engine* engine;
+    uint64_t seq;
+    ~ActiveGuard() {
+      std::lock_guard<std::mutex> lock(engine->active_mu_);
+      engine->active_.erase(seq);
+    }
+  } active_guard{this, seq};
+
+  // Classifies the governance outcome of a finished record: at most one
+  // flag, derived from the status the query is returning with.
+  auto classify = [&](QueryRecord rec) {
+    rec.memory_bytes = budget.used();
+    switch (out.status.code()) {
+      case StatusCode::kCancelled:
+        rec.cancelled = true;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        rec.deadline_exceeded = true;
+        break;
+      case StatusCode::kResourceExhausted:
+        rec.budget_exceeded = true;
+        break;
+      default:
+        break;
+    }
+    return rec;
+  };
 
   // The flight recorder. Off (the default) allocates nothing; every
   // instrumentation site below and in the layers underneath is a
@@ -324,17 +423,74 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq,
     trace = std::make_shared<obs::QueryTrace>(trace_level);
     root_span = trace->BeginSpan("query");
     trace->AttrNum(root_span, "seq", static_cast<double>(seq));
+    if (limits.deadline_ms > 0) {
+      trace->AttrNum(root_span, "deadline_ms", limits.deadline_ms);
+    }
+    if (limits.memory_budget_bytes > 0) {
+      trace->AttrNum(root_span, "memory_budget_bytes",
+                     static_cast<double>(limits.memory_budget_bytes));
+    }
   }
   // Closes the root span and hands the trace to the result on every
-  // return path.
+  // return path; also the single site stamping the budget meter into
+  // the result.
   auto finish_trace = [&]() {
+    out.memory_bytes = budget.used();
     if (trace != nullptr) {
       trace->AttrStr(root_span, "status",
                      out.ok() ? "ok" : out.status.ToString());
+      trace->AttrNum(root_span, "memory_bytes",
+                     static_cast<double>(out.memory_bytes));
       trace->EndSpan(root_span);
       out.trace = std::move(trace);
     }
   };
+
+  // Bounded admission: when a gate is configured, wait (within the
+  // deadline) for an execution slot; shed immediately when the wait
+  // queue is full. The ticket holds the slot for the whole execution.
+  AdmissionGate::Ticket admission;
+  if (options_.max_concurrent_queries > 0) {
+    obs::ScopedSpan admit_span(trace.get(), "admission");
+    Result<AdmissionGate::Ticket> ticket = gate_.Admit(token.deadline());
+    if (!ticket.ok()) {
+      out.status = ticket.status();
+      out.wall_ms = watch.ElapsedMillis();
+      QueryRecord rec{.latency_ms = out.wall_ms, .failed = true};
+      // kResourceExhausted here means the queue was full (shed, the
+      // query never ran) — distinct from a budget trip; anything else
+      // is the deadline lapsing while queued.
+      if (out.status.code() == StatusCode::kResourceExhausted) {
+        rec.shed = true;
+      } else {
+        rec.deadline_exceeded = true;
+      }
+      stats_.Record(rec);
+      finish_trace();
+      return out;
+    }
+    admission = std::move(*ticket);
+  }
+
+  // Test-only fault injection (compiled out without ROX_FAILPOINTS):
+  // fail the query right after admission, before it touches any state.
+  if (ROX_FAILPOINT_HIT("engine.execute")) {
+    out.status = Status::Internal("failpoint engine.execute fired");
+    out.wall_ms = watch.ElapsedMillis();
+    stats_.Record(classify({.latency_ms = out.wall_ms, .failed = true}));
+    finish_trace();
+    return out;
+  }
+
+  // A query cancelled or past deadline before doing any work (e.g. the
+  // gate is off but the deadline already lapsed) exits here.
+  if (Status early = token.Check(); !early.ok()) {
+    out.status = early;
+    out.wall_ms = watch.ElapsedMillis();
+    stats_.Record(classify({.latency_ms = out.wall_ms, .failed = true}));
+    finish_trace();
+    return out;
+  }
 
   // Pin the published epoch for the whole execution: the snapshot (and
   // the sharded view / fan-out bundle packaged with it) stays alive
@@ -368,6 +524,20 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq,
       compiled = entry->compiled;
       if (options_.cache_results && allow_result_replay &&
           entry->result != nullptr) {
+        // The row cap applies to replays too: the memoized result is
+        // the result this query would produce, so an over-cap replay
+        // fails exactly like an over-cap execution — without running.
+        if (limits.max_result_rows > 0 &&
+            entry->result->size() > limits.max_result_rows) {
+          out.status = Status::ResourceExhausted(
+              "query result exceeds max_result_rows limit");
+          out.wall_ms = watch.ElapsedMillis();
+          stats_.Record(classify({.latency_ms = out.wall_ms,
+                                  .failed = true,
+                                  .plan_cache_hit = true}));
+          finish_trace();
+          return out;
+        }
         out.compiled = compiled;
         out.items = entry->result;
         out.result_doc =
@@ -437,6 +607,12 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq,
       options_.lazy_materialization && options_.rox.lazy_materialization;
   if (st->sharded != nullptr) rox.sharded = &st->exec;
   rox.query_trace = trace.get();
+  // Hand the whole pipeline its stop signal and allocation meter: the
+  // optimizer polls the token at round/edge boundaries, kernels poll it
+  // amortized in their emission loops, and the run's column arena
+  // charges the budget.
+  rox.cancel = &token;
+  rox.budget = &budget;
   std::vector<double> learned;
   RoxStats rox_stats;
   Result<std::vector<Pre>> items = [&]() {
@@ -462,10 +638,39 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq,
   if (!items.ok()) {
     out.status = items.status();
     out.wall_ms = watch.ElapsedMillis();
-    stats_.Record({.latency_ms = out.wall_ms,
-                   .failed = true,
-                   .plan_cache_hit = out.plan_cache_hit,
-                   .plan_cache_miss = compiled_now});
+    stats_.Record(classify({.latency_ms = out.wall_ms,
+                            .failed = true,
+                            .plan_cache_hit = out.plan_cache_hit,
+                            .plan_cache_miss = compiled_now}));
+    finish_trace();
+    return out;
+  }
+  // Final governance checkpoint: a trip that landed after the last
+  // in-run poll (e.g. a budget latch during final gather) must not
+  // surface as OK — deadline/budget semantics are "the whole query,
+  // bounded", not "the parts that happened to poll".
+  if (Status late = token.Check(); !late.ok()) {
+    out.status = late;
+    out.wall_ms = watch.ElapsedMillis();
+    stats_.Record(classify({.latency_ms = out.wall_ms,
+                            .failed = true,
+                            .plan_cache_hit = out.plan_cache_hit,
+                            .plan_cache_miss = compiled_now}));
+    finish_trace();
+    return out;
+  }
+  if (limits.max_result_rows > 0 &&
+      items->size() > limits.max_result_rows) {
+    // The run completed but produced more rows than the caller is
+    // willing to accept; fail without caching (a capped client must
+    // not poison the shared result cache with its refusal).
+    out.status = Status::ResourceExhausted(
+        "query result exceeds max_result_rows limit");
+    out.wall_ms = watch.ElapsedMillis();
+    stats_.Record(classify({.latency_ms = out.wall_ms,
+                            .failed = true,
+                            .plan_cache_hit = out.plan_cache_hit,
+                            .plan_cache_miss = compiled_now}));
     finish_trace();
     return out;
   }

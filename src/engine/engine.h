@@ -15,7 +15,11 @@
 //     prior runs (warm-starting ROX's Phase 1), and optionally the
 //     final result sequence — all invalidated on publish,
 //   * a StatsCollector aggregating latency/cache/optimizer/epoch
-//     statistics.
+//     statistics,
+//   * a governance layer (DESIGN.md §13): every query runs under a
+//     CancellationToken + MemoryBudget pair (deadline, kill switch,
+//     memory cap, result-row cap), and an optional AdmissionGate
+//     bounds concurrent + queued queries, shedding the excess.
 //
 // Every in-flight query gets its own RoxState and an independently
 // seeded RNG stream (base seed mixed with the query's sequence number),
@@ -33,12 +37,14 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/engine_stats.h"
+#include "engine/governor.h"
 #include "engine/query_cache.h"
 #include "index/corpus.h"
 #include "index/sharded_corpus.h"
@@ -108,6 +114,19 @@ struct EngineOptions {
   // inject private registries).
   obs::MetricsRegistry* metrics = nullptr;
 
+  // Query-lifecycle governance (DESIGN.md §13). `default_limits`
+  // applies to every query that does not carry its own QueryLimits
+  // (the Run/Submit overloads); all-zero (the default) runs unbounded.
+  QueryLimits default_limits;
+
+  // Admission control: at most this many queries execute concurrently
+  // while at most `max_queued_queries` wait for a slot; anything beyond
+  // is shed immediately with kResourceExhausted. A queued query whose
+  // deadline lapses leaves with kDeadlineExceeded without running.
+  // 0 (the default) disables the gate entirely.
+  size_t max_concurrent_queries = 0;
+  size_t max_queued_queries = 64;
+
   // Base per-query optimizer options; each query's seed is derived
   // from rox.seed and the query's sequence number.
   RoxOptions rox;
@@ -143,8 +162,13 @@ struct QueryResult {
   bool result_cache_hit = false;
   bool warm_started = false;
   double wall_ms = 0;
-  // Engine-assigned sequence number (also the query's RNG stream id).
+  // Engine-assigned sequence number (also the query's RNG stream id,
+  // and the handle Engine::Kill takes).
   uint64_t sequence = 0;
+  // Bytes the query's memory budget metered (arena blocks, adopted
+  // columns, eager pair-result materializations). Informational even
+  // when no budget limit was set.
+  uint64_t memory_bytes = 0;
   // The query's flight recorder; null when the effective trace level
   // was kOff (the default).
   std::shared_ptr<const obs::QueryTrace> trace;
@@ -209,11 +233,27 @@ class Engine {
   // reused; pinned older epochs still serve the document.
   Status RemoveDocument(std::string_view name);
 
-  // Asynchronous execution on the owned pool.
+  // Asynchronous execution on the owned pool. The overload applies
+  // per-query limits in place of options().default_limits.
   std::future<QueryResult> Submit(std::string query_text);
+  std::future<QueryResult> Submit(std::string query_text,
+                                  QueryLimits limits);
 
   // Synchronous execution on the calling thread (same cache/stats).
   QueryResult Run(std::string query_text);
+  QueryResult Run(std::string query_text, QueryLimits limits);
+
+  // --- cooperative kill (DESIGN.md §13) -------------------------------------
+  //
+  // Cancels the in-flight query with this sequence number (the one
+  // QueryResult::sequence reports). Returns false when no such query is
+  // active. The cancel is cooperative: the query unwinds at its next
+  // token checkpoint with kCancelled. A query queued at the admission
+  // gate keeps its slot reservation until one frees, then exits
+  // immediately without executing.
+  bool Kill(uint64_t sequence);
+  // Cancels every in-flight query; returns how many were signalled.
+  size_t KillAll();
 
   // Like Run but forces a full-detail trace for this one query and
   // bypasses the result-cache replay so an execution actually happens
@@ -240,6 +280,9 @@ class Engine {
     EngineStats out = stats_.Snapshot();
     out.num_shards = options_.num_shards > 0 ? options_.num_shards : 1;
     out.epoch = CurrentEpoch();
+    out.admission_running = gate_.running();
+    out.admission_queued = gate_.queued();
+    out.peak_admission_queued = gate_.peak_queued();
     return out;
   }
   void ResetStats() { stats_.Reset(); }
@@ -275,12 +318,24 @@ class Engine {
   // builder started from (still current, since writers are serial).
   void Publish(CorpusBuilder builder, const PublishedState& base);
 
+  // `limits` null applies options_.default_limits.
   QueryResult Execute(const std::string& text, uint64_t seq,
                       obs::TraceLevel trace_level,
-                      bool allow_result_replay = true);
+                      bool allow_result_replay = true,
+                      const QueryLimits* limits = nullptr);
 
   EngineOptions options_;
   StatsCollector stats_;
+
+  // Admission gate (inert when max_concurrent_queries is 0; Execute
+  // never calls Admit then).
+  AdmissionGate gate_;
+
+  // In-flight queries' cancellation tokens, keyed by sequence number —
+  // the \kill surface. Entries live exactly as long as Execute's stack
+  // frame; tokens are owned by that frame, never by this map.
+  mutable std::mutex active_mu_;
+  std::unordered_map<uint64_t, CancellationToken*> active_;
 
   mutable std::mutex cache_mu_;
   QueryCache cache_;

@@ -69,6 +69,22 @@ struct EngineStats {
   // snapshot fuzz suite.
   uint64_t stale_cache_hits = 0;
 
+  // Query-lifecycle governance (DESIGN.md §13). Shed queries were
+  // refused at the admission gate and never ran; the other three
+  // counters classify queries that started and were stopped by their
+  // token. Peak memory is the largest single-query budget meter seen.
+  uint64_t queries_shed = 0;
+  uint64_t queries_cancelled = 0;
+  uint64_t queries_deadline_exceeded = 0;
+  uint64_t queries_budget_exceeded = 0;
+  uint64_t peak_query_memory_bytes = 0;
+  // Admission gate occupancy, re-read at snapshot time (like epoch,
+  // engine state rather than a counter). All zero when no gate is
+  // configured.
+  size_t admission_running = 0;
+  size_t admission_queued = 0;
+  size_t peak_admission_queued = 0;
+
   // Latency distribution over all finished queries (cache hits
   // included — a hit's latency is real service latency).
   double p50_ms = 0;
@@ -103,6 +119,15 @@ struct QueryRecord {
   bool plan_cache_hit = false;
   bool plan_cache_miss = false;  // a compile happened
   bool result_cache_hit = false;
+  // Governance outcome (DESIGN.md §13): shed means refused at
+  // admission; the other three classify a token trip. At most one is
+  // set, and any of them implies `failed`.
+  bool shed = false;
+  bool cancelled = false;
+  bool deadline_exceeded = false;
+  bool budget_exceeded = false;
+  // The query's MemoryBudget meter at finish (0 when ungoverned).
+  uint64_t memory_bytes = 0;
   const RoxStats* rox = nullptr;  // null for result-cache hits / failures
 };
 
@@ -143,6 +168,12 @@ class StatsCollector {
     m_.execution_ms = registry->GetGauge("engine.rox.execution_ms_total");
     m_.latency = registry->GetHistogram("engine.query.latency_ms",
                                         obs::Histogram::LatencyBucketsMs());
+    m_.shed = registry->GetCounter("engine.governor.shed");
+    m_.cancelled = registry->GetCounter("engine.governor.cancelled");
+    m_.deadline = registry->GetCounter("engine.governor.deadline_exceeded");
+    m_.budget = registry->GetCounter("engine.governor.budget_exceeded");
+    m_.peak_memory =
+        registry->GetGauge("engine.governor.peak_query_memory_bytes");
   }
 
   void Record(const QueryRecord& r) {
@@ -182,6 +213,22 @@ class StatsCollector {
         m_.fanouts->Inc(r.rox->sharded.fanouts);
         m_.sampling_ms->Add(r.rox->sampling_time.TotalMillis());
         m_.execution_ms->Add(r.rox->execution_time.TotalMillis());
+      }
+    }
+    counters_.queries_shed += r.shed ? 1 : 0;
+    counters_.queries_cancelled += r.cancelled ? 1 : 0;
+    counters_.queries_deadline_exceeded += r.deadline_exceeded ? 1 : 0;
+    counters_.queries_budget_exceeded += r.budget_exceeded ? 1 : 0;
+    counters_.peak_query_memory_bytes =
+        std::max(counters_.peak_query_memory_bytes, r.memory_bytes);
+    if (m_.shed != nullptr) {
+      if (r.shed) m_.shed->Inc();
+      if (r.cancelled) m_.cancelled->Inc();
+      if (r.deadline_exceeded) m_.deadline->Inc();
+      if (r.budget_exceeded) m_.budget->Inc();
+      // Under mu_, so the read-modify-write max is race-free.
+      if (static_cast<double>(r.memory_bytes) > m_.peak_memory->Value()) {
+        m_.peak_memory->Set(static_cast<double>(r.memory_bytes));
       }
     }
     if (!r.failed) {
@@ -297,6 +344,11 @@ class StatsCollector {
     obs::Gauge* sampling_ms = nullptr;
     obs::Gauge* execution_ms = nullptr;
     obs::Histogram* latency = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* deadline = nullptr;
+    obs::Counter* budget = nullptr;
+    obs::Gauge* peak_memory = nullptr;
   };
   Instruments m_;
 };

@@ -1,0 +1,66 @@
+#include "engine/governor.h"
+
+namespace rox {
+
+Status CancellationToken::Check() const {
+  if (!StopRequested()) return Status::Ok();
+  switch (TripReason()) {
+    case StatusCode::kCancelled:
+      return Status::Cancelled("query cancelled");
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded("query deadline exceeded");
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted("query memory budget exceeded");
+    default:
+      return Status::Internal("cancellation token tripped without reason");
+  }
+}
+
+Result<AdmissionGate::Ticket> AdmissionGate::Admit(const Deadline& deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_ < max_concurrent_) {
+    ++running_;
+    return Ticket(this);
+  }
+  if (queued_ >= max_queued_) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted("admission queue full, query shed");
+  }
+  ++queued_;
+  if (queued_ > peak_queued_) peak_queued_ = queued_;
+  auto admissible = [this] { return running_ < max_concurrent_; };
+  if (deadline.IsInfinite()) {
+    cv_.wait(lock, admissible);
+  } else if (!cv_.wait_until(lock, deadline.when(), admissible)) {
+    --queued_;
+    return Status::DeadlineExceeded("query deadline exceeded while queued");
+  }
+  --queued_;
+  ++running_;
+  return Ticket(this);
+}
+
+void AdmissionGate::Leave() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  cv_.notify_one();
+}
+
+size_t AdmissionGate::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+size_t AdmissionGate::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+size_t AdmissionGate::peak_queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_queued_;
+}
+
+}  // namespace rox

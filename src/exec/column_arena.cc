@@ -12,6 +12,7 @@ std::span<uint32_t> ColumnArena::Alloc(size_t n) {
     block_words_ = words;
     used_ = 0;
     bytes_ += words * sizeof(uint32_t);
+    if (budget_ != nullptr) budget_->Charge(words * sizeof(uint32_t));
   }
   uint32_t* out = blocks_.back().get() + used_;
   used_ += n;
@@ -20,7 +21,9 @@ std::span<uint32_t> ColumnArena::Alloc(size_t n) {
 
 std::span<const uint32_t> ColumnArena::Adopt(std::vector<uint32_t>&& v) {
   adopted_.push_back(std::move(v));
-  bytes_ += adopted_.back().capacity() * sizeof(uint32_t);
+  uint64_t bytes = adopted_.back().capacity() * sizeof(uint32_t);
+  bytes_ += bytes;
+  if (budget_ != nullptr) budget_->Charge(bytes);
   return adopted_.back();
 }
 

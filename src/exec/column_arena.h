@@ -23,6 +23,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "engine/governor.h"
 #include "xml/node.h"
 
 namespace rox {
@@ -49,6 +50,12 @@ class ColumnArena {
   // Total bytes held (blocks plus adopted buffers' capacity).
   uint64_t bytes_reserved() const { return bytes_; }
 
+  // Charges every byte the arena reserves from here on against
+  // `budget` (DESIGN.md §13). The budget latches when exceeded — it
+  // never fails an allocation — so partially built views stay valid;
+  // the query unwinds at its next cancellation checkpoint.
+  void set_budget(MemoryBudget* budget) { budget_ = budget; }
+
  private:
   // First block size, in words. Grows geometrically from there.
   static constexpr size_t kMinBlockWords = size_t{1} << 12;
@@ -58,6 +65,7 @@ class ColumnArena {
   size_t used_ = 0;         // words used in the current block
   std::vector<std::vector<uint32_t>> adopted_;
   uint64_t bytes_ = 0;
+  MemoryBudget* budget_ = nullptr;
 };
 
 }  // namespace rox

@@ -82,17 +82,15 @@ JoinPairs ShardedJoinParts::Merged() && {
   return out;
 }
 
-ShardedJoinParts ShardedStructuralJoinParts(const ShardedExec* ex,
-                                            DocId ctx_doc,
-                                            const Document& target_doc,
-                                            std::span<const Pre> context,
-                                            const StepSpec& step,
-                                            const ElementIndex* index,
-                                            ShardFanoutStats* stats) {
+ShardedJoinParts ShardedStructuralJoinParts(
+    const ShardedExec* ex, DocId ctx_doc, const Document& target_doc,
+    std::span<const Pre> context, const StepSpec& step,
+    const ElementIndex* index, ShardFanoutStats* stats,
+    const CancellationToken* cancel) {
   if (ex == nullptr || !ex->Enabled() || context.size() < 2) {
-    return SingleLane(
-        StructuralJoinPairs(target_doc, context, step, kNoLimit, index),
-        context.size());
+    return SingleLane(StructuralJoinPairs(target_doc, context, step, kNoLimit,
+                                          index, cancel),
+                      context.size());
   }
   std::vector<std::span<const Pre>> parts;
   std::vector<uint32_t> offsets;
@@ -103,49 +101,49 @@ ShardedJoinParts ShardedStructuralJoinParts(const ShardedExec* ex,
   out.outer_total = context.size();
   ParallelFor(ex->pool, parts.size(), [&](size_t s) {
     if (parts[s].empty()) return;
-    out.parts[s] =
-        StructuralJoinPairs(target_doc, parts[s], step, kNoLimit, index);
+    out.parts[s] = StructuralJoinPairs(target_doc, parts[s], step, kNoLimit,
+                                       index, cancel);
   });
   RecordFanout(out.parts, stats);
   return out;
 }
 
-ShardedJoinParts ShardedHashValueJoinParts(const ShardedExec* ex,
-                                           const Document& outer_doc,
-                                           std::span<const Pre> outer,
-                                           const Document& inner_doc,
-                                           std::span<const Pre> inner,
-                                           ShardFanoutStats* stats) {
+ShardedJoinParts ShardedHashValueJoinParts(
+    const ShardedExec* ex, const Document& outer_doc,
+    std::span<const Pre> outer, const Document& inner_doc,
+    std::span<const Pre> inner, ShardFanoutStats* stats,
+    const CancellationToken* cancel) {
   if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
-    return SingleLane(HashValueJoinPairs(outer_doc, outer, inner_doc, inner),
-                      outer.size());
+    return SingleLane(
+        HashValueJoinPairs(outer_doc, outer, inner_doc, inner, cancel),
+        outer.size());
   }
   ValueHashTable table(inner_doc, inner);
   return ChunkedProbe(
       *ex, outer.size(),
       [&](uint32_t lo, uint32_t hi) {
-        return table.Probe(outer_doc, outer.subspan(lo, hi - lo));
+        return table.Probe(outer_doc, outer.subspan(lo, hi - lo), cancel);
       },
       stats);
 }
 
-ShardedJoinParts ShardedValueIndexJoinParts(const ShardedExec* ex,
-                                            const Document& outer_doc,
-                                            std::span<const Pre> outer,
-                                            const Document& inner_doc,
-                                            const ValueIndex& inner_index,
-                                            const ValueProbeSpec& spec,
-                                            ShardFanoutStats* stats) {
+ShardedJoinParts ShardedValueIndexJoinParts(
+    const ShardedExec* ex, const Document& outer_doc,
+    std::span<const Pre> outer, const Document& inner_doc,
+    const ValueIndex& inner_index, const ValueProbeSpec& spec,
+    ShardFanoutStats* stats, const CancellationToken* cancel) {
   if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
-    return SingleLane(ValueIndexJoinPairs(outer_doc, outer, inner_doc,
-                                          inner_index, spec, kNoLimit),
-                      outer.size());
+    return SingleLane(
+        ValueIndexJoinPairs(outer_doc, outer, inner_doc, inner_index, spec,
+                            kNoLimit, cancel),
+        outer.size());
   }
   return ChunkedProbe(
       *ex, outer.size(),
       [&](uint32_t lo, uint32_t hi) {
         return ValueIndexJoinPairs(outer_doc, outer.subspan(lo, hi - lo),
-                                   inner_doc, inner_index, spec, kNoLimit);
+                                   inner_doc, inner_index, spec, kNoLimit,
+                                   cancel);
       },
       stats);
 }
@@ -154,11 +152,11 @@ ShardedJoinParts ShardedValueIndexThetaJoinParts(
     const ShardedExec* ex, const Document& outer_doc,
     std::span<const Pre> outer, const Document& inner_doc,
     const ValueIndex& inner_index, const ValueProbeSpec& spec, CmpOp op,
-    ShardFanoutStats* stats) {
+    ShardFanoutStats* stats, const CancellationToken* cancel) {
   if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
     return SingleLane(
         ValueIndexThetaJoinPairs(outer_doc, outer, inner_doc, inner_index,
-                                 spec, op, kNoLimit),
+                                 spec, op, kNoLimit, cancel),
         outer.size());
   }
   return ChunkedProbe(
@@ -167,22 +165,20 @@ ShardedJoinParts ShardedValueIndexThetaJoinParts(
         return ValueIndexThetaJoinPairs(outer_doc,
                                         outer.subspan(lo, hi - lo),
                                         inner_doc, inner_index, spec, op,
-                                        kNoLimit);
+                                        kNoLimit, cancel);
       },
       stats);
 }
 
-ShardedJoinParts ShardedSortThetaJoinParts(const ShardedExec* ex,
-                                           const Document& outer_doc,
-                                           std::span<const Pre> outer,
-                                           const Document& inner_doc,
-                                           std::span<const Pre> inner,
-                                           CmpOp op,
-                                           ShardFanoutStats* stats) {
+ShardedJoinParts ShardedSortThetaJoinParts(
+    const ShardedExec* ex, const Document& outer_doc,
+    std::span<const Pre> outer, const Document& inner_doc,
+    std::span<const Pre> inner, CmpOp op, ShardFanoutStats* stats,
+    const CancellationToken* cancel) {
   if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
-    return SingleLane(
-        SortThetaJoinPairs(outer_doc, outer, inner_doc, inner, op, kNoLimit),
-        outer.size());
+    return SingleLane(SortThetaJoinPairs(outer_doc, outer, inner_doc, inner,
+                                         op, kNoLimit, cancel),
+                      outer.size());
   }
   ThetaRun run = ThetaRun::Build(inner_doc, inner);
   return ChunkedProbe(
@@ -190,43 +186,39 @@ ShardedJoinParts ShardedSortThetaJoinParts(const ShardedExec* ex,
       [&](uint32_t lo, uint32_t hi) {
         JoinPairs pairs;
         ThetaRunJoinPairsInto(outer_doc, outer.subspan(lo, hi - lo),
-                              inner_doc, run, op, kNoLimit, pairs);
+                              inner_doc, run, op, kNoLimit, pairs, cancel);
         return pairs;
       },
       stats);
 }
 
-JoinPairs ShardedStructuralJoinPairs(const ShardedExec* ex, DocId ctx_doc,
-                                     const Document& target_doc,
-                                     std::span<const Pre> context,
-                                     const StepSpec& step,
-                                     const ElementIndex* index,
-                                     ShardFanoutStats* stats) {
+JoinPairs ShardedStructuralJoinPairs(
+    const ShardedExec* ex, DocId ctx_doc, const Document& target_doc,
+    std::span<const Pre> context, const StepSpec& step,
+    const ElementIndex* index, ShardFanoutStats* stats,
+    const CancellationToken* cancel) {
   return ShardedStructuralJoinParts(ex, ctx_doc, target_doc, context, step,
-                                    index, stats)
+                                    index, stats, cancel)
       .Merged();
 }
 
-JoinPairs ShardedHashValueJoinPairs(const ShardedExec* ex,
-                                    const Document& outer_doc,
-                                    std::span<const Pre> outer,
-                                    const Document& inner_doc,
-                                    std::span<const Pre> inner,
-                                    ShardFanoutStats* stats) {
+JoinPairs ShardedHashValueJoinPairs(
+    const ShardedExec* ex, const Document& outer_doc,
+    std::span<const Pre> outer, const Document& inner_doc,
+    std::span<const Pre> inner, ShardFanoutStats* stats,
+    const CancellationToken* cancel) {
   return ShardedHashValueJoinParts(ex, outer_doc, outer, inner_doc, inner,
-                                   stats)
+                                   stats, cancel)
       .Merged();
 }
 
-JoinPairs ShardedValueIndexJoinPairs(const ShardedExec* ex,
-                                     const Document& outer_doc,
-                                     std::span<const Pre> outer,
-                                     const Document& inner_doc,
-                                     const ValueIndex& inner_index,
-                                     const ValueProbeSpec& spec,
-                                     ShardFanoutStats* stats) {
+JoinPairs ShardedValueIndexJoinPairs(
+    const ShardedExec* ex, const Document& outer_doc,
+    std::span<const Pre> outer, const Document& inner_doc,
+    const ValueIndex& inner_index, const ValueProbeSpec& spec,
+    ShardFanoutStats* stats, const CancellationToken* cancel) {
   return ShardedValueIndexJoinParts(ex, outer_doc, outer, inner_doc,
-                                    inner_index, spec, stats)
+                                    inner_index, spec, stats, cancel)
       .Merged();
 }
 

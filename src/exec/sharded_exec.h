@@ -95,32 +95,33 @@ struct ShardedJoinParts {
 // target document). `context` must be pre-sorted — vertex tables T(v)
 // always are. Falls back to a single sequential lane when `ex` is null
 // or has a single shard.
-ShardedJoinParts ShardedStructuralJoinParts(const ShardedExec* ex,
-                                            DocId ctx_doc,
-                                            const Document& target_doc,
-                                            std::span<const Pre> context,
-                                            const StepSpec& step,
-                                            const ElementIndex* index,
-                                            ShardFanoutStats* stats);
+//
+// All wrappers accept an optional CancellationToken, handed to every
+// lane's kernel: the lanes poll the shared token independently, so the
+// first trip stops the siblings within one polling interval. Partial
+// lane outputs are merged as usual; callers re-check the token before
+// consuming the merge (DESIGN.md §13).
+ShardedJoinParts ShardedStructuralJoinParts(
+    const ShardedExec* ex, DocId ctx_doc, const Document& target_doc,
+    std::span<const Pre> context, const StepSpec& step,
+    const ElementIndex* index, ShardFanoutStats* stats,
+    const CancellationToken* cancel = nullptr);
 
 // Hash equi-join with a single shared build side and per-chunk
 // parallel probes (the probe side need not be sorted).
-ShardedJoinParts ShardedHashValueJoinParts(const ShardedExec* ex,
-                                           const Document& outer_doc,
-                                           std::span<const Pre> outer,
-                                           const Document& inner_doc,
-                                           std::span<const Pre> inner,
-                                           ShardFanoutStats* stats);
+ShardedJoinParts ShardedHashValueJoinParts(
+    const ShardedExec* ex, const Document& outer_doc,
+    std::span<const Pre> outer, const Document& inner_doc,
+    std::span<const Pre> inner, ShardFanoutStats* stats,
+    const CancellationToken* cancel = nullptr);
 
 // Index nested-loop equi-join with per-chunk parallel probes into the
 // (full) inner value index.
-ShardedJoinParts ShardedValueIndexJoinParts(const ShardedExec* ex,
-                                            const Document& outer_doc,
-                                            std::span<const Pre> outer,
-                                            const Document& inner_doc,
-                                            const ValueIndex& inner_index,
-                                            const ValueProbeSpec& spec,
-                                            ShardFanoutStats* stats);
+ShardedJoinParts ShardedValueIndexJoinParts(
+    const ShardedExec* ex, const Document& outer_doc,
+    std::span<const Pre> outer, const Document& inner_doc,
+    const ValueIndex& inner_index, const ValueProbeSpec& spec,
+    ShardFanoutStats* stats, const CancellationToken* cancel = nullptr);
 
 // Theta join (`op` != kEq) with per-chunk parallel probes into the
 // inner index's pre-sorted runs (see value_join.h). Probing is
@@ -129,42 +130,36 @@ ShardedJoinParts ShardedValueIndexThetaJoinParts(
     const ShardedExec* ex, const Document& outer_doc,
     std::span<const Pre> outer, const Document& inner_doc,
     const ValueIndex& inner_index, const ValueProbeSpec& spec, CmpOp op,
-    ShardFanoutStats* stats);
+    ShardFanoutStats* stats, const CancellationToken* cancel = nullptr);
 
 // Theta join against a materialized inner node list: builds the sorted
 // ThetaRun once, then probes it from per-chunk parallel lanes (the
 // theta counterpart of the shared-build hash fan-out).
-ShardedJoinParts ShardedSortThetaJoinParts(const ShardedExec* ex,
-                                           const Document& outer_doc,
-                                           std::span<const Pre> outer,
-                                           const Document& inner_doc,
-                                           std::span<const Pre> inner,
-                                           CmpOp op,
-                                           ShardFanoutStats* stats);
+ShardedJoinParts ShardedSortThetaJoinParts(
+    const ShardedExec* ex, const Document& outer_doc,
+    std::span<const Pre> outer, const Document& inner_doc,
+    std::span<const Pre> inner, CmpOp op, ShardFanoutStats* stats,
+    const CancellationToken* cancel = nullptr);
 
 // Merged (eager) wrappers over the Parts functions. A single-lane
 // fallback returns the lane's pairs directly, without a merge copy.
-JoinPairs ShardedStructuralJoinPairs(const ShardedExec* ex, DocId ctx_doc,
-                                     const Document& target_doc,
-                                     std::span<const Pre> context,
-                                     const StepSpec& step,
-                                     const ElementIndex* index,
-                                     ShardFanoutStats* stats);
+JoinPairs ShardedStructuralJoinPairs(
+    const ShardedExec* ex, DocId ctx_doc, const Document& target_doc,
+    std::span<const Pre> context, const StepSpec& step,
+    const ElementIndex* index, ShardFanoutStats* stats,
+    const CancellationToken* cancel = nullptr);
 
-JoinPairs ShardedHashValueJoinPairs(const ShardedExec* ex,
-                                    const Document& outer_doc,
-                                    std::span<const Pre> outer,
-                                    const Document& inner_doc,
-                                    std::span<const Pre> inner,
-                                    ShardFanoutStats* stats);
+JoinPairs ShardedHashValueJoinPairs(
+    const ShardedExec* ex, const Document& outer_doc,
+    std::span<const Pre> outer, const Document& inner_doc,
+    std::span<const Pre> inner, ShardFanoutStats* stats,
+    const CancellationToken* cancel = nullptr);
 
-JoinPairs ShardedValueIndexJoinPairs(const ShardedExec* ex,
-                                     const Document& outer_doc,
-                                     std::span<const Pre> outer,
-                                     const Document& inner_doc,
-                                     const ValueIndex& inner_index,
-                                     const ValueProbeSpec& spec,
-                                     ShardFanoutStats* stats);
+JoinPairs ShardedValueIndexJoinPairs(
+    const ShardedExec* ex, const Document& outer_doc,
+    std::span<const Pre> outer, const Document& inner_doc,
+    const ValueIndex& inner_index, const ValueProbeSpec& spec,
+    ShardFanoutStats* stats, const CancellationToken* cancel = nullptr);
 
 }  // namespace rox
 

@@ -8,6 +8,12 @@ namespace rox {
 
 namespace {
 
+// First poll waits a full kCancelCheckRows interval, so τ-sized
+// sampling calls never pay a clock read (DESIGN.md §13).
+inline bool CancelCheckDue(uint64_t count) {
+  return (count & (kCancelCheckRows - 1)) == 0;
+}
+
 // True if the index can accelerate this step: element-kind name test on
 // an axis whose result is a contiguous pre range (possibly minus a few
 // exclusions).
@@ -224,20 +230,31 @@ bool EmitMatches(const Document& doc, Pre c, const StepSpec& step,
 void StructuralJoinPairsInto(const Document& doc,
                              std::span<const Pre> context,
                              const StepSpec& step, uint64_t limit,
-                             const ElementIndex* index, JoinPairs& out) {
+                             const ElementIndex* index, JoinPairs& out,
+                             const CancellationToken* cancel) {
   // Cut-off protocol: allow up to limit+1 pairs; producing the sentinel
   // (limit+1)-th pair proves the result was truncated, otherwise the
   // result is complete and exact. The reduction factor follows the
-  // paper's f = max(r.rowid) / max(c.rowid).
+  // paper's f = max(r.rowid) / max(c.rowid). A cancellation trip stops
+  // through the same unwinding; callers re-check the token.
   out.Clear();
   out.Reserve(limit != kNoLimit ? limit + 1 : context.size());
   for (size_t i = 0; i < context.size(); ++i) {
+    if (CancelCheckDue(i + 1) && StopRequested(cancel)) {
+      out.truncated = true;
+      out.outer_consumed = i;
+      return;
+    }
     uint32_t row = static_cast<uint32_t>(i);
     bool completed =
         EmitMatches(doc, context[i], step, index, [&](Pre s) -> bool {
           out.left_rows.push_back(row);
           out.right_nodes.push_back(s);
-          return limit == kNoLimit || out.right_nodes.size() <= limit;
+          if (limit != kNoLimit && out.right_nodes.size() > limit) {
+            return false;
+          }
+          return !(CancelCheckDue(out.right_nodes.size()) &&
+                   StopRequested(cancel));
         });
     if (!completed) {
       // Sentinel pair produced: drop it and report the truncation.
@@ -256,9 +273,10 @@ void StructuralJoinPairsInto(const Document& doc,
 JoinPairs StructuralJoinPairs(const Document& doc,
                               std::span<const Pre> context,
                               const StepSpec& step, uint64_t limit,
-                              const ElementIndex* index) {
+                              const ElementIndex* index,
+                              const CancellationToken* cancel) {
   JoinPairs out;
-  StructuralJoinPairsInto(doc, context, step, limit, index, out);
+  StructuralJoinPairsInto(doc, context, step, limit, index, out, cancel);
   return out;
 }
 

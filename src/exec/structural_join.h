@@ -25,6 +25,7 @@
 
 #include <span>
 
+#include "engine/governor.h"
 #include "exec/join_result.h"
 #include "index/element_index.h"
 #include "xml/document.h"
@@ -56,11 +57,14 @@ struct StepSpec {
 // `step`, result nodes in document order within a row. Stops once
 // `limit` pairs were produced (kNoLimit = unlimited). If `index` is
 // non-null it accelerates name-tested descendant/following/preceding
-// steps with range lookups.
+// steps with range lookups. A non-null `cancel` token is polled once per
+// kCancelCheckRows pairs and stops the join through the truncation
+// protocol (DESIGN.md §13).
 JoinPairs StructuralJoinPairs(const Document& doc,
                               std::span<const Pre> context,
                               const StepSpec& step, uint64_t limit = kNoLimit,
-                              const ElementIndex* index = nullptr);
+                              const ElementIndex* index = nullptr,
+                              const CancellationToken* cancel = nullptr);
 
 // Allocation-free variant: clears and refills `out`, reusing its
 // buffers' capacity. Hot callers (the sampled-execution loops) keep one
@@ -68,7 +72,8 @@ JoinPairs StructuralJoinPairs(const Document& doc,
 void StructuralJoinPairsInto(const Document& doc,
                              std::span<const Pre> context,
                              const StepSpec& step, uint64_t limit,
-                             const ElementIndex* index, JoinPairs& out);
+                             const ElementIndex* index, JoinPairs& out,
+                             const CancellationToken* cancel = nullptr);
 
 // Distinct-result staircase join: `context` must be duplicate-free and
 // sorted by pre. Returns the distinct result node set in document order.

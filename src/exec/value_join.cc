@@ -56,6 +56,13 @@ bool ProbeIndex(const Document& inner_doc, const ValueIndex& index,
   return true;
 }
 
+// Amortized governance poll: due once per kCancelCheckRows rows. The
+// first poll waits a full interval, so τ-sized sampling calls never
+// pay the token's clock read.
+inline bool CancelCheckDue(uint64_t count) {
+  return (count & (kCancelCheckRows - 1)) == 0;
+}
+
 }  // namespace
 
 void ValueIndexJoinPairsInto(const Document& outer_doc,
@@ -63,18 +70,28 @@ void ValueIndexJoinPairsInto(const Document& outer_doc,
                              const Document& inner_doc,
                              const ValueIndex& inner_index,
                              const ValueProbeSpec& spec, uint64_t limit,
-                             JoinPairs& out) {
+                             JoinPairs& out,
+                             const CancellationToken* cancel) {
   // Same limit+1 sentinel protocol as StructuralJoinPairs.
   out.Clear();
   out.Reserve(limit != kNoLimit ? limit + 1 : outer.size());
   for (size_t i = 0; i < outer.size(); ++i) {
+    if (CancelCheckDue(i + 1) && StopRequested(cancel)) {
+      out.truncated = true;
+      out.outer_consumed = i;
+      return;
+    }
     uint32_t row = static_cast<uint32_t>(i);
     StringId v = NodeValue(outer_doc, outer[i]);
     bool completed =
         ProbeIndex(inner_doc, inner_index, spec, v, [&](Pre s) -> bool {
           out.left_rows.push_back(row);
           out.right_nodes.push_back(s);
-          return limit == kNoLimit || out.right_nodes.size() <= limit;
+          if (limit != kNoLimit && out.right_nodes.size() > limit) {
+            return false;
+          }
+          return !(CancelCheckDue(out.right_nodes.size()) &&
+                   StopRequested(cancel));
         });
     if (!completed) {
       out.left_rows.pop_back();
@@ -93,10 +110,11 @@ JoinPairs ValueIndexJoinPairs(const Document& outer_doc,
                               std::span<const Pre> outer,
                               const Document& inner_doc,
                               const ValueIndex& inner_index,
-                              const ValueProbeSpec& spec, uint64_t limit) {
+                              const ValueProbeSpec& spec, uint64_t limit,
+                              const CancellationToken* cancel) {
   JoinPairs out;
   ValueIndexJoinPairsInto(outer_doc, outer, inner_doc, inner_index, spec,
-                          limit, out);
+                          limit, out, cancel);
   return out;
 }
 
@@ -156,19 +174,27 @@ bool EmitRangeMatches(std::span<const ValueIndex::NumEntry> run, double v,
 template <typename EmitRange, typename EmitNe>
 void ThetaProbeLoop(const Document& outer_doc, std::span<const Pre> outer,
                     CmpOp op, uint64_t limit, JoinPairs& out,
-                    const EmitRange& emit_range, const EmitNe& emit_ne) {
+                    const EmitRange& emit_range, const EmitNe& emit_ne,
+                    const CancellationToken* cancel) {
   ROX_DCHECK(op != CmpOp::kEq);
   out.Clear();
   out.Reserve(limit != kNoLimit ? limit + 1 : outer.size());
   const StringPool& pool = outer_doc.pool();
   for (size_t i = 0; i < outer.size(); ++i) {
+    if (CancelCheckDue(i + 1) && StopRequested(cancel)) {
+      out.truncated = true;
+      out.outer_consumed = i;
+      return;
+    }
     uint32_t row = static_cast<uint32_t>(i);
     StringId v = NodeValue(outer_doc, outer[i]);
     if (v == kInvalidStringId) continue;  // value-less rows never join
     auto sink = [&](Pre s) -> bool {
       out.left_rows.push_back(row);
       out.right_nodes.push_back(s);
-      return limit == kNoLimit || out.right_nodes.size() <= limit;
+      if (limit != kNoLimit && out.right_nodes.size() > limit) return false;
+      return !(CancelCheckDue(out.right_nodes.size()) &&
+               StopRequested(cancel));
     };
     bool completed;
     if (op == CmpOp::kNe) {
@@ -217,7 +243,8 @@ void ValueIndexThetaJoinPairsInto(const Document& outer_doc,
                                   const Document& inner_doc,
                                   const ValueIndex& inner_index,
                                   const ValueProbeSpec& spec, CmpOp op,
-                                  uint64_t limit, JoinPairs& out) {
+                                  uint64_t limit, JoinPairs& out,
+                                  const CancellationToken* cancel) {
   const bool text = spec.kind == NodeKind::kText;
   std::span<const ValueIndex::NumEntry> run =
       text ? inner_index.NumericTextRun() : inner_index.NumericAttrRun();
@@ -235,7 +262,8 @@ void ValueIndexThetaJoinPairsInto(const Document& outer_doc,
           if (!sink(s)) return false;
         }
         return true;
-      });
+      },
+      cancel);
 }
 
 JoinPairs ValueIndexThetaJoinPairs(const Document& outer_doc,
@@ -243,17 +271,19 @@ JoinPairs ValueIndexThetaJoinPairs(const Document& outer_doc,
                                    const Document& inner_doc,
                                    const ValueIndex& inner_index,
                                    const ValueProbeSpec& spec, CmpOp op,
-                                   uint64_t limit) {
+                                   uint64_t limit,
+                                   const CancellationToken* cancel) {
   JoinPairs out;
   ValueIndexThetaJoinPairsInto(outer_doc, outer, inner_doc, inner_index,
-                               spec, op, limit, out);
+                               spec, op, limit, out, cancel);
   return out;
 }
 
 void ThetaRunJoinPairsInto(const Document& outer_doc,
                            std::span<const Pre> outer,
                            const Document& inner_doc, const ThetaRun& run,
-                           CmpOp op, uint64_t limit, JoinPairs& out) {
+                           CmpOp op, uint64_t limit, JoinPairs& out,
+                           const CancellationToken* cancel) {
   auto keep = [](Pre) { return true; };
   ThetaProbeLoop(
       outer_doc, outer, op, limit, out,
@@ -268,17 +298,19 @@ void ThetaRunJoinPairsInto(const Document& outer_doc,
           if (!sink(s)) return false;
         }
         return true;
-      });
+      },
+      cancel);
 }
 
 JoinPairs SortThetaJoinPairs(const Document& outer_doc,
                              std::span<const Pre> outer,
                              const Document& inner_doc,
                              std::span<const Pre> inner, CmpOp op,
-                             uint64_t limit) {
+                             uint64_t limit, const CancellationToken* cancel) {
   ThetaRun run = ThetaRun::Build(inner_doc, inner);
   JoinPairs out;
-  ThetaRunJoinPairsInto(outer_doc, outer, inner_doc, run, op, limit, out);
+  ThetaRunJoinPairsInto(outer_doc, outer, inner_doc, run, op, limit, out,
+                        cancel);
   return out;
 }
 
@@ -292,11 +324,16 @@ ValueHashTable::ValueHashTable(const Document& inner_doc,
 }
 
 void ValueHashTable::ProbeInto(const Document& outer_doc,
-                               std::span<const Pre> outer,
-                               JoinPairs& out) const {
+                               std::span<const Pre> outer, JoinPairs& out,
+                               const CancellationToken* cancel) const {
   out.Clear();
   out.Reserve(outer.size());
   for (size_t i = 0; i < outer.size(); ++i) {
+    if (CancelCheckDue(i + 1) && StopRequested(cancel)) {
+      out.truncated = true;
+      out.outer_consumed = i;
+      return;
+    }
     StringId v = NodeValue(outer_doc, outer[i]);
     if (v == kInvalidStringId) continue;
     auto it = by_value_.find(v);
@@ -304,6 +341,13 @@ void ValueHashTable::ProbeInto(const Document& outer_doc,
     for (Pre s : it->second) {
       out.left_rows.push_back(static_cast<uint32_t>(i));
       out.right_nodes.push_back(s);
+      // Skewed values can emit huge groups off one probe; poll on
+      // output growth too.
+      if (CancelCheckDue(out.right_nodes.size()) && StopRequested(cancel)) {
+        out.truncated = true;
+        out.outer_consumed = i + 1;
+        return;
+      }
     }
   }
   out.truncated = false;
@@ -311,17 +355,19 @@ void ValueHashTable::ProbeInto(const Document& outer_doc,
 }
 
 JoinPairs ValueHashTable::Probe(const Document& outer_doc,
-                                std::span<const Pre> outer) const {
+                                std::span<const Pre> outer,
+                                const CancellationToken* cancel) const {
   JoinPairs out;
-  ProbeInto(outer_doc, outer, out);
+  ProbeInto(outer_doc, outer, out, cancel);
   return out;
 }
 
 JoinPairs HashValueJoinPairs(const Document& outer_doc,
                              std::span<const Pre> outer,
                              const Document& inner_doc,
-                             std::span<const Pre> inner) {
-  return ValueHashTable(inner_doc, inner).Probe(outer_doc, outer);
+                             std::span<const Pre> inner,
+                             const CancellationToken* cancel) {
+  return ValueHashTable(inner_doc, inner).Probe(outer_doc, outer, cancel);
 }
 
 std::vector<Pre> SortByValueId(const Document& doc,
@@ -338,11 +384,21 @@ std::vector<Pre> SortByValueId(const Document& doc,
 JoinPairs MergeValueJoinPairs(const Document& outer_doc,
                               std::span<const Pre> outer_sorted,
                               const Document& inner_doc,
-                              std::span<const Pre> inner_sorted) {
+                              std::span<const Pre> inner_sorted,
+                              const CancellationToken* cancel) {
   JoinPairs out;
   out.Reserve(std::max(outer_sorted.size(), inner_sorted.size()));
+  // Polled on advance steps and on output growth: equal-value groups
+  // cross-product, so either side alone can run away.
+  uint64_t steps = 0;
+  auto tripped = [&]() -> bool {
+    if (!(CancelCheckDue(++steps) && StopRequested(cancel))) return false;
+    out.truncated = true;
+    return true;
+  };
   size_t i = 0, j = 0;
   while (i < outer_sorted.size() && j < inner_sorted.size()) {
+    if (tripped()) break;
     StringId vo = NodeValue(outer_doc, outer_sorted[i]);
     StringId vi = NodeValue(inner_doc, inner_sorted[j]);
     if (vo == kInvalidStringId) break;  // rest of outer has no value
@@ -364,12 +420,12 @@ JoinPairs MergeValueJoinPairs(const Document& outer_doc,
           out.left_rows.push_back(static_cast<uint32_t>(i));
           out.right_nodes.push_back(inner_sorted[k]);
         }
+        if (tripped()) return out;
         ++i;
       }
       j = j_end;
     }
   }
-  out.truncated = false;
   out.outer_consumed = outer_sorted.size();
   return out;
 }

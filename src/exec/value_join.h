@@ -19,11 +19,19 @@
 #include <span>
 #include <unordered_map>
 
+#include "engine/governor.h"
 #include "exec/join_result.h"
 #include "index/value_index.h"
 #include "xml/document.h"
 
 namespace rox {
+
+// Every kernel below takes an optional CancellationToken. A non-null
+// token is polled once per kCancelCheckRows produced (or consumed)
+// rows; on a trip the kernel stops early through the same truncation
+// protocol a cut-off limit uses (out.truncated set, partial pairs) —
+// callers detect governance stops by re-checking the token, never by
+// the flag (DESIGN.md §13).
 
 // The interned comparison value of node `p`: the value of a text or
 // attribute node, or the single-text-child value of an element
@@ -51,7 +59,8 @@ JoinPairs ValueIndexJoinPairs(const Document& outer_doc,
                               const Document& inner_doc,
                               const ValueIndex& inner_index,
                               const ValueProbeSpec& spec,
-                              uint64_t limit = kNoLimit);
+                              uint64_t limit = kNoLimit,
+                              const CancellationToken* cancel = nullptr);
 
 // Allocation-free variant: clears and refills `out`, reusing its
 // buffers' capacity (see StructuralJoinPairsInto).
@@ -60,14 +69,16 @@ void ValueIndexJoinPairsInto(const Document& outer_doc,
                              const Document& inner_doc,
                              const ValueIndex& inner_index,
                              const ValueProbeSpec& spec, uint64_t limit,
-                             JoinPairs& out);
+                             JoinPairs& out,
+                             const CancellationToken* cancel = nullptr);
 
 // Hash equi-join: builds value -> inner positions, probes with outer.
 // Pairs reference outer rows and inner *nodes*.
 JoinPairs HashValueJoinPairs(const Document& outer_doc,
                              std::span<const Pre> outer,
                              const Document& inner_doc,
-                             std::span<const Pre> inner);
+                             std::span<const Pre> inner,
+                             const CancellationToken* cancel = nullptr);
 
 // The build side of the hash equi-join, split out so a sharded
 // execution can build the table once and probe it from several threads
@@ -78,12 +89,13 @@ class ValueHashTable {
 
   // Probes with `outer`; identical to the probe loop of
   // HashValueJoinPairs. Emitted left_rows index into `outer`.
-  JoinPairs Probe(const Document& outer_doc,
-                  std::span<const Pre> outer) const;
+  JoinPairs Probe(const Document& outer_doc, std::span<const Pre> outer,
+                  const CancellationToken* cancel = nullptr) const;
 
   // Allocation-free probe into a caller-reused buffer.
   void ProbeInto(const Document& outer_doc, std::span<const Pre> outer,
-                 JoinPairs& out) const;
+                 JoinPairs& out,
+                 const CancellationToken* cancel = nullptr) const;
 
  private:
   std::unordered_map<StringId, std::vector<Pre>> by_value_;
@@ -128,33 +140,38 @@ void ValueIndexThetaJoinPairsInto(const Document& outer_doc,
                                   const Document& inner_doc,
                                   const ValueIndex& inner_index,
                                   const ValueProbeSpec& spec, CmpOp op,
-                                  uint64_t limit, JoinPairs& out);
+                                  uint64_t limit, JoinPairs& out,
+                                  const CancellationToken* cancel = nullptr);
 JoinPairs ValueIndexThetaJoinPairs(const Document& outer_doc,
                                    std::span<const Pre> outer,
                                    const Document& inner_doc,
                                    const ValueIndex& inner_index,
                                    const ValueProbeSpec& spec, CmpOp op,
-                                   uint64_t limit = kNoLimit);
+                                   uint64_t limit = kNoLimit,
+                                   const CancellationToken* cancel = nullptr);
 
 // Theta probe against a prebuilt run (see ThetaRun::Build).
 void ThetaRunJoinPairsInto(const Document& outer_doc,
                            std::span<const Pre> outer,
                            const Document& inner_doc, const ThetaRun& run,
-                           CmpOp op, uint64_t limit, JoinPairs& out);
+                           CmpOp op, uint64_t limit, JoinPairs& out,
+                           const CancellationToken* cancel = nullptr);
 
 // One-shot convenience: Build + probe over a materialized inner list.
 JoinPairs SortThetaJoinPairs(const Document& outer_doc,
                              std::span<const Pre> outer,
                              const Document& inner_doc,
                              std::span<const Pre> inner, CmpOp op,
-                             uint64_t limit = kNoLimit);
+                             uint64_t limit = kNoLimit,
+                             const CancellationToken* cancel = nullptr);
 
 // Merge equi-join over inputs that the caller pre-sorted with
 // SortByValueId. Produces the same pair multiset as the hash join.
 JoinPairs MergeValueJoinPairs(const Document& outer_doc,
                               std::span<const Pre> outer_sorted,
                               const Document& inner_doc,
-                              std::span<const Pre> inner_sorted);
+                              std::span<const Pre> inner_sorted,
+                              const CancellationToken* cancel = nullptr);
 
 // Sorts node list by (value id, pre); nodes without a value sort last
 // and never join.

@@ -1,5 +1,6 @@
 #include "index/corpus.h"
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "xml/parser.h"
 
@@ -48,6 +49,7 @@ Result<DocId> CorpusBuilder::Add(std::unique_ptr<Document> doc) {
 
 Result<DocId> CorpusBuilder::AddXml(std::string_view xml,
                                     std::string doc_name) {
+  ROX_FAILPOINT("corpus.add_xml");
   ROX_ASSIGN_OR_RETURN(std::unique_ptr<Document> doc,
                        ParseXml(xml, std::move(doc_name), next_.pool_));
   return Add(std::move(doc));

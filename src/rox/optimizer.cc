@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/str_util.h"
+#include "engine/governor.h"
 #include "obs/trace.h"
 
 namespace rox {
@@ -59,6 +60,9 @@ Status RoxOptimizer::ExecutePath(const std::vector<EdgeId>& path) {
     EdgeId e = pending[best];
     pending.erase(pending.begin() + best);
     if (state_->Executed(e)) continue;
+    if (options_.cancel != nullptr) {
+      ROX_RETURN_IF_ERROR(options_.cancel->Check());
+    }
     ROX_RETURN_IF_ERROR(state_->ExecuteEdge(e));
   }
   return Status::Ok();
@@ -72,8 +76,12 @@ Status RoxOptimizer::Prepare() {
         "separate ROX runs, as the paper's plans do)");
   }
   state_ = std::make_unique<RoxState>(snapshot_, graph_, options_);
-  // Phase 1 (lines 1-4).
+  // Phase 1 (lines 1-4). A governance trip makes the sampling loops
+  // stop early; the token check below reports it.
   state_->InitializeSamplesAndWeights();
+  if (options_.cancel != nullptr) {
+    ROX_RETURN_IF_ERROR(options_.cancel->Check());
+  }
   return Status::Ok();
 }
 
@@ -86,6 +94,12 @@ Status RoxOptimizer::RunLoop() {
   // Phase 2 (lines 5-19).
   ChainSampler sampler(*state_);
   while (state_->RemainingEdges() > 0) {
+    // Governance checkpoint: one deadline/budget/cancel poll per chain
+    // round bounds the undetected work between rounds to one path
+    // segment (the kernels poll inside edge executions too).
+    if (options_.cancel != nullptr) {
+      ROX_RETURN_IF_ERROR(options_.cancel->Check());
+    }
     if (options_.trace) {
       std::fprintf(stderr, "[rox] weights:");
       for (EdgeId e = 0; e < graph_.EdgeCount(); ++e) {

@@ -14,6 +14,8 @@ namespace obs {
 class QueryTrace;
 }
 
+class CancellationToken;
+class MemoryBudget;
 struct ShardedExec;
 
 struct RoxOptions {
@@ -99,6 +101,21 @@ struct RoxOptions {
   // (the default) records nothing; every instrumentation site is a
   // single null check.
   obs::QueryTrace* query_trace = nullptr;
+
+  // Query-lifecycle governance (DESIGN.md §13). When non-null, the
+  // optimizer polls the token at round/edge boundaries and hands it to
+  // every kernel for amortized in-loop checks; a trip unwinds the run
+  // with the token's Status (kCancelled / kDeadlineExceeded /
+  // kResourceExhausted). Null (the default) runs unbounded, exactly as
+  // before. The token is read-only here; the engine owns arming.
+  const CancellationToken* cancel = nullptr;
+
+  // When non-null, every byte the run's column arena reserves and every
+  // eager pair-result materialization is charged here. The budget
+  // latches instead of failing allocations; the token above (which
+  // should observe the same budget) converts the latch into
+  // kResourceExhausted at the next checkpoint.
+  MemoryBudget* budget = nullptr;
 };
 
 }  // namespace rox

@@ -23,7 +23,12 @@ RoxState::RoxState(CorpusSnapshot snapshot, const JoinGraph& graph,
       options_(options),
       rng_(options.seed),
       vertices_(graph.VertexCount()),
-      edges_(graph.EdgeCount()) {}
+      edges_(graph.EdgeCount()) {
+  // Arena reservations (lazy views, assembly intermediates) count
+  // against the query's budget; the latch surfaces at the next token
+  // checkpoint (DESIGN.md §13).
+  arena_.set_budget(options_.budget);
+}
 
 // --- index access -----------------------------------------------------------
 
@@ -165,6 +170,9 @@ double RoxState::IndexCount(VertexId v) const {
 Status RoxState::EnsureTable(VertexId v) {
   VertexState& vs = vertices_[v];
   if (vs.table.has_value()) return Status::Ok();
+  if (options_.cancel != nullptr) {
+    ROX_RETURN_IF_ERROR(options_.cancel->Check());
+  }
   const Vertex& vx = graph_.vertex(v);
   if (!vx.IndexSelectable()) {
     return Status::FailedPrecondition(
@@ -202,6 +210,10 @@ void RoxState::InitializeSamplesAndWeights() {
   obs::ScopedSpan span(options_.query_trace, "phase1");
   ScopedTimer timer(stats_.sampling_time);
   for (VertexId v = 0; v < graph_.VertexCount(); ++v) {
+    // Phase 1 returns void, so a governance trip just stops the loops
+    // early; RoxOptimizer::Prepare re-checks the token right after and
+    // reports the trip before any weight is trusted.
+    if (StopRequested(options_.cancel)) return;
     const Vertex& vx = graph_.vertex(v);
     if (!vx.IndexSelectable()) continue;
     VertexState& vs = vertices_[v];
@@ -237,8 +249,10 @@ void RoxState::InitializeSamplesAndWeights() {
           }
         } else {
           // Range-/inequality-/disjunction-restricted text vertex: the
-          // index materializes the lookup anyway; keep it as T(v).
-          ROX_CHECK_OK(EnsureTable(v));
+          // index materializes the lookup anyway; keep it as T(v). A
+          // failure here is a governance trip (EnsureTable checks the
+          // token): stop sampling, Prepare reports it.
+          if (!EnsureTable(v).ok()) return;
         }
         break;
       case VertexType::kAttribute:
@@ -249,7 +263,7 @@ void RoxState::InitializeSamplesAndWeights() {
             vs.sample = eidx.SampleAttr(vx.name, options_.tau, rng_);
           }
         } else {
-          ROX_CHECK_OK(EnsureTable(v));
+          if (!EnsureTable(v).ok()) return;
         }
         break;
     }
@@ -258,6 +272,7 @@ void RoxState::InitializeSamplesAndWeights() {
       options_.use_warm_start ? options_.warm_edge_weights : nullptr;
   if (warm != nullptr && warm->size() != graph_.EdgeCount()) warm = nullptr;
   for (EdgeId e = 0; e < graph_.EdgeCount(); ++e) {
+    if (StopRequested(options_.cancel)) return;
     // Adopt a cached weight only where a cold Phase 1 would have
     // estimated one: edges with at least one index-selectable (sampled)
     // endpoint. Interior edges carry *final* weights from the prior run
@@ -377,7 +392,7 @@ EdgeSample RoxState::SampleEdgeFrom(EdgeId e, VertexId from,
                                   ? &corpus_.element_index(tx.doc)
                                   : nullptr;
     StructuralJoinPairsInto(target_doc, input, StepSpecFrom(e, from), limit,
-                            idx, pairs);
+                            idx, pairs, options_.cancel);
   } else {
     const Vertex& fx = graph_.vertex(from);
     const Document& from_doc = corpus_.doc(fx.doc);
@@ -388,13 +403,13 @@ EdgeSample RoxState::SampleEdgeFrom(EdgeId e, VertexId from,
     if (cmp == CmpOp::kEq) {
       ValueIndexJoinPairsInto(from_doc, input, target_doc,
                               corpus_.value_index(tx.doc), spec, limit,
-                              pairs);
+                              pairs, options_.cancel);
     } else {
       // Theta edges sample through the index's sorted runs — still
       // zero-investment w.r.t. the input side (DESIGN.md §11).
       ValueIndexThetaJoinPairsInto(from_doc, input, target_doc,
                                    corpus_.value_index(tx.doc), spec, cmp,
-                                   limit, pairs);
+                                   limit, pairs, options_.cancel);
     }
   }
   FilterPairsForVertex(target, pairs);
@@ -477,6 +492,9 @@ Status RoxState::ExecuteEdge(EdgeId e) {
 Status RoxState::ExecuteEdgeInternal(EdgeId e) {
   const Edge& edge = graph_.edge(e);
   VertexId v1 = edge.v1, v2 = edge.v2;
+  if (options_.cancel != nullptr) {
+    ROX_RETURN_IF_ERROR(options_.cancel->Check());
+  }
 
   // An equi-join already implied by executed equi-joins (transitivity
   // within the equivalence class) contributes no new constraint. Theta
@@ -546,8 +564,17 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
       }
       r.MutableCol(1 - ctx_col) = std::move(pairs.right_nodes);
       edges_[e].result = std::move(r);
+      if (options_.budget != nullptr) {
+        options_.budget->Charge(edges_[e].ResultRows() * 2 * sizeof(Pre));
+      }
     }
     RecordIntermediate(edges_[e].ResultRows());
+    // A kernel that tripped mid-emission stored a partial R_e through
+    // the truncation protocol: report the trip here so the edge is
+    // never marked executed with partial pairs.
+    if (options_.cancel != nullptr) {
+      ROX_RETURN_IF_ERROR(options_.cancel->Check());
+    }
     return Status::Ok();
   };
 
@@ -558,7 +585,7 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
                                   : nullptr;
     return finish(ShardedStructuralJoinParts(
         Sharded(), graph_.vertex(ctx).doc, target_doc, ctx_nodes,
-        StepSpecFrom(e, ctx), idx, &stats_.sharded));
+        StepSpecFrom(e, ctx), idx, &stats_.sharded, options_.cancel));
   }
   const CmpOp cmp = edge.CmpFrom(ctx);
   if (cmp != CmpOp::kEq) {
@@ -574,7 +601,8 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
       return finish(ShardedSortThetaJoinParts(Sharded(), ctx_doc, ctx_nodes,
                                               target_doc,
                                               *vertices_[tgt].table, cmp,
-                                              &stats_.sharded));
+                                              &stats_.sharded,
+                                              options_.cancel));
     }
     last_kernel_ = "theta-index";
     ValueProbeSpec spec = tx.type == VertexType::kAttribute
@@ -582,7 +610,8 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
                               : ValueProbeSpec::Text();
     return finish(ShardedValueIndexThetaJoinParts(
         Sharded(), ctx_doc, ctx_nodes, target_doc,
-        corpus_.value_index(tx.doc), spec, cmp, &stats_.sharded));
+        corpus_.value_index(tx.doc), spec, cmp, &stats_.sharded,
+        options_.cancel));
   }
   if (vertices_[tgt].table.has_value()) {
     // Both ends materialized: pick among the applicable algorithms
@@ -596,14 +625,15 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
         last_kernel_ = "hash";
         return finish(ShardedHashValueJoinParts(
             Sharded(), ctx_doc, ctx_nodes, target_doc,
-            *vertices_[tgt].table, &stats_.sharded));
+            *vertices_[tgt].table, &stats_.sharded, options_.cancel));
       case EquiAlgo::kMerge: {
         last_kernel_ = "merge";
         std::vector<Pre> outer_sorted = SortByValueId(ctx_doc, ctx_nodes);
         std::vector<Pre> inner_sorted =
             SortByValueId(target_doc, *vertices_[tgt].table);
         JoinPairs pairs = MergeValueJoinPairs(ctx_doc, outer_sorted,
-                                              target_doc, inner_sorted);
+                                              target_doc, inner_sorted,
+                                              options_.cancel);
         // Re-mapping outer rows back to ctx_nodes positions is
         // unnecessary: R_e only needs the matched *nodes* on both
         // sides, so R_e is built against outer_sorted directly.
@@ -627,8 +657,14 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
           }
           r.MutableCol(1 - ctx_col) = std::move(pairs.right_nodes);
           edges_[e].result = std::move(r);
+          if (options_.budget != nullptr) {
+            options_.budget->Charge(edges_[e].ResultRows() * 2 * sizeof(Pre));
+          }
         }
         RecordIntermediate(edges_[e].ResultRows());
+        if (options_.cancel != nullptr) {
+          ROX_RETURN_IF_ERROR(options_.cancel->Check());
+        }
         return Status::Ok();
       }
       case EquiAlgo::kIndexNl:
@@ -722,6 +758,9 @@ void RoxState::UpdateAfterExecution(EdgeId e) {
   for (VertexId v : {edge.v1, edge.v2}) {
     for (EdgeId inc : graph_.IncidentEdges(v)) {
       if (edges_[inc].executed) continue;
+      // A tripped query skips the re-weighing: stale weights are
+      // harmless because the optimizer's next checkpoint unwinds.
+      if (StopRequested(options_.cancel)) return;
       if (options_.resample_after_execute) {
         double old_w = edges_[inc].weight;
         edges_[inc].weight = EstimateCardinality(inc);
@@ -893,6 +932,9 @@ Result<ResultTable> RoxState::AssembleFinal(std::vector<VertexId>* columns) {
   // Deferred edges that closed cycles before both sides were assembled
   // never happen: an edge merges or filters immediately.
   for (EdgeId e : order) {
+    if (options_.cancel != nullptr) {
+      ROX_RETURN_IF_ERROR(options_.cancel->Check());
+    }
     const Edge& edge = graph_.edge(e);
     const ResultTable& r = *edges_[e].result;
     auto [c1, col1] = where[edge.v1];
@@ -1055,6 +1097,9 @@ Result<ResultView> RoxState::AssembleFinalView(
   std::vector<std::pair<int, size_t>> where(graph_.VertexCount(), {-1, 0});
 
   for (size_t pos = 0; pos < order.size(); ++pos) {
+    if (options_.cancel != nullptr) {
+      ROX_RETURN_IF_ERROR(options_.cancel->Check());
+    }
     EdgeId e = order[pos];
     const Edge& edge = graph_.edge(e);
     const ResultView& r = *edges_[e].view;

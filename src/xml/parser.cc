@@ -111,6 +111,13 @@ class Parser {
         StrCat("line ", cur_.line(), ": ", std::string(what)));
   }
 
+  // A robustness cap was exceeded: kResourceExhausted, not kParseError,
+  // so callers can tell "malformed" from "well-formed but too big".
+  Status CapErr(std::string_view what) {
+    return Status::ResourceExhausted(
+        StrCat("line ", cur_.line(), ": ", std::string(what)));
+  }
+
   Status ParseName(std::string* out) {
     if (cur_.AtEnd() || !IsNameStartChar(cur_.Peek())) {
       return Err("expected name");
@@ -188,6 +195,7 @@ class Parser {
       if (open.size() >= kMaxElementDepth) {
         return Err("element nesting too deep");
       }
+      size_t attr_count = 0;
       std::string name;
       ROX_RETURN_IF_ERROR(ParseName(&name));
       builder_->StartElement(name);
@@ -199,6 +207,12 @@ class Parser {
           return Status::Ok();
         }
         if (cur_.TryConsume(">")) break;
+        if (options_.max_attributes_per_element > 0 &&
+            attr_count >= options_.max_attributes_per_element) {
+          return CapErr("too many attributes on one element "
+                        "(max_attributes_per_element)");
+        }
+        ++attr_count;
         std::string aname;
         ROX_RETURN_IF_ERROR(ParseName(&aname));
         cur_.SkipWhitespace();
@@ -274,6 +288,7 @@ class Parser {
         out->push_back(raw[i]);
         continue;
       }
+      const size_t before = out->size();
       size_t semi = raw.find(';', i);
       if (semi == std::string_view::npos) return Err("unterminated entity");
       std::string_view ent = raw.substr(i + 1, semi - i - 1);
@@ -302,6 +317,15 @@ class Parser {
         AppendUtf8(static_cast<uint32_t>(code), out);
       } else {
         return Err(StrCat("unknown entity &", std::string(ent), ";"));
+      }
+      // Meter expanded output, not reference count: the supported
+      // entity set cannot recurse, so total produced bytes is the
+      // resource an expansion flood actually consumes.
+      expanded_bytes_ += out->size() - before;
+      if (options_.max_entity_expansion_bytes > 0 &&
+          expanded_bytes_ > options_.max_entity_expansion_bytes) {
+        return CapErr("entity expansion output too large "
+                      "(max_entity_expansion_bytes)");
       }
       i = semi;
     }
@@ -336,6 +360,8 @@ class Parser {
   Cursor cur_;
   const XmlParseOptions& options_;
   DocumentBuilder* builder_;
+  // Bytes produced by entity/char-ref expansion so far (whole document).
+  size_t expanded_bytes_ = 0;
 };
 
 void EscapeInto(std::string_view s, bool attr, std::string* out) {
@@ -426,6 +452,11 @@ Result<std::unique_ptr<Document>> ParseXml(std::string_view xml,
                                            std::string doc_name,
                                            std::shared_ptr<StringPool> pool,
                                            const XmlParseOptions& options) {
+  if (options.max_input_bytes > 0 && xml.size() > options.max_input_bytes) {
+    return Status::ResourceExhausted(
+        StrCat("document of ", xml.size(), " bytes exceeds max_input_bytes (",
+               options.max_input_bytes, ")"));
+  }
   DocumentBuilder builder(std::move(doc_name), std::move(pool));
   Parser parser(xml, options, &builder);
   ROX_RETURN_IF_ERROR(parser.Run());

@@ -25,6 +25,21 @@ struct XmlParseOptions {
   // Keep comments / processing instructions as nodes.
   bool keep_comments = false;
   bool keep_pis = false;
+
+  // --- robustness caps (DESIGN.md §13) --------------------------------------
+  // Parsing fails with kResourceExhausted (message naming the cap) once
+  // any of these is exceeded; 0 disables the individual cap. Defaults
+  // are generous — they exist to bound adversarial inputs, not to
+  // constrain real workloads.
+
+  // Total input size accepted (checked before any parsing).
+  size_t max_input_bytes = size_t{1} << 30;  // 1 GiB
+  // Attributes on a single element (attribute-flood guard).
+  size_t max_attributes_per_element = 4096;
+  // Total bytes produced by entity / character-reference expansion over
+  // the whole document (reference-flood guard; the supported entity set
+  // cannot recurse, so output is what needs bounding).
+  size_t max_entity_expansion_bytes = size_t{1} << 26;  // 64 MiB
 };
 
 // Parses `xml` into a Document named `doc_name`, interning strings into

@@ -1,0 +1,154 @@
+// Failpoint harness (DESIGN.md §13): registry semantics (arming,
+// skip_hits, max_fires, delay, hit accounting) plus the compiled-in
+// sites — CorpusBuilder::AddXml and Engine::Execute. The registry
+// tests run in every build; the site tests skip when ROX_FAILPOINTS
+// was not compiled in (the macros expand to nothing there).
+
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "engine/engine.h"
+#include "index/corpus.h"
+
+namespace rox {
+namespace {
+
+// Each test arms its own uniquely named points and clears the global
+// registry on exit so tests cannot leak armings into each other.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().DisableAll(); }
+  FailpointRegistry& reg() { return FailpointRegistry::Global(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteIsOk) {
+  EXPECT_TRUE(reg().Hit("fp.never_armed").ok());
+  EXPECT_EQ(reg().HitCount("fp.never_armed"), 0u);
+}
+
+TEST_F(FailpointTest, ArmedSiteReturnsConfiguredError) {
+  FailpointSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.message = "injected";
+  reg().Enable("fp.basic", spec);
+  Status s = reg().Hit("fp.basic");
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "injected");
+  EXPECT_EQ(reg().HitCount("fp.basic"), 1u);
+  reg().Disable("fp.basic");
+  EXPECT_TRUE(reg().Hit("fp.basic").ok());
+}
+
+TEST_F(FailpointTest, DefaultMessageNamesTheSite) {
+  FailpointSpec spec;
+  spec.code = StatusCode::kUnimplemented;
+  reg().Enable("fp.named", spec);
+  Status s = reg().Hit("fp.named");
+  EXPECT_NE(s.message().find("fp.named"), std::string::npos);
+}
+
+TEST_F(FailpointTest, SkipHitsPassesEarlyHitsThrough) {
+  FailpointSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.skip_hits = 2;
+  reg().Enable("fp.skip", spec);
+  EXPECT_TRUE(reg().Hit("fp.skip").ok());
+  EXPECT_TRUE(reg().Hit("fp.skip").ok());
+  EXPECT_FALSE(reg().Hit("fp.skip").ok());  // third hit fires
+  EXPECT_EQ(reg().HitCount("fp.skip"), 3u);
+}
+
+TEST_F(FailpointTest, MaxFiresDisarmsAfterBudget) {
+  FailpointSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.max_fires = 1;
+  reg().Enable("fp.once", spec);
+  EXPECT_FALSE(reg().Hit("fp.once").ok());
+  EXPECT_TRUE(reg().Hit("fp.once").ok());  // budget spent
+  EXPECT_TRUE(reg().Hit("fp.once").ok());
+  EXPECT_EQ(reg().HitCount("fp.once"), 3u);  // still counted
+}
+
+TEST_F(FailpointTest, DelayOnlySpecSleepsButSucceeds) {
+  FailpointSpec spec;
+  spec.delay_ms = 30;  // kOk code: delay-only
+  reg().Enable("fp.delay", spec);
+  StopWatch watch;
+  EXPECT_TRUE(reg().Hit("fp.delay").ok());
+  EXPECT_GE(watch.ElapsedMillis(), 25.0);
+}
+
+TEST_F(FailpointTest, ReArmingReplacesSpecAndResetsAccounting) {
+  FailpointSpec one_shot;
+  one_shot.code = StatusCode::kInternal;
+  one_shot.max_fires = 1;
+  reg().Enable("fp.rearm", one_shot);
+  EXPECT_FALSE(reg().Hit("fp.rearm").ok());
+  EXPECT_TRUE(reg().Hit("fp.rearm").ok());
+  reg().Enable("fp.rearm", one_shot);  // fresh fire budget
+  EXPECT_FALSE(reg().Hit("fp.rearm").ok());
+  EXPECT_EQ(reg().HitCount("fp.rearm"), 1u);  // counting restarted too
+}
+
+// --- compiled-in sites -------------------------------------------------------
+
+#ifdef ROX_FAILPOINTS
+constexpr bool kSitesCompiledIn = true;
+#else
+constexpr bool kSitesCompiledIn = false;
+#endif
+
+TEST_F(FailpointTest, CorpusIngestSiteInjectsFailure) {
+  if (!kSitesCompiledIn) {
+    GTEST_SKIP() << "built without ROX_FAILPOINTS";
+  }
+  FailpointSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.message = "injected ingest failure";
+  reg().Enable("corpus.add_xml", spec);
+
+  Corpus corpus;
+  auto failed = CorpusBuilder(corpus).AddXml("<doc/>", "a.xml");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(failed.status().message(), "injected ingest failure");
+  EXPECT_GE(reg().HitCount("corpus.add_xml"), 1u);
+
+  // Disarmed, the same ingest succeeds — the failure injected nothing
+  // durable into the corpus.
+  reg().Disable("corpus.add_xml");
+  auto ok = CorpusBuilder(corpus).AddXml("<doc/>", "a.xml");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST_F(FailpointTest, EngineExecuteSiteFailsQueryNotEngine) {
+  if (!kSitesCompiledIn) {
+    GTEST_SKIP() << "built without ROX_FAILPOINTS";
+  }
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddXml("<a><b/><b/></a>", "d.xml").ok());
+  engine::Engine eng(std::move(corpus));
+  const std::string query = "for $x in doc(\"d.xml\")//b return $x";
+
+  FailpointSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.max_fires = 1;
+  reg().Enable("engine.execute", spec);
+  engine::QueryResult injected = eng.Run(query);
+  ASSERT_FALSE(injected.ok());
+  EXPECT_EQ(injected.status.code(), StatusCode::kInternal);
+
+  // The failure was per-query: the next run of the very same query on
+  // the same engine succeeds (max_fires budget spent).
+  engine::QueryResult clean = eng.Run(query);
+  ASSERT_TRUE(clean.ok()) << clean.status.ToString();
+  EXPECT_EQ(clean.items->size(), 2u);
+}
+
+}  // namespace
+}  // namespace rox

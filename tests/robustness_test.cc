@@ -88,6 +88,75 @@ TEST(ParserRobustnessTest, NestingBeyondLevelColumnIsRejected) {
             std::string::npos);
 }
 
+// --- parser robustness caps (DESIGN.md §13) --------------------------------------
+
+TEST(ParserRobustnessTest, OversizedInputIsRejected) {
+  XmlParseOptions opts;
+  opts.max_input_bytes = 64;
+  std::string xml = "<a>" + std::string(200, 'x') + "</a>";
+  auto r = ParseXml(xml, "big.xml", nullptr, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().ToString().find("max_input_bytes"),
+            std::string::npos);
+  // The same document parses with the cap off.
+  opts.max_input_bytes = 0;
+  EXPECT_TRUE(ParseXml(xml, "big.xml", nullptr, opts).ok());
+}
+
+TEST(ParserRobustnessTest, AttributeFloodIsRejected) {
+  XmlParseOptions opts;
+  opts.max_attributes_per_element = 8;
+  std::string xml = "<a";
+  for (int i = 0; i < 9; ++i) {
+    xml += " a" + std::to_string(i) + "=\"v\"";
+  }
+  xml += "/>";
+  auto r = ParseXml(xml, "attrs.xml", nullptr, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().ToString().find("max_attributes_per_element"),
+            std::string::npos);
+  // Exactly at the cap is fine.
+  std::string ok_xml = "<a";
+  for (int i = 0; i < 8; ++i) {
+    ok_xml += " a" + std::to_string(i) + "=\"v\"";
+  }
+  ok_xml += "/>";
+  EXPECT_TRUE(ParseXml(ok_xml, "attrs_ok.xml", nullptr, opts).ok());
+}
+
+TEST(ParserRobustnessTest, EntityExpansionFloodIsRejected) {
+  // A reference flood: the cap meters *expanded output bytes* across
+  // the whole document, so many small expansions trip it even though
+  // each one is tiny.
+  XmlParseOptions opts;
+  opts.max_entity_expansion_bytes = 100;
+  std::string xml = "<a>";
+  for (int i = 0; i < 200; ++i) xml += "&amp;";
+  xml += "</a>";
+  auto r = ParseXml(xml, "ents.xml", nullptr, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().ToString().find("max_entity_expansion_bytes"),
+            std::string::npos);
+  // Under the cap the same shape parses.
+  std::string small = "<a>&amp;&lt;&gt;</a>";
+  EXPECT_TRUE(ParseXml(small, "ents_ok.xml", nullptr, opts).ok());
+}
+
+TEST(ParserRobustnessTest, CharRefFloodCountsExpandedBytes) {
+  // Numeric character references expand through the same meter.
+  XmlParseOptions opts;
+  opts.max_entity_expansion_bytes = 16;
+  std::string xml = "<a>";
+  for (int i = 0; i < 40; ++i) xml += "&#65;";
+  xml += "</a>";
+  auto r = ParseXml(xml, "refs.xml", nullptr, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
 TEST(ParserRobustnessTest, RandomDocumentRoundTrip) {
   Rng rng(31337);
   for (int trial = 0; trial < 30; ++trial) {

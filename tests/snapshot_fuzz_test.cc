@@ -351,6 +351,150 @@ TEST(SnapshotFuzzTest, DifferentialShards4LazyOff) {
   RunDifferentialFuzz({.shards = 4, .lazy = false});
 }
 
+// --- governed differential fuzz (DESIGN.md §13) ------------------------------
+//
+// The same live-corpus setting with query limits thrown in: every query
+// randomly draws a tight deadline, a tiny memory budget, both, or
+// neither, while this thread publishes new documents underneath the
+// batch and occasionally fires KillAll. The properties under test:
+//
+//   1. A governed query that completes OK is byte-identical to an
+//      ungoverned reference run against its pinned snapshot — limits
+//      that don't trip must be invisible.
+//   2. A query stopped by governance reports exactly one of
+//      kCancelled / kDeadlineExceeded / kResourceExhausted.
+//   3. The engine survives: later ungoverned queries still work, and
+//      the governance counters add up.
+//
+// Only adds are published (no removals), so compile-time NotFound is
+// impossible and every non-OK result must be a governance stop.
+
+TEST(SnapshotFuzzTest, GovernedQueriesUnderConcurrentPublishes) {
+  const uint64_t seed = EnvU64("ROX_FUZZ_SEED", kDefaultSeed);
+  const uint64_t iters = EnvU64("ROX_FUZZ_ITERS", 40);
+  Rng rng(seed ^ 0x60f3e12ULL);
+
+  engine::EngineOptions live_opts;
+  live_opts.num_threads = 4;
+  live_opts.rox.tau = 20;
+  live_opts.rox.seed = seed;
+
+  engine::EngineOptions ref_opts;
+  ref_opts.num_threads = 1;
+  ref_opts.enable_cache = false;
+  ref_opts.rox.tau = 20;
+
+  NameBook names;
+  Corpus corpus;
+  for (int i = 0; i < 2; ++i) {
+    std::string nx = names.Fresh(/*xmark=*/true);
+    std::string nd = names.Fresh(/*xmark=*/false);
+    ASSERT_TRUE(corpus.AddXml(XmarkFlavorXml(rng), nx).ok());
+    ASSERT_TRUE(corpus.AddXml(DblpFlavorXml(rng), nd).ok());
+    names.live.push_back(nx);
+    names.live.push_back(nd);
+  }
+  engine::Engine live(std::move(corpus), live_opts);
+
+  uint64_t ok_results = 0;
+  uint64_t deadline_stops = 0;
+  uint64_t budget_stops = 0;
+  uint64_t cancel_stops = 0;
+
+  for (uint64_t iter = 0; iter < iters; ++iter) {
+    const size_t batch_size = 4 + rng.Below(4);
+    std::vector<std::string> queries;
+    std::vector<QueryLimits> limits;
+    std::vector<std::future<engine::QueryResult>> futures;
+    for (size_t i = 0; i < batch_size; ++i) {
+      queries.push_back(MakeQuery(rng, names));
+      QueryLimits lim;
+      switch (rng.Below(4)) {
+        case 0:  // ungoverned
+          break;
+        case 1:  // effectively-instant deadline: trips at the first poll
+          lim.deadline_ms = 0.01;
+          break;
+        case 2:  // one-byte budget: latches on the first arena block
+          lim.memory_budget_bytes = 1;
+          break;
+        default:  // generous limits: must be invisible
+          lim.deadline_ms = 60000;
+          lim.memory_budget_bytes = uint64_t{1} << 30;
+          break;
+      }
+      limits.push_back(lim);
+      futures.push_back(live.Submit(queries.back(), lim));
+    }
+
+    // Publish new epochs underneath the in-flight batch, and
+    // occasionally kill whatever happens to be running.
+    const int mutations = 1 + static_cast<int>(rng.Below(2));
+    for (int m = 0; m < mutations; ++m) {
+      bool xmark = rng.Bernoulli(0.5);
+      std::string name = names.Fresh(xmark);
+      std::string xml = xmark ? XmarkFlavorXml(rng) : DblpFlavorXml(rng);
+      ASSERT_TRUE(live.AddDocuments({{name, std::move(xml)}}).ok()) << name;
+      names.live.push_back(std::move(name));
+    }
+    if (rng.Bernoulli(0.25)) live.KillAll();
+
+    for (size_t i = 0; i < batch_size; ++i) {
+      engine::QueryResult r = futures[i].get();
+      const std::string context =
+          "governed iter=" + std::to_string(iter) + " query=[" + queries[i] +
+          "] deadline_ms=" + std::to_string(limits[i].deadline_ms) +
+          " budget=" + std::to_string(limits[i].memory_budget_bytes);
+      if (r.ok()) {
+        ++ok_results;
+        ASSERT_NE(r.snapshot, nullptr);
+        engine::EngineOptions opts = ref_opts;
+        opts.rox.seed = seed * 7919 + iter * 131 + i;
+        engine::Engine ref(r.snapshot, opts);
+        engine::QueryResult rr = ref.Run(queries[i]);
+        if (!rr.ok() || *r.items != *rr.items) {
+          DumpSeed(seed, context);
+          FAIL() << "governed OK result diverges from oracle at " << context;
+        }
+      } else {
+        switch (r.status.code()) {
+          case StatusCode::kDeadlineExceeded:
+            ++deadline_stops;
+            break;
+          case StatusCode::kResourceExhausted:
+            ++budget_stops;
+            break;
+          case StatusCode::kCancelled:
+            ++cancel_stops;
+            break;
+          default:
+            DumpSeed(seed, context);
+            FAIL() << "non-governance failure " << r.status.ToString()
+                   << " at " << context;
+        }
+      }
+    }
+  }
+
+  // Coverage guards: the run must actually exercise both completion and
+  // both deterministic stop kinds (KillAll stops are timing-dependent,
+  // so they are reported but not required).
+  EXPECT_GT(ok_results, iters);
+  EXPECT_GT(deadline_stops, 0u);
+  EXPECT_GT(budget_stops, 0u);
+
+  // The engine is intact afterward, and the stats agree with what the
+  // futures reported (every cancel was also counted by the engine).
+  engine::QueryResult after =
+      live.Run("for $p in doc(\"" + names.live[0] + "\")//person return $p");
+  ASSERT_TRUE(after.ok()) << after.status.ToString();
+  engine::EngineStats stats = live.Stats();
+  EXPECT_EQ(stats.queries_deadline_exceeded, deadline_stops);
+  EXPECT_EQ(stats.queries_budget_exceeded, budget_stops);
+  EXPECT_EQ(stats.queries_cancelled, cancel_stops);
+  EXPECT_EQ(stats.stale_cache_hits, 0u);
+}
+
 // --- TSan-targeted publish/read race ----------------------------------------
 //
 // N writer threads race M reader threads through epoch publishes. The

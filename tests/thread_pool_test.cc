@@ -4,10 +4,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "engine/governor.h"
 
 namespace rox {
 namespace {
@@ -83,6 +86,81 @@ TEST(ThreadPoolTest, ParallelTasksOverlap) {
     ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
               std::future_status::ready);
   }
+}
+
+// --- governance / abort interaction (DESIGN.md §13) --------------------------
+
+TEST(ThreadPoolTest, CancelledBacklogDrainsThroughDestructor) {
+  // Tasks queued behind a cancelled token must still be *executed* by
+  // the destructor's drain (the pool never discards work), but each one
+  // observes the token and skips its real work.
+  CancellationToken token;
+  token.Cancel();
+  std::atomic<int> executed{0};
+  std::atomic<int> worked{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&] {
+        executed.fetch_add(1);
+        if (StopRequested(&token)) return;  // governed early-exit
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        worked.fetch_add(1);
+      });
+    }
+  }  // ~ThreadPool drains all 200, none doing real work
+  EXPECT_EQ(executed.load(), 200);
+  EXPECT_EQ(worked.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForExceptionRacesCancellation) {
+  // One lane throws while the others concurrently cancel the shared
+  // token and bail out: the exception must still reach the caller, the
+  // done-accounting must not lose the cancelled lanes, and the pool
+  // must stay usable.
+  ThreadPool pool(4);
+  CancellationToken token;
+  EXPECT_THROW(
+      ParallelFor(&pool, 64,
+                  [&](size_t i) {
+                    if (i == 0) throw std::runtime_error("lane failure");
+                    token.Cancel();
+                    if (StopRequested(&token)) return;
+                  }),
+      std::runtime_error);
+  EXPECT_TRUE(token.StopRequested());
+  auto f = pool.Async([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPoolTest, CancelledCallerParticipationDoesNotDeadlock) {
+  // Every worker is pinned busy, so the ParallelFor caller must claim
+  // all iterations itself; with the token already tripped each claim
+  // returns immediately. The call completing (instead of waiting on
+  // workers that will never come) is the property under test.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&release] {
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  CancellationToken token;
+  token.Cancel();
+  std::atomic<size_t> claimed{0};
+  std::future<void> done = std::async(std::launch::async, [&] {
+    ParallelFor(&pool, 128, [&](size_t) {
+      claimed.fetch_add(1);
+      if (StopRequested(&token)) return;
+      ADD_FAILURE() << "iteration ran real work despite cancelled token";
+    });
+  });
+  ASSERT_EQ(done.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  done.get();
+  EXPECT_EQ(claimed.load(), 128u);
+  release.store(true);
+  pool.WaitIdle();
 }
 
 }  // namespace
