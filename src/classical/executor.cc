@@ -70,12 +70,14 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
   auto cols_of = [&](const Partition& p) {
     return lazy_ ? p.view.NumCols() : p.table.NumCols();
   };
-  // The partition's join-value column as a contiguous probe span (a
-  // direct view column or an eager table column costs nothing; an
-  // indexed view column gathers once into the arena).
-  auto probe_col = [&](const Partition& p) -> std::span<const Pre> {
-    return lazy_ ? p.view.GatherColumn(p.join_value_col, arena, nullptr)
-                 : p.table.Col(p.join_value_col);
+  // The partition's join-value column as a selection-vector-aware
+  // probe input: a lazy view column feeds the kernels as (base, sel)
+  // directly — no gather into the arena — and an eager table column is
+  // a plain contiguous span (DESIGN.md §14).
+  auto probe_col = [&](const Partition& p) -> PreColumn {
+    if (!lazy_) return PreColumn::FromSpan(p.table.Col(p.join_value_col));
+    const ResultView::Column& c = p.view.col(p.join_value_col);
+    return {c.base, c.sel, p.view.NumRows()};
   };
 
   // Executes doc i's author/text() step as an initial table.
@@ -86,7 +88,7 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
     std::vector<Pre> authors(authors_span.begin(), authors_span.end());
     JoinPairs pairs = ShardedStructuralJoinPairs(
         sharded_, d, doc, authors, StepSpec::ChildText(), nullptr, nullptr,
-        cancel_);
+        cancel_, vectorized_);
     Partition part;
     if (lazy_) {
       // The pair arrays are the view: authors as the base of a
@@ -144,7 +146,8 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
     const Document& part_doc = corpus_.doc(docs_[part.docs[0]]);
     JoinPairs pairs = ShardedValueIndexJoinPairs(
         sharded_, part_doc, probe_col(part), corpus_.doc(d),
-        corpus_.value_index(d), ValueProbeSpec::Text(), nullptr, cancel_);
+        corpus_.value_index(d), ValueProbeSpec::Text(), nullptr, cancel_,
+        vectorized_);
     Partition out;
     if (lazy_) {
       out.view = ExtendViewWithPairs(part.view, std::move(pairs), arena);
@@ -167,8 +170,9 @@ Result<PlanRunStats> CanonicalPlanExecutor::Run(const JoinOrder& order,
     std::vector<Pre> inner = lazy_
                                  ? y.view.DistinctColumn(y.join_value_col)
                                  : y.table.DistinctColumn(y.join_value_col);
-    JoinPairs pairs = ShardedHashValueJoinPairs(sharded_, xd, probe_col(x),
-                                                yd, inner, nullptr, cancel_);
+    JoinPairs pairs =
+        ShardedHashValueJoinPairs(sharded_, xd, probe_col(x), yd, inner,
+                                  nullptr, cancel_, vectorized_);
     Partition out;
     size_t x_cols = cols_of(x);
     if (lazy_) {

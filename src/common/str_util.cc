@@ -1,8 +1,20 @@
 #include "common/str_util.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace rox {
+
+double ParseNumeric(std::string_view s) {
+  if (s.empty()) return std::nan("");
+  // Full-string parse: trailing garbage disqualifies.
+  std::string buf(s);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nan("");
+  return v;
+}
 
 std::string StrJoin(const std::vector<std::string>& parts,
                     std::string_view sep) {

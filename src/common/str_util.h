@@ -30,6 +30,13 @@ std::vector<std::string> StrSplit(std::string_view s, char sep);
 bool StartsWith(std::string_view s, std::string_view prefix);
 bool EndsWith(std::string_view s, std::string_view suffix);
 
+// Full-string numeric parse: the double value of `s`, or NaN when `s`
+// is empty or has any non-numeric prefix/suffix. Shared by the string
+// pool (which caches the parse per interned string) and the query
+// compiler, so "what counts as a number" cannot diverge between index
+// build and predicate compilation.
+double ParseNumeric(std::string_view s);
+
 // Formats a byte count with binary units ("1.1 MB" style, as Table 3).
 std::string HumanBytes(uint64_t bytes);
 

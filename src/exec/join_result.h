@@ -28,8 +28,13 @@ struct JoinPairs {
 
   // True if result generation was cut off by the limit.
   bool truncated = false;
-  // Number of outer rows processed (all of them when !truncated; the
-  // 1-based index of the row being processed when the cut-off hit).
+  // Number of outer rows consumed: all of them when !truncated. On a
+  // limit cut-off at row i (0-based), i + 1 — the tripping row counts
+  // as consumed whether or not any of its pairs survive the sentinel
+  // pop, and rows before it count even if they emitted nothing. On a
+  // cancellation trip, the length i of the fully-processed prefix
+  // [0, i); the tripped row's partial matches are discarded, so pairs
+  // only ever reference rows < outer_consumed.
   uint64_t outer_consumed = 0;
 
   uint64_t size() const { return right_nodes.size(); }
@@ -59,6 +64,39 @@ struct JoinPairs {
     return static_cast<double>(size()) / f;
   }
 };
+
+// Finishes a kernel run that stopped inside row `i`'s emission,
+// distinguishing the two stop causes by inspecting the output:
+//  * Limit trip — the sentinel (limit+1)-th pair was just produced:
+//    drop it, leaving exactly `limit` pairs, and count row i as
+//    consumed (outer_consumed = i + 1) whether or not any of its pairs
+//    survive. (The former accounting reported left_rows.back() + 1 —
+//    or 1 when no pairs survived at all — under-counting whenever
+//    match-less rows preceded the tripping row and skewing the
+//    reduction factor f = outer_consumed / outer_total toward
+//    over-estimates.)
+//  * Cancellation trip — discard row i's partial matches so the
+//    surviving pairs cover exactly the fully consumed prefix [0, i)
+//    and report outer_consumed = i. Callers re-check the token and
+//    discard the result either way; the discard keeps the truncation
+//    invariants (pairs reference rows < outer_consumed) intact.
+inline void StampTruncationStop(JoinPairs& out, uint64_t limit, size_t i) {
+  const bool limit_trip =
+      limit != kNoLimit && out.right_nodes.size() > limit;
+  if (limit_trip) {
+    out.left_rows.pop_back();
+    out.right_nodes.pop_back();
+    out.outer_consumed = i + 1;
+  } else {
+    const uint32_t row = static_cast<uint32_t>(i);
+    while (!out.left_rows.empty() && out.left_rows.back() == row) {
+      out.left_rows.pop_back();
+      out.right_nodes.pop_back();
+    }
+    out.outer_consumed = i;
+  }
+  out.truncated = true;
+}
 
 }  // namespace rox
 

@@ -1,10 +1,9 @@
 #include "exec/result_table.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/check.h"
+#include "exec/flat_hash.h"
 
 namespace rox {
 
@@ -49,31 +48,45 @@ inline uint64_t Mix(uint64_t h, uint64_t v) {
 }  // namespace
 
 ResultTable ResultTable::DistinctRows() const {
+  // Flat open-addressing row set (first-occurrence order preserved via
+  // `keep`). The former per-hash bucket map (unordered_map<uint64_t,
+  // vector<uint32_t>>) dominated whole-query profiles: an allocation
+  // per distinct row plus a rehash cascade per assembly. Row hashes are
+  // precomputed with one column-major sweep per column — the row-major
+  // re-hash per probe was the second-largest cost.
   uint64_t n = NumRows();
-  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
   std::vector<uint32_t> keep;
   keep.reserve(n);
+  if (n == 0) return SelectRows(keep);
+  std::vector<uint64_t> hashes(n, 0x12345678ULL);
+  for (const auto& col : cols_) {
+    for (uint64_t r = 0; r < n; ++r) hashes[r] = Mix(hashes[r], col[r]);
+  }
+  constexpr uint32_t kEmptySlot = UINT32_MAX;
+  size_t cap = 16;
+  while (cap < n * 2) cap <<= 1;
+  const size_t mask = cap - 1;
+  std::vector<uint32_t> slots(cap, kEmptySlot);
   for (uint64_t r = 0; r < n; ++r) {
-    uint64_t h = 0x12345678;
-    for (const auto& col : cols_) h = Mix(h, col[r]);
-    auto& bucket = buckets[h];
-    bool dup = false;
-    for (uint32_t prev : bucket) {
-      bool equal = true;
-      for (const auto& col : cols_) {
-        if (col[prev] != col[r]) {
-          equal = false;
-          break;
-        }
-      }
-      if (equal) {
-        dup = true;
+    size_t i = hashes[r] & mask;
+    while (true) {
+      uint32_t prev = slots[i];
+      if (prev == kEmptySlot) {
+        slots[i] = static_cast<uint32_t>(r);
+        keep.push_back(static_cast<uint32_t>(r));
         break;
       }
-    }
-    if (!dup) {
-      bucket.push_back(static_cast<uint32_t>(r));
-      keep.push_back(static_cast<uint32_t>(r));
+      if (hashes[prev] == hashes[r]) {
+        bool equal = true;
+        for (const auto& col : cols_) {
+          if (col[prev] != col[r]) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) break;  // duplicate of an earlier row
+      }
+      i = (i + 1) & mask;
     }
   }
   return SelectRows(keep);
@@ -97,8 +110,16 @@ ResultTable ResultTable::SortRows(std::span<const size_t> key_cols) const {
 std::vector<Pre> ResultTable::DistinctColumn(size_t col) const {
   // Hash-based dedup first: distinct nodes are typically far fewer than
   // rows, so sorting only the distinct set beats sorting the column.
-  std::unordered_set<Pre> seen(cols_[col].begin(), cols_[col].end());
-  std::vector<Pre> out(seen.begin(), seen.end());
+  FlatRunMap<Pre, kInvalidPre> seen;
+  seen.Reset(cols_[col].size());
+  std::vector<Pre> out;
+  for (Pre p : cols_[col]) {
+    auto& slot = seen.FindOrInsert(p);
+    if (slot.b == 0) {
+      slot.b = 1;
+      out.push_back(p);
+    }
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -115,11 +136,11 @@ ResultTable JoinTablesWithPairs(const ResultTable& outer,
   orows.reserve(pairs.size());
   irows.reserve(pairs.size());
   for (uint64_t k = 0; k < pairs.size(); ++k) {
-    auto it = vr.runs.find(pairs.right_nodes[k]);
-    if (it == vr.runs.end()) continue;
-    for (uint32_t j = 0; j < it->second.second; ++j) {
+    const auto* run = vr.Find(pairs.right_nodes[k]);
+    if (run == nullptr) continue;
+    for (uint32_t j = 0; j < run->b; ++j) {
       orows.push_back(pairs.left_rows[k]);
-      irows.push_back(vr.row_ids[it->second.first + j]);
+      irows.push_back(vr.row_ids[run->a + j]);
     }
   }
 
@@ -144,22 +165,24 @@ JoinPairs ExpandPairsOverColumn(const JoinPairs& pairs,
                                 const std::vector<Pre>& distinct_nodes,
                                 const std::vector<Pre>& column) {
   // Runs of consecutive equal left rows -> (first pair index, length),
-  // keyed by the context node.
-  std::unordered_map<Pre, std::pair<uint32_t, uint32_t>> runs;
-  runs.reserve(distinct_nodes.size());
+  // keyed by the context node (distinct, so each key inserts once).
+  FlatRunMap<Pre, kInvalidPre> runs;
+  runs.Reset(distinct_nodes.size());
   for (uint32_t k = 0; k < pairs.size();) {
     uint32_t start = k;
     uint32_t left = pairs.left_rows[k];
     while (k < pairs.size() && pairs.left_rows[k] == left) ++k;
-    runs.emplace(distinct_nodes[left], std::make_pair(start, k - start));
+    auto& slot = runs.FindOrInsert(distinct_nodes[left]);
+    slot.a = start;
+    slot.b = k - start;
   }
   JoinPairs out;
   for (uint32_t r = 0; r < column.size(); ++r) {
-    auto it = runs.find(column[r]);
-    if (it == runs.end()) continue;
-    for (uint32_t j = 0; j < it->second.second; ++j) {
+    const auto* run = runs.Find(column[r]);
+    if (run == nullptr) continue;
+    for (uint32_t j = 0; j < run->b; ++j) {
       out.left_rows.push_back(r);
-      out.right_nodes.push_back(pairs.right_nodes[it->second.first + j]);
+      out.right_nodes.push_back(pairs.right_nodes[run->a + j]);
     }
   }
   out.truncated = pairs.truncated;

@@ -12,10 +12,10 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "exec/flat_hash.h"
 #include "exec/join_result.h"
 #include "xml/node.h"
 
@@ -26,28 +26,37 @@ namespace rox {
 // Every pair-expansion site (eager and lazy table joins, both final
 // assemblies) shares this construction, so the row order they emit is
 // identical — the invariant behind the lazy/eager byte-identity
-// guarantee (DESIGN.md §8).
+// guarantee (DESIGN.md §8). Backed by a flat open-addressing map
+// (exec/flat_hash.h): the former std::unordered_map was the top
+// profile entry of the assembly path (one node allocation per distinct
+// value plus a destructor walk per rebuild).
 struct ValueRuns {
-  std::unordered_map<Pre, std::pair<uint32_t, uint32_t>> runs;  // off, len
+  FlatRunMap<Pre, kInvalidPre> runs;  // a = offset, b = length
   std::vector<uint32_t> row_ids;
+
+  // The (offset, length) run of `node`, or nullptr if absent.
+  const FlatRunMap<Pre, kInvalidPre>::Slot* Find(Pre node) const {
+    return runs.Find(node);
+  }
 };
 
 // `value_at(r)` returns the node value of row r, for r in [0, n).
 template <typename ValueAt>
 ValueRuns BuildValueRuns(uint64_t n, ValueAt&& value_at) {
   ValueRuns out;
-  out.runs.reserve(n);
-  for (uint32_t r = 0; r < n; ++r) ++out.runs[value_at(r)].second;
+  out.runs.Reset(n);
+  for (uint32_t r = 0; r < n; ++r) ++out.runs.FindOrInsert(value_at(r)).b;
   out.row_ids.resize(n);
   uint32_t off = 0;
-  for (auto& [node, run] : out.runs) {
-    run.first = off;
-    off += run.second;
-    run.second = 0;  // reused as the fill cursor; ends back at length
+  for (auto& slot : out.runs.slots()) {
+    if (slot.key == kInvalidPre) continue;
+    slot.a = off;
+    off += slot.b;
+    slot.b = 0;  // reused as the fill cursor; ends back at length
   }
   for (uint32_t r = 0; r < n; ++r) {
-    auto& run = out.runs[value_at(r)];
-    out.row_ids[run.first + run.second++] = r;
+    auto& slot = out.runs.FindOrInsert(value_at(r));
+    out.row_ids[slot.a + slot.b++] = r;
   }
   return out;
 }

@@ -142,11 +142,11 @@ ResultView JoinViewsWithPairs(const ResultView& outer, const JoinPairs& pairs,
   orows.reserve(pairs.size());
   irows.reserve(pairs.size());
   for (uint64_t k = 0; k < pairs.size(); ++k) {
-    auto it = vr.runs.find(pairs.right_nodes[k]);
-    if (it == vr.runs.end()) continue;
-    for (uint32_t j = 0; j < it->second.second; ++j) {
+    const auto* run = vr.Find(pairs.right_nodes[k]);
+    if (run == nullptr) continue;
+    for (uint32_t j = 0; j < run->b; ++j) {
       orows.push_back(pairs.left_rows[k]);
-      irows.push_back(vr.row_ids[it->second.first + j]);
+      irows.push_back(vr.row_ids[run->a + j]);
     }
   }
 

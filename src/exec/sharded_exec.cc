@@ -1,6 +1,7 @@
 #include "exec/sharded_exec.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/thread_pool.h"
 
@@ -86,10 +87,10 @@ ShardedJoinParts ShardedStructuralJoinParts(
     const ShardedExec* ex, DocId ctx_doc, const Document& target_doc,
     std::span<const Pre> context, const StepSpec& step,
     const ElementIndex* index, ShardFanoutStats* stats,
-    const CancellationToken* cancel) {
+    const CancellationToken* cancel, bool vectorized) {
   if (ex == nullptr || !ex->Enabled() || context.size() < 2) {
     return SingleLane(StructuralJoinPairs(target_doc, context, step, kNoLimit,
-                                          index, cancel),
+                                          index, cancel, vectorized),
                       context.size());
   }
   std::vector<std::span<const Pre>> parts;
@@ -102,7 +103,7 @@ ShardedJoinParts ShardedStructuralJoinParts(
   ParallelFor(ex->pool, parts.size(), [&](size_t s) {
     if (parts[s].empty()) return;
     out.parts[s] = StructuralJoinPairs(target_doc, parts[s], step, kNoLimit,
-                                       index, cancel);
+                                       index, cancel, vectorized);
   });
   RecordFanout(out.parts, stats);
   return out;
@@ -110,19 +111,56 @@ ShardedJoinParts ShardedStructuralJoinParts(
 
 ShardedJoinParts ShardedHashValueJoinParts(
     const ShardedExec* ex, const Document& outer_doc,
-    std::span<const Pre> outer, const Document& inner_doc,
+    const PreColumn& outer, const Document& inner_doc,
     std::span<const Pre> inner, ShardFanoutStats* stats,
-    const CancellationToken* cancel) {
-  if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
-    return SingleLane(
-        HashValueJoinPairs(outer_doc, outer, inner_doc, inner, cancel),
-        outer.size());
-  }
+    const CancellationToken* cancel, bool vectorized) {
   ValueHashTable table(inner_doc, inner);
+  if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
+    JoinPairs pairs;
+    table.ProbeInto(outer_doc, outer, pairs, cancel, vectorized);
+    return SingleLane(std::move(pairs), outer.size());
+  }
   return ChunkedProbe(
       *ex, outer.size(),
       [&](uint32_t lo, uint32_t hi) {
-        return table.Probe(outer_doc, outer.subspan(lo, hi - lo), cancel);
+        JoinPairs pairs;
+        table.ProbeInto(outer_doc, outer.Sub(lo, hi - lo), pairs, cancel,
+                        vectorized);
+        return pairs;
+      },
+      stats);
+}
+
+ShardedJoinParts ShardedHashValueJoinParts(
+    const ShardedExec* ex, const Document& outer_doc,
+    std::span<const Pre> outer, const Document& inner_doc,
+    std::span<const Pre> inner, ShardFanoutStats* stats,
+    const CancellationToken* cancel, bool vectorized) {
+  return ShardedHashValueJoinParts(ex, outer_doc, PreColumn::FromSpan(outer),
+                                   inner_doc, inner, stats, cancel,
+                                   vectorized);
+}
+
+ShardedJoinParts ShardedValueIndexJoinParts(
+    const ShardedExec* ex, const Document& outer_doc,
+    const PreColumn& outer, const Document& inner_doc,
+    const ValueIndex& inner_index, const ValueProbeSpec& spec,
+    ShardFanoutStats* stats, const CancellationToken* cancel,
+    bool vectorized) {
+  if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
+    JoinPairs pairs;
+    ValueIndexJoinPairsInto(outer_doc, outer, inner_doc, inner_index, spec,
+                            kNoLimit, pairs, cancel, vectorized);
+    return SingleLane(std::move(pairs), outer.size());
+  }
+  return ChunkedProbe(
+      *ex, outer.size(),
+      [&](uint32_t lo, uint32_t hi) {
+        JoinPairs pairs;
+        ValueIndexJoinPairsInto(outer_doc, outer.Sub(lo, hi - lo), inner_doc,
+                                inner_index, spec, kNoLimit, pairs, cancel,
+                                vectorized);
+        return pairs;
       },
       stats);
 }
@@ -131,32 +169,23 @@ ShardedJoinParts ShardedValueIndexJoinParts(
     const ShardedExec* ex, const Document& outer_doc,
     std::span<const Pre> outer, const Document& inner_doc,
     const ValueIndex& inner_index, const ValueProbeSpec& spec,
-    ShardFanoutStats* stats, const CancellationToken* cancel) {
-  if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
-    return SingleLane(
-        ValueIndexJoinPairs(outer_doc, outer, inner_doc, inner_index, spec,
-                            kNoLimit, cancel),
-        outer.size());
-  }
-  return ChunkedProbe(
-      *ex, outer.size(),
-      [&](uint32_t lo, uint32_t hi) {
-        return ValueIndexJoinPairs(outer_doc, outer.subspan(lo, hi - lo),
-                                   inner_doc, inner_index, spec, kNoLimit,
-                                   cancel);
-      },
-      stats);
+    ShardFanoutStats* stats, const CancellationToken* cancel,
+    bool vectorized) {
+  return ShardedValueIndexJoinParts(ex, outer_doc, PreColumn::FromSpan(outer),
+                                    inner_doc, inner_index, spec, stats,
+                                    cancel, vectorized);
 }
 
 ShardedJoinParts ShardedValueIndexThetaJoinParts(
     const ShardedExec* ex, const Document& outer_doc,
     std::span<const Pre> outer, const Document& inner_doc,
     const ValueIndex& inner_index, const ValueProbeSpec& spec, CmpOp op,
-    ShardFanoutStats* stats, const CancellationToken* cancel) {
+    ShardFanoutStats* stats, const CancellationToken* cancel,
+    bool vectorized) {
   if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
     return SingleLane(
         ValueIndexThetaJoinPairs(outer_doc, outer, inner_doc, inner_index,
-                                 spec, op, kNoLimit, cancel),
+                                 spec, op, kNoLimit, cancel, vectorized),
         outer.size());
   }
   return ChunkedProbe(
@@ -165,7 +194,7 @@ ShardedJoinParts ShardedValueIndexThetaJoinParts(
         return ValueIndexThetaJoinPairs(outer_doc,
                                         outer.subspan(lo, hi - lo),
                                         inner_doc, inner_index, spec, op,
-                                        kNoLimit, cancel);
+                                        kNoLimit, cancel, vectorized);
       },
       stats);
 }
@@ -174,10 +203,10 @@ ShardedJoinParts ShardedSortThetaJoinParts(
     const ShardedExec* ex, const Document& outer_doc,
     std::span<const Pre> outer, const Document& inner_doc,
     std::span<const Pre> inner, CmpOp op, ShardFanoutStats* stats,
-    const CancellationToken* cancel) {
+    const CancellationToken* cancel, bool vectorized) {
   if (ex == nullptr || !ex->Enabled() || outer.size() < 2) {
     return SingleLane(SortThetaJoinPairs(outer_doc, outer, inner_doc, inner,
-                                         op, kNoLimit, cancel),
+                                         op, kNoLimit, cancel, vectorized),
                       outer.size());
   }
   ThetaRun run = ThetaRun::Build(inner_doc, inner);
@@ -186,7 +215,8 @@ ShardedJoinParts ShardedSortThetaJoinParts(
       [&](uint32_t lo, uint32_t hi) {
         JoinPairs pairs;
         ThetaRunJoinPairsInto(outer_doc, outer.subspan(lo, hi - lo),
-                              inner_doc, run, op, kNoLimit, pairs, cancel);
+                              inner_doc, run, op, kNoLimit, pairs, cancel,
+                              vectorized);
         return pairs;
       },
       stats);
@@ -196,9 +226,9 @@ JoinPairs ShardedStructuralJoinPairs(
     const ShardedExec* ex, DocId ctx_doc, const Document& target_doc,
     std::span<const Pre> context, const StepSpec& step,
     const ElementIndex* index, ShardFanoutStats* stats,
-    const CancellationToken* cancel) {
+    const CancellationToken* cancel, bool vectorized) {
   return ShardedStructuralJoinParts(ex, ctx_doc, target_doc, context, step,
-                                    index, stats, cancel)
+                                    index, stats, cancel, vectorized)
       .Merged();
 }
 
@@ -206,9 +236,19 @@ JoinPairs ShardedHashValueJoinPairs(
     const ShardedExec* ex, const Document& outer_doc,
     std::span<const Pre> outer, const Document& inner_doc,
     std::span<const Pre> inner, ShardFanoutStats* stats,
-    const CancellationToken* cancel) {
+    const CancellationToken* cancel, bool vectorized) {
   return ShardedHashValueJoinParts(ex, outer_doc, outer, inner_doc, inner,
-                                   stats, cancel)
+                                   stats, cancel, vectorized)
+      .Merged();
+}
+
+JoinPairs ShardedHashValueJoinPairs(
+    const ShardedExec* ex, const Document& outer_doc,
+    const PreColumn& outer, const Document& inner_doc,
+    std::span<const Pre> inner, ShardFanoutStats* stats,
+    const CancellationToken* cancel, bool vectorized) {
+  return ShardedHashValueJoinParts(ex, outer_doc, outer, inner_doc, inner,
+                                   stats, cancel, vectorized)
       .Merged();
 }
 
@@ -216,9 +256,23 @@ JoinPairs ShardedValueIndexJoinPairs(
     const ShardedExec* ex, const Document& outer_doc,
     std::span<const Pre> outer, const Document& inner_doc,
     const ValueIndex& inner_index, const ValueProbeSpec& spec,
-    ShardFanoutStats* stats, const CancellationToken* cancel) {
+    ShardFanoutStats* stats, const CancellationToken* cancel,
+    bool vectorized) {
   return ShardedValueIndexJoinParts(ex, outer_doc, outer, inner_doc,
-                                    inner_index, spec, stats, cancel)
+                                    inner_index, spec, stats, cancel,
+                                    vectorized)
+      .Merged();
+}
+
+JoinPairs ShardedValueIndexJoinPairs(
+    const ShardedExec* ex, const Document& outer_doc,
+    const PreColumn& outer, const Document& inner_doc,
+    const ValueIndex& inner_index, const ValueProbeSpec& spec,
+    ShardFanoutStats* stats, const CancellationToken* cancel,
+    bool vectorized) {
+  return ShardedValueIndexJoinParts(ex, outer_doc, outer, inner_doc,
+                                    inner_index, spec, stats, cancel,
+                                    vectorized)
       .Merged();
 }
 

@@ -101,11 +101,17 @@ struct ShardedJoinParts {
 // first trip stops the siblings within one polling interval. Partial
 // lane outputs are merged as usual; callers re-check the token before
 // consuming the merge (DESIGN.md §13).
+//
+// The trailing `vectorized` flag selects each lane's kernel path
+// (value_join.h): the batched default or the row-at-a-time fallback,
+// byte-identical either way. PreColumn overloads exist for the probe-
+// side fan-outs so a lazy ResultView column feeds the lanes without an
+// intermediate gather (each lane probes a positional Sub slice).
 ShardedJoinParts ShardedStructuralJoinParts(
     const ShardedExec* ex, DocId ctx_doc, const Document& target_doc,
     std::span<const Pre> context, const StepSpec& step,
     const ElementIndex* index, ShardFanoutStats* stats,
-    const CancellationToken* cancel = nullptr);
+    const CancellationToken* cancel = nullptr, bool vectorized = true);
 
 // Hash equi-join with a single shared build side and per-chunk
 // parallel probes (the probe side need not be sorted).
@@ -113,7 +119,12 @@ ShardedJoinParts ShardedHashValueJoinParts(
     const ShardedExec* ex, const Document& outer_doc,
     std::span<const Pre> outer, const Document& inner_doc,
     std::span<const Pre> inner, ShardFanoutStats* stats,
-    const CancellationToken* cancel = nullptr);
+    const CancellationToken* cancel = nullptr, bool vectorized = true);
+ShardedJoinParts ShardedHashValueJoinParts(
+    const ShardedExec* ex, const Document& outer_doc,
+    const PreColumn& outer, const Document& inner_doc,
+    std::span<const Pre> inner, ShardFanoutStats* stats,
+    const CancellationToken* cancel = nullptr, bool vectorized = true);
 
 // Index nested-loop equi-join with per-chunk parallel probes into the
 // (full) inner value index.
@@ -121,7 +132,14 @@ ShardedJoinParts ShardedValueIndexJoinParts(
     const ShardedExec* ex, const Document& outer_doc,
     std::span<const Pre> outer, const Document& inner_doc,
     const ValueIndex& inner_index, const ValueProbeSpec& spec,
-    ShardFanoutStats* stats, const CancellationToken* cancel = nullptr);
+    ShardFanoutStats* stats, const CancellationToken* cancel = nullptr,
+    bool vectorized = true);
+ShardedJoinParts ShardedValueIndexJoinParts(
+    const ShardedExec* ex, const Document& outer_doc,
+    const PreColumn& outer, const Document& inner_doc,
+    const ValueIndex& inner_index, const ValueProbeSpec& spec,
+    ShardFanoutStats* stats, const CancellationToken* cancel = nullptr,
+    bool vectorized = true);
 
 // Theta join (`op` != kEq) with per-chunk parallel probes into the
 // inner index's pre-sorted runs (see value_join.h). Probing is
@@ -130,7 +148,8 @@ ShardedJoinParts ShardedValueIndexThetaJoinParts(
     const ShardedExec* ex, const Document& outer_doc,
     std::span<const Pre> outer, const Document& inner_doc,
     const ValueIndex& inner_index, const ValueProbeSpec& spec, CmpOp op,
-    ShardFanoutStats* stats, const CancellationToken* cancel = nullptr);
+    ShardFanoutStats* stats, const CancellationToken* cancel = nullptr,
+    bool vectorized = true);
 
 // Theta join against a materialized inner node list: builds the sorted
 // ThetaRun once, then probes it from per-chunk parallel lanes (the
@@ -139,7 +158,7 @@ ShardedJoinParts ShardedSortThetaJoinParts(
     const ShardedExec* ex, const Document& outer_doc,
     std::span<const Pre> outer, const Document& inner_doc,
     std::span<const Pre> inner, CmpOp op, ShardFanoutStats* stats,
-    const CancellationToken* cancel = nullptr);
+    const CancellationToken* cancel = nullptr, bool vectorized = true);
 
 // Merged (eager) wrappers over the Parts functions. A single-lane
 // fallback returns the lane's pairs directly, without a merge copy.
@@ -147,19 +166,31 @@ JoinPairs ShardedStructuralJoinPairs(
     const ShardedExec* ex, DocId ctx_doc, const Document& target_doc,
     std::span<const Pre> context, const StepSpec& step,
     const ElementIndex* index, ShardFanoutStats* stats,
-    const CancellationToken* cancel = nullptr);
+    const CancellationToken* cancel = nullptr, bool vectorized = true);
 
 JoinPairs ShardedHashValueJoinPairs(
     const ShardedExec* ex, const Document& outer_doc,
     std::span<const Pre> outer, const Document& inner_doc,
     std::span<const Pre> inner, ShardFanoutStats* stats,
-    const CancellationToken* cancel = nullptr);
+    const CancellationToken* cancel = nullptr, bool vectorized = true);
+JoinPairs ShardedHashValueJoinPairs(
+    const ShardedExec* ex, const Document& outer_doc,
+    const PreColumn& outer, const Document& inner_doc,
+    std::span<const Pre> inner, ShardFanoutStats* stats,
+    const CancellationToken* cancel = nullptr, bool vectorized = true);
 
 JoinPairs ShardedValueIndexJoinPairs(
     const ShardedExec* ex, const Document& outer_doc,
     std::span<const Pre> outer, const Document& inner_doc,
     const ValueIndex& inner_index, const ValueProbeSpec& spec,
-    ShardFanoutStats* stats, const CancellationToken* cancel = nullptr);
+    ShardFanoutStats* stats, const CancellationToken* cancel = nullptr,
+    bool vectorized = true);
+JoinPairs ShardedValueIndexJoinPairs(
+    const ShardedExec* ex, const Document& outer_doc,
+    const PreColumn& outer, const Document& inner_doc,
+    const ValueIndex& inner_index, const ValueProbeSpec& spec,
+    ShardFanoutStats* stats, const CancellationToken* cancel = nullptr,
+    bool vectorized = true);
 
 }  // namespace rox
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "exec/kernel_batch.h"
 
 namespace rox {
 
@@ -227,18 +228,13 @@ bool EmitMatches(const Document& doc, Pre c, const StepSpec& step,
 
 }  // namespace
 
-void StructuralJoinPairsInto(const Document& doc,
-                             std::span<const Pre> context,
-                             const StepSpec& step, uint64_t limit,
-                             const ElementIndex* index, JoinPairs& out,
-                             const CancellationToken* cancel) {
-  // Cut-off protocol: allow up to limit+1 pairs; producing the sentinel
-  // (limit+1)-th pair proves the result was truncated, otherwise the
-  // result is complete and exact. The reduction factor follows the
-  // paper's f = max(r.rowid) / max(c.rowid). A cancellation trip stops
-  // through the same unwinding; callers re-check the token.
-  out.Clear();
-  out.Reserve(limit != kNoLimit ? limit + 1 : context.size());
+namespace {
+
+// Row-at-a-time fallback path.
+void StructuralJoinScalar(const Document& doc, const PreColumn& context,
+                          const StepSpec& step, uint64_t limit,
+                          const ElementIndex* index, JoinPairs& out,
+                          const CancellationToken* cancel) {
   for (size_t i = 0; i < context.size(); ++i) {
     if (CancelCheckDue(i + 1) && StopRequested(cancel)) {
       out.truncated = true;
@@ -257,12 +253,7 @@ void StructuralJoinPairsInto(const Document& doc,
                    StopRequested(cancel));
         });
     if (!completed) {
-      // Sentinel pair produced: drop it and report the truncation.
-      out.left_rows.pop_back();
-      out.right_nodes.pop_back();
-      out.truncated = true;
-      out.outer_consumed =
-          out.left_rows.empty() ? 1 : out.left_rows.back() + 1;
+      StampTruncationStop(out, limit, i);
       return;
     }
   }
@@ -270,13 +261,103 @@ void StructuralJoinPairsInto(const Document& doc,
   out.outer_consumed = context.size();
 }
 
+// Batched path: per kKernelBatchRows of context rows, one governance
+// poll at the batch boundary, then per row a bulk append of the
+// contiguous index-range match span where the axis allows it
+// (descendant, descendant-or-self, following with a usable index);
+// every other axis emits through a BatchEmitter-backed sink, which
+// still centralizes the sentinel and output-growth-poll protocols.
+void StructuralJoinBatched(const Document& doc, const PreColumn& context,
+                           const StepSpec& step, uint64_t limit,
+                           const ElementIndex* index, JoinPairs& out,
+                           const CancellationToken* cancel) {
+  BatchEmitter em(out, limit, cancel);
+  const bool indexed = IndexUsable(step, index);
+  const bool bulk_range =
+      indexed && (step.axis == Axis::kDescendant ||
+                  step.axis == Axis::kDescendantOrSelf ||
+                  step.axis == Axis::kFollowing);
+  for (size_t i0 = 0; i0 < context.size(); i0 += kKernelBatchRows) {
+    if (i0 > 0 && StopRequested(cancel)) {
+      out.truncated = true;
+      out.outer_consumed = i0;
+      return;
+    }
+    size_t bn = std::min(kKernelBatchRows, context.size() - i0);
+    for (size_t b = 0; b < bn; ++b) {
+      uint32_t row = static_cast<uint32_t>(i0 + b);
+      Pre c = context[i0 + b];
+      BatchEmitter::Stop stop = BatchEmitter::Stop::kNone;
+      if (bulk_range) {
+        if (step.axis == Axis::kDescendantOrSelf &&
+            doc.Kind(c) != NodeKind::kAttr && NodeMatchesTest(doc, c, step)) {
+          stop = em.Push(row, c);
+        }
+        if (stop == BatchEmitter::Stop::kNone) {
+          std::span<const Pre> range =
+              step.axis == Axis::kFollowing
+                  ? index->RangeLookup(step.name, c + doc.Size(c),
+                                       doc.NodeCount() - 1)
+                  : index->RangeLookup(step.name, c, c + doc.Size(c));
+          stop = em.Append(row, range);
+        }
+      } else {
+        bool completed = EmitMatches(doc, c, step, index, [&](Pre s) {
+          stop = em.Push(row, s);
+          return stop == BatchEmitter::Stop::kNone;
+        });
+        (void)completed;  // `stop` carries the cause
+      }
+      if (stop != BatchEmitter::Stop::kNone) {
+        StampTruncationStop(out, limit, i0 + b);
+        return;
+      }
+    }
+  }
+  out.truncated = false;
+  out.outer_consumed = context.size();
+}
+
+}  // namespace
+
+void StructuralJoinPairsInto(const Document& doc, const PreColumn& context,
+                             const StepSpec& step, uint64_t limit,
+                             const ElementIndex* index, JoinPairs& out,
+                             const CancellationToken* cancel,
+                             bool vectorized) {
+  // Cut-off protocol: allow up to limit+1 pairs; producing the sentinel
+  // (limit+1)-th pair proves the result was truncated, otherwise the
+  // result is complete and exact. The reduction factor follows the
+  // paper's f = max(r.rowid) / max(c.rowid). A cancellation trip stops
+  // through the same unwinding; callers re-check the token.
+  out.Clear();
+  out.Reserve(limit != kNoLimit ? limit + 1 : context.size());
+  if (vectorized) {
+    StructuralJoinBatched(doc, context, step, limit, index, out, cancel);
+  } else {
+    StructuralJoinScalar(doc, context, step, limit, index, out, cancel);
+  }
+}
+
+void StructuralJoinPairsInto(const Document& doc,
+                             std::span<const Pre> context,
+                             const StepSpec& step, uint64_t limit,
+                             const ElementIndex* index, JoinPairs& out,
+                             const CancellationToken* cancel,
+                             bool vectorized) {
+  StructuralJoinPairsInto(doc, PreColumn::FromSpan(context), step, limit,
+                          index, out, cancel, vectorized);
+}
+
 JoinPairs StructuralJoinPairs(const Document& doc,
                               std::span<const Pre> context,
                               const StepSpec& step, uint64_t limit,
                               const ElementIndex* index,
-                              const CancellationToken* cancel) {
+                              const CancellationToken* cancel,
+                              bool vectorized) {
   JoinPairs out;
-  StructuralJoinPairsInto(doc, context, step, limit, index, out, cancel);
+  StructuralJoinPairsInto(doc, context, step, limit, index, out, cancel,
+                          vectorized);
   return out;
 }
 

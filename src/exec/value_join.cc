@@ -1,9 +1,10 @@
 #include "exec/value_join.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
+#include "exec/kernel_batch.h"
 
 namespace rox {
 
@@ -38,7 +39,8 @@ bool MatchesProbeSpec(const Document& inner_doc, const ValueProbeSpec& spec,
          inner_doc.Name(inner_doc.Parent(s)) == spec.owner_elem;
 }
 
-// Emits matching inner nodes for one probe value through the index.
+// Emits matching inner nodes for one probe value through the index
+// (the row-at-a-time fallback path).
 template <typename Sink>
 bool ProbeIndex(const Document& inner_doc, const ValueIndex& index,
                 const ValueProbeSpec& spec, StringId value, Sink&& sink) {
@@ -63,18 +65,32 @@ inline bool CancelCheckDue(uint64_t count) {
   return (count & (kCancelCheckRows - 1)) == 0;
 }
 
-}  // namespace
+// Value pre-pass of one batch: vals[b] = NodeValue(outer[i0 + b]).
+// One tight loop per batch keeps the Kind/Value accesses hot instead
+// of interleaving them with emission.
+void BatchNodeValues(const Document& doc, const PreColumn& outer, size_t i0,
+                     size_t bn, StringId* vals) {
+  for (size_t b = 0; b < bn; ++b) vals[b] = NodeValue(doc, outer[i0 + b]);
+}
 
-void ValueIndexJoinPairsInto(const Document& outer_doc,
-                             std::span<const Pre> outer,
-                             const Document& inner_doc,
-                             const ValueIndex& inner_index,
-                             const ValueProbeSpec& spec, uint64_t limit,
-                             JoinPairs& out,
-                             const CancellationToken* cancel) {
-  // Same limit+1 sentinel protocol as StructuralJoinPairs.
-  out.Clear();
-  out.Reserve(limit != kNoLimit ? limit + 1 : outer.size());
+// Batched-loop governance poll at a batch boundary: stops with the
+// clean prefix [0, i0) — only between rows, so no partial row to
+// discard. Skipped at i0 == 0 (first poll waits a full interval).
+bool BatchBoundaryStop(size_t i0, const CancellationToken* cancel,
+                       JoinPairs& out) {
+  if (i0 == 0 || !StopRequested(cancel)) return false;
+  out.truncated = true;
+  out.outer_consumed = i0;
+  return true;
+}
+
+// --- equi index probe -------------------------------------------------------
+
+void ValueIndexEquiScalar(const Document& outer_doc, const PreColumn& outer,
+                          const Document& inner_doc,
+                          const ValueIndex& inner_index,
+                          const ValueProbeSpec& spec, uint64_t limit,
+                          JoinPairs& out, const CancellationToken* cancel) {
   for (size_t i = 0; i < outer.size(); ++i) {
     if (CancelCheckDue(i + 1) && StopRequested(cancel)) {
       out.truncated = true;
@@ -94,11 +110,7 @@ void ValueIndexJoinPairsInto(const Document& outer_doc,
                    StopRequested(cancel));
         });
     if (!completed) {
-      out.left_rows.pop_back();
-      out.right_nodes.pop_back();
-      out.truncated = true;
-      out.outer_consumed =
-          out.left_rows.empty() ? 1 : out.left_rows.back() + 1;
+      StampTruncationStop(out, limit, i);
       return;
     }
   }
@@ -106,15 +118,87 @@ void ValueIndexJoinPairsInto(const Document& outer_doc,
   out.outer_consumed = outer.size();
 }
 
+void ValueIndexEquiBatched(const Document& outer_doc, const PreColumn& outer,
+                           const Document& inner_doc,
+                           const ValueIndex& inner_index,
+                           const ValueProbeSpec& spec, uint64_t limit,
+                           JoinPairs& out, const CancellationToken* cancel) {
+  StringId vals[kKernelBatchRows];
+  BatchEmitter em(out, limit, cancel);
+  const bool text = spec.kind == NodeKind::kText;
+  for (size_t i0 = 0; i0 < outer.size(); i0 += kKernelBatchRows) {
+    if (BatchBoundaryStop(i0, cancel, out)) return;
+    size_t bn = std::min(kKernelBatchRows, outer.size() - i0);
+    BatchNodeValues(outer_doc, outer, i0, bn, vals);
+    for (size_t b = 0; b < bn; ++b) {
+      StringId v = vals[b];
+      if (v == kInvalidStringId) continue;
+      uint32_t row = static_cast<uint32_t>(i0 + b);
+      BatchEmitter::Stop stop = BatchEmitter::Stop::kNone;
+      if (text) {
+        // Text probes match the whole index run: one bulk append.
+        stop = em.Append(row, inner_index.TextLookup(v));
+      } else {
+        for (Pre s : inner_index.AttrLookup(v)) {
+          if (!MatchesProbeSpec(inner_doc, spec, s)) continue;
+          stop = em.Push(row, s);
+          if (stop != BatchEmitter::Stop::kNone) break;
+        }
+      }
+      if (stop != BatchEmitter::Stop::kNone) {
+        StampTruncationStop(out, limit, i0 + b);
+        return;
+      }
+    }
+  }
+  out.truncated = false;
+  out.outer_consumed = outer.size();
+}
+
+}  // namespace
+
+void ValueIndexJoinPairsInto(const Document& outer_doc,
+                             const PreColumn& outer,
+                             const Document& inner_doc,
+                             const ValueIndex& inner_index,
+                             const ValueProbeSpec& spec, uint64_t limit,
+                             JoinPairs& out,
+                             const CancellationToken* cancel,
+                             bool vectorized) {
+  // Same limit+1 sentinel protocol as StructuralJoinPairs.
+  out.Clear();
+  out.Reserve(limit != kNoLimit ? limit + 1 : outer.size());
+  if (vectorized) {
+    ValueIndexEquiBatched(outer_doc, outer, inner_doc, inner_index, spec,
+                          limit, out, cancel);
+  } else {
+    ValueIndexEquiScalar(outer_doc, outer, inner_doc, inner_index, spec,
+                         limit, out, cancel);
+  }
+}
+
+void ValueIndexJoinPairsInto(const Document& outer_doc,
+                             std::span<const Pre> outer,
+                             const Document& inner_doc,
+                             const ValueIndex& inner_index,
+                             const ValueProbeSpec& spec, uint64_t limit,
+                             JoinPairs& out,
+                             const CancellationToken* cancel,
+                             bool vectorized) {
+  ValueIndexJoinPairsInto(outer_doc, PreColumn::FromSpan(outer), inner_doc,
+                          inner_index, spec, limit, out, cancel, vectorized);
+}
+
 JoinPairs ValueIndexJoinPairs(const Document& outer_doc,
                               std::span<const Pre> outer,
                               const Document& inner_doc,
                               const ValueIndex& inner_index,
                               const ValueProbeSpec& spec, uint64_t limit,
-                              const CancellationToken* cancel) {
+                              const CancellationToken* cancel,
+                              bool vectorized) {
   JoinPairs out;
   ValueIndexJoinPairsInto(outer_doc, outer, inner_doc, inner_index, spec,
-                          limit, out, cancel);
+                          limit, out, cancel, vectorized);
   return out;
 }
 
@@ -122,13 +206,12 @@ JoinPairs ValueIndexJoinPairs(const Document& outer_doc,
 
 namespace {
 
-// Emits the run entries matching `outer_value op inner_value`, i.e. the
-// suffix of inner values above the boundary for kLt/kLe and the prefix
-// below it for kGt/kGe. `keep` filters entries (attribute-name
-// restriction on index runs); `sink` returns false to stop (cut-off).
-template <typename Keep, typename Sink>
-bool EmitRangeMatches(std::span<const ValueIndex::NumEntry> run, double v,
-                      CmpOp op, const Keep& keep, Sink&& sink) {
+// The [begin, end) slice of the sorted run matching
+// `outer_value op inner_value` — the suffix of inner values above the
+// boundary for kLt/kLe, the prefix below it for kGt/kGe. Shared by the
+// scalar and batched paths so the boundary semantics cannot diverge.
+std::pair<size_t, size_t> RangeBounds(
+    std::span<const ValueIndex::NumEntry> run, double v, CmpOp op) {
   auto val_less = [](const ValueIndex::NumEntry& e, double x) {
     return e.value < x;
   };
@@ -159,26 +242,23 @@ bool EmitRangeMatches(std::span<const ValueIndex::NumEntry> run, double v,
       break;
     case CmpOp::kEq:
     case CmpOp::kNe:
-      return true;  // handled by the callers' string-id paths
+      begin = end = 0;  // handled by the callers' string-id paths
+      break;
   }
-  for (size_t i = begin; i < end; ++i) {
-    if (!keep(run[i].pre)) continue;
-    if (!sink(run[i].pre)) return false;
-  }
-  return true;
+  return {begin, end};
 }
 
-// Shared outer loop of both theta kernels, including the limit+1
-// truncation protocol of ValueIndexJoinPairsInto. `emit_range(num,
-// sink)` / `emit_ne(value_id, sink)` produce the matches of one row.
-template <typename EmitRange, typename EmitNe>
-void ThetaProbeLoop(const Document& outer_doc, std::span<const Pre> outer,
-                    CmpOp op, uint64_t limit, JoinPairs& out,
-                    const EmitRange& emit_range, const EmitNe& emit_ne,
-                    const CancellationToken* cancel) {
-  ROX_DCHECK(op != CmpOp::kEq);
-  out.Clear();
-  out.Reserve(limit != kNoLimit ? limit + 1 : outer.size());
+// Row-at-a-time theta probe (the fallback path), including the limit+1
+// truncation protocol of ValueIndexJoinPairsInto. `keep` filters inner
+// candidates (attribute-name restriction on index runs); `ne_nodes` /
+// `ne_value` provide the document-order candidate scan of `!=`.
+template <typename Keep, typename NeValueOf>
+void ThetaProbeScalar(const Document& outer_doc, const PreColumn& outer,
+                      CmpOp op, uint64_t limit,
+                      std::span<const ValueIndex::NumEntry> run,
+                      const Keep& keep, std::span<const Pre> ne_nodes,
+                      const NeValueOf& ne_value, JoinPairs& out,
+                      const CancellationToken* cancel) {
   const StringPool& pool = outer_doc.pool();
   for (size_t i = 0; i < outer.size(); ++i) {
     if (CancelCheckDue(i + 1) && StopRequested(cancel)) {
@@ -196,25 +276,130 @@ void ThetaProbeLoop(const Document& outer_doc, std::span<const Pre> outer,
       return !(CancelCheckDue(out.right_nodes.size()) &&
                StopRequested(cancel));
     };
-    bool completed;
+    bool completed = true;
     if (op == CmpOp::kNe) {
-      completed = emit_ne(v, sink);
+      for (Pre s : ne_nodes) {
+        if (!keep(s) || ne_value(s) == v) continue;
+        if (!sink(s)) {
+          completed = false;
+          break;
+        }
+      }
     } else {
       auto num = pool.NumericValue(v);
       if (!num.has_value()) continue;  // non-numeric: no range match
-      completed = emit_range(*num, sink);
+      auto [begin, end] = RangeBounds(run, *num, op);
+      for (size_t k = begin; k < end && completed; ++k) {
+        if (!keep(run[k].pre)) continue;
+        completed = sink(run[k].pre);
+      }
     }
     if (!completed) {
-      out.left_rows.pop_back();
-      out.right_nodes.pop_back();
-      out.truncated = true;
-      out.outer_consumed =
-          out.left_rows.empty() ? 1 : out.left_rows.back() + 1;
+      StampTruncationStop(out, limit, i);
       return;
     }
   }
   out.truncated = false;
   out.outer_consumed = outer.size();
+}
+
+// Batched theta probe: per batch, one value pre-pass materializes the
+// interned ids and cached numeric interpretations into flat arrays, a
+// second flat loop binary-searches all row boundaries, and the
+// emission sweep bulk-copies each row's contiguous run slice
+// (`keep_trivial` — text runs and private ThetaRuns have no filter).
+template <typename Keep, typename NeValueOf>
+void ThetaProbeBatched(const Document& outer_doc, const PreColumn& outer,
+                       CmpOp op, uint64_t limit,
+                       std::span<const ValueIndex::NumEntry> run,
+                       const Keep& keep, bool keep_trivial,
+                       std::span<const Pre> ne_nodes,
+                       const NeValueOf& ne_value, JoinPairs& out,
+                       const CancellationToken* cancel) {
+  const StringPool& pool = outer_doc.pool();
+  StringId vals[kKernelBatchRows];
+  double nums[kKernelBatchRows];
+  uint32_t begins[kKernelBatchRows];
+  uint32_t ends[kKernelBatchRows];
+  BatchEmitter em(out, limit, cancel);
+  const bool is_ne = op == CmpOp::kNe;
+  for (size_t i0 = 0; i0 < outer.size(); i0 += kKernelBatchRows) {
+    if (BatchBoundaryStop(i0, cancel, out)) return;
+    size_t bn = std::min(kKernelBatchRows, outer.size() - i0);
+    BatchNodeValues(outer_doc, outer, i0, bn, vals);
+    if (is_ne) {
+      for (size_t b = 0; b < bn; ++b) {
+        StringId v = vals[b];
+        if (v == kInvalidStringId) continue;
+        uint32_t row = static_cast<uint32_t>(i0 + b);
+        BatchEmitter::Stop stop = BatchEmitter::Stop::kNone;
+        for (Pre s : ne_nodes) {
+          if (!keep(s) || ne_value(s) == v) continue;
+          stop = em.Push(row, s);
+          if (stop != BatchEmitter::Stop::kNone) break;
+        }
+        if (stop != BatchEmitter::Stop::kNone) {
+          StampTruncationStop(out, limit, i0 + b);
+          return;
+        }
+      }
+      continue;
+    }
+    // Numeric pre-pass, then the boundary-search pass: two flat loops
+    // over the batch arrays (ends[b] == begins[b] marks no-match rows).
+    for (size_t b = 0; b < bn; ++b) {
+      begins[b] = ends[b] = 0;
+      if (vals[b] == kInvalidStringId) continue;
+      auto num = pool.NumericValue(vals[b]);
+      if (!num.has_value()) continue;
+      nums[b] = *num;
+      auto [lo, hi] = RangeBounds(run, nums[b], op);
+      begins[b] = static_cast<uint32_t>(lo);
+      ends[b] = static_cast<uint32_t>(hi);
+    }
+    // Emission sweep: bulk-copy each row's run slice.
+    for (size_t b = 0; b < bn; ++b) {
+      if (begins[b] >= ends[b]) continue;
+      uint32_t row = static_cast<uint32_t>(i0 + b);
+      BatchEmitter::Stop stop = BatchEmitter::Stop::kNone;
+      if (keep_trivial) {
+        stop = em.AppendRun(row, run, begins[b], ends[b]);
+      } else {
+        for (size_t k = begins[b]; k < ends[b]; ++k) {
+          if (!keep(run[k].pre)) continue;
+          stop = em.Push(row, run[k].pre);
+          if (stop != BatchEmitter::Stop::kNone) break;
+        }
+      }
+      if (stop != BatchEmitter::Stop::kNone) {
+        StampTruncationStop(out, limit, i0 + b);
+        return;
+      }
+    }
+  }
+  out.truncated = false;
+  out.outer_consumed = outer.size();
+}
+
+// Shared dispatch of both theta kernels.
+template <typename Keep, typename NeValueOf>
+void ThetaProbeLoop(const Document& outer_doc, const PreColumn& outer,
+                    CmpOp op, uint64_t limit,
+                    std::span<const ValueIndex::NumEntry> run,
+                    const Keep& keep, bool keep_trivial,
+                    std::span<const Pre> ne_nodes, const NeValueOf& ne_value,
+                    JoinPairs& out, const CancellationToken* cancel,
+                    bool vectorized) {
+  ROX_DCHECK(op != CmpOp::kEq);
+  out.Clear();
+  out.Reserve(limit != kNoLimit ? limit + 1 : outer.size());
+  if (vectorized) {
+    ThetaProbeBatched(outer_doc, outer, op, limit, run, keep, keep_trivial,
+                      ne_nodes, ne_value, out, cancel);
+  } else {
+    ThetaProbeScalar(outer_doc, outer, op, limit, run, keep, ne_nodes,
+                     ne_value, out, cancel);
+  }
 }
 
 }  // namespace
@@ -244,26 +429,18 @@ void ValueIndexThetaJoinPairsInto(const Document& outer_doc,
                                   const ValueIndex& inner_index,
                                   const ValueProbeSpec& spec, CmpOp op,
                                   uint64_t limit, JoinPairs& out,
-                                  const CancellationToken* cancel) {
+                                  const CancellationToken* cancel,
+                                  bool vectorized) {
   const bool text = spec.kind == NodeKind::kText;
   std::span<const ValueIndex::NumEntry> run =
       text ? inner_index.NumericTextRun() : inner_index.NumericAttrRun();
   std::span<const Pre> all =
       text ? inner_index.AllTextNodes() : inner_index.AllAttrNodes();
   auto keep = [&](Pre s) { return MatchesProbeSpec(inner_doc, spec, s); };
-  ThetaProbeLoop(
-      outer_doc, outer, op, limit, out,
-      [&](double v, auto&& sink) {
-        return EmitRangeMatches(run, v, op, keep, sink);
-      },
-      [&](StringId v, auto&& sink) {
-        for (Pre s : all) {
-          if (!keep(s) || inner_doc.Value(s) == v) continue;
-          if (!sink(s)) return false;
-        }
-        return true;
-      },
-      cancel);
+  auto ne_value = [&](Pre s) { return inner_doc.Value(s); };
+  ThetaProbeLoop(outer_doc, PreColumn::FromSpan(outer), op, limit, run, keep,
+                 /*keep_trivial=*/text, all, ne_value, out, cancel,
+                 vectorized);
 }
 
 JoinPairs ValueIndexThetaJoinPairs(const Document& outer_doc,
@@ -272,10 +449,11 @@ JoinPairs ValueIndexThetaJoinPairs(const Document& outer_doc,
                                    const ValueIndex& inner_index,
                                    const ValueProbeSpec& spec, CmpOp op,
                                    uint64_t limit,
-                                   const CancellationToken* cancel) {
+                                   const CancellationToken* cancel,
+                                   bool vectorized) {
   JoinPairs out;
   ValueIndexThetaJoinPairsInto(outer_doc, outer, inner_doc, inner_index,
-                               spec, op, limit, out, cancel);
+                               spec, op, limit, out, cancel, vectorized);
   return out;
 }
 
@@ -283,51 +461,67 @@ void ThetaRunJoinPairsInto(const Document& outer_doc,
                            std::span<const Pre> outer,
                            const Document& inner_doc, const ThetaRun& run,
                            CmpOp op, uint64_t limit, JoinPairs& out,
-                           const CancellationToken* cancel) {
+                           const CancellationToken* cancel, bool vectorized) {
   auto keep = [](Pre) { return true; };
-  ThetaProbeLoop(
-      outer_doc, outer, op, limit, out,
-      [&](double v, auto&& sink) {
-        return EmitRangeMatches(
-            std::span<const ValueIndex::NumEntry>(run.numeric), v, op, keep,
-            sink);
-      },
-      [&](StringId v, auto&& sink) {
-        for (Pre s : run.valued) {
-          if (NodeValue(inner_doc, s) == v) continue;
-          if (!sink(s)) return false;
-        }
-        return true;
-      },
-      cancel);
+  auto ne_value = [&](Pre s) { return NodeValue(inner_doc, s); };
+  ThetaProbeLoop(outer_doc, PreColumn::FromSpan(outer), op, limit,
+                 std::span<const ValueIndex::NumEntry>(run.numeric), keep,
+                 /*keep_trivial=*/true, run.valued, ne_value, out, cancel,
+                 vectorized);
 }
 
 JoinPairs SortThetaJoinPairs(const Document& outer_doc,
                              std::span<const Pre> outer,
                              const Document& inner_doc,
                              std::span<const Pre> inner, CmpOp op,
-                             uint64_t limit, const CancellationToken* cancel) {
+                             uint64_t limit, const CancellationToken* cancel,
+                             bool vectorized) {
   ThetaRun run = ThetaRun::Build(inner_doc, inner);
   JoinPairs out;
   ThetaRunJoinPairsInto(outer_doc, outer, inner_doc, run, op, limit, out,
-                        cancel);
+                        cancel, vectorized);
   return out;
 }
 
+// --- hash equi-join ---------------------------------------------------------
+
 ValueHashTable::ValueHashTable(const Document& inner_doc,
                                std::span<const Pre> inner) {
-  by_value_.reserve(inner.size());
+  by_value_.Reset(inner.size());
+  // Pass 1: count each value's group, remembering the per-node values
+  // so the scatter pass does not re-derive them.
+  std::vector<std::pair<StringId, Pre>> valued;
+  valued.reserve(inner.size());
   for (Pre s : inner) {
     StringId v = NodeValue(inner_doc, s);
-    if (v != kInvalidStringId) by_value_[v].push_back(s);
+    if (v == kInvalidStringId) continue;
+    valued.emplace_back(v, s);
+    ++by_value_.FindOrInsert(v).b;
+  }
+  // Offsets by prefix sum (hash order — only the *within-group* order
+  // matters for emission, and the scatter below fixes that).
+  uint32_t off = 0;
+  for (auto& slot : by_value_.slots()) {
+    if (slot.key == kInvalidStringId) continue;
+    slot.a = off;
+    off += slot.b;
+    slot.b = 0;  // reused as the fill cursor; ends back at the length
+  }
+  // Pass 2: scatter in input order, so each group holds its nodes in
+  // build-input (document) order — the emission order of the former
+  // per-value bucket map.
+  payload_.resize(valued.size());
+  for (const auto& [v, s] : valued) {
+    auto& slot = by_value_.FindOrInsert(v);
+    payload_[slot.a + slot.b++] = s;
   }
 }
 
-void ValueHashTable::ProbeInto(const Document& outer_doc,
-                               std::span<const Pre> outer, JoinPairs& out,
-                               const CancellationToken* cancel) const {
-  out.Clear();
-  out.Reserve(outer.size());
+namespace {
+
+void HashProbeScalar(const ValueHashTable& table, const Document& outer_doc,
+                     const PreColumn& outer, JoinPairs& out,
+                     const CancellationToken* cancel) {
   for (size_t i = 0; i < outer.size(); ++i) {
     if (CancelCheckDue(i + 1) && StopRequested(cancel)) {
       out.truncated = true;
@@ -336,16 +530,13 @@ void ValueHashTable::ProbeInto(const Document& outer_doc,
     }
     StringId v = NodeValue(outer_doc, outer[i]);
     if (v == kInvalidStringId) continue;
-    auto it = by_value_.find(v);
-    if (it == by_value_.end()) continue;
-    for (Pre s : it->second) {
+    for (Pre s : table.Lookup(v)) {
       out.left_rows.push_back(static_cast<uint32_t>(i));
       out.right_nodes.push_back(s);
       // Skewed values can emit huge groups off one probe; poll on
       // output growth too.
       if (CancelCheckDue(out.right_nodes.size()) && StopRequested(cancel)) {
-        out.truncated = true;
-        out.outer_consumed = i + 1;
+        StampTruncationStop(out, kNoLimit, i);
         return;
       }
     }
@@ -354,11 +545,58 @@ void ValueHashTable::ProbeInto(const Document& outer_doc,
   out.outer_consumed = outer.size();
 }
 
+void HashProbeBatched(const ValueHashTable& table, const Document& outer_doc,
+                      const PreColumn& outer, JoinPairs& out,
+                      const CancellationToken* cancel) {
+  StringId vals[kKernelBatchRows];
+  BatchEmitter em(out, kNoLimit, cancel);
+  for (size_t i0 = 0; i0 < outer.size(); i0 += kKernelBatchRows) {
+    if (BatchBoundaryStop(i0, cancel, out)) return;
+    size_t bn = std::min(kKernelBatchRows, outer.size() - i0);
+    BatchNodeValues(outer_doc, outer, i0, bn, vals);
+    for (size_t b = 0; b < bn; ++b) {
+      if (vals[b] == kInvalidStringId) continue;
+      std::span<const Pre> group = table.Lookup(vals[b]);
+      if (group.empty()) continue;
+      if (em.Append(static_cast<uint32_t>(i0 + b), group) !=
+          BatchEmitter::Stop::kNone) {
+        StampTruncationStop(out, kNoLimit, i0 + b);
+        return;
+      }
+    }
+  }
+  out.truncated = false;
+  out.outer_consumed = outer.size();
+}
+
+}  // namespace
+
+void ValueHashTable::ProbeInto(const Document& outer_doc,
+                               const PreColumn& outer, JoinPairs& out,
+                               const CancellationToken* cancel,
+                               bool vectorized) const {
+  out.Clear();
+  out.Reserve(outer.size());
+  if (vectorized) {
+    HashProbeBatched(*this, outer_doc, outer, out, cancel);
+  } else {
+    HashProbeScalar(*this, outer_doc, outer, out, cancel);
+  }
+}
+
+void ValueHashTable::ProbeInto(const Document& outer_doc,
+                               std::span<const Pre> outer, JoinPairs& out,
+                               const CancellationToken* cancel,
+                               bool vectorized) const {
+  ProbeInto(outer_doc, PreColumn::FromSpan(outer), out, cancel, vectorized);
+}
+
 JoinPairs ValueHashTable::Probe(const Document& outer_doc,
                                 std::span<const Pre> outer,
-                                const CancellationToken* cancel) const {
+                                const CancellationToken* cancel,
+                                bool vectorized) const {
   JoinPairs out;
-  ProbeInto(outer_doc, outer, out, cancel);
+  ProbeInto(outer_doc, outer, out, cancel, vectorized);
   return out;
 }
 
@@ -366,18 +604,26 @@ JoinPairs HashValueJoinPairs(const Document& outer_doc,
                              std::span<const Pre> outer,
                              const Document& inner_doc,
                              std::span<const Pre> inner,
-                             const CancellationToken* cancel) {
-  return ValueHashTable(inner_doc, inner).Probe(outer_doc, outer, cancel);
+                             const CancellationToken* cancel,
+                             bool vectorized) {
+  return ValueHashTable(inner_doc, inner)
+      .Probe(outer_doc, outer, cancel, vectorized);
 }
+
+// --- merge equi-join --------------------------------------------------------
 
 std::vector<Pre> SortByValueId(const Document& doc,
                                std::span<const Pre> nodes) {
-  std::vector<Pre> out(nodes.begin(), nodes.end());
-  std::sort(out.begin(), out.end(), [&](Pre a, Pre b) {
-    StringId va = NodeValue(doc, a), vb = NodeValue(doc, b);
-    if (va != vb) return va < vb;  // kInvalidStringId (max) sorts last
-    return a < b;
-  });
+  // Decorate-sort-undecorate: one NodeValue per node instead of one
+  // per comparison. (value, pre) pair order equals the former
+  // comparator exactly — kInvalidStringId (max) still sorts last.
+  std::vector<std::pair<StringId, Pre>> dec;
+  dec.reserve(nodes.size());
+  for (Pre p : nodes) dec.emplace_back(NodeValue(doc, p), p);
+  std::sort(dec.begin(), dec.end());
+  std::vector<Pre> out;
+  out.reserve(dec.size());
+  for (const auto& [v, p] : dec) out.push_back(p);
   return out;
 }
 
@@ -385,7 +631,8 @@ JoinPairs MergeValueJoinPairs(const Document& outer_doc,
                               std::span<const Pre> outer_sorted,
                               const Document& inner_doc,
                               std::span<const Pre> inner_sorted,
-                              const CancellationToken* cancel) {
+                              const CancellationToken* cancel,
+                              bool vectorized) {
   JoinPairs out;
   out.Reserve(std::max(outer_sorted.size(), inner_sorted.size()));
   // Polled on advance steps and on output growth: equal-value groups
@@ -397,30 +644,94 @@ JoinPairs MergeValueJoinPairs(const Document& outer_doc,
     return true;
   };
   size_t i = 0, j = 0;
+  if (!vectorized) {
+    while (i < outer_sorted.size() && j < inner_sorted.size()) {
+      if (tripped()) {
+        // Cancellation at an advance step: rows [0, i) are fully
+        // merged and all emitted pairs reference them.
+        out.outer_consumed = i;
+        return out;
+      }
+      StringId vo = NodeValue(outer_doc, outer_sorted[i]);
+      StringId vi = NodeValue(inner_doc, inner_sorted[j]);
+      if (vo == kInvalidStringId) break;  // rest of outer has no value
+      if (vi == kInvalidStringId) break;
+      if (vo < vi) {
+        ++i;
+      } else if (vo > vi) {
+        ++j;
+      } else {
+        // Emit the cross product of the two equal-value groups.
+        size_t j_end = j;
+        while (j_end < inner_sorted.size() &&
+               NodeValue(inner_doc, inner_sorted[j_end]) == vi) {
+          ++j_end;
+        }
+        while (i < outer_sorted.size() &&
+               NodeValue(outer_doc, outer_sorted[i]) == vo) {
+          for (size_t k = j; k < j_end; ++k) {
+            out.left_rows.push_back(static_cast<uint32_t>(i));
+            out.right_nodes.push_back(inner_sorted[k]);
+          }
+          if (tripped()) {
+            // Row i's group pairs were fully emitted before the poll.
+            out.outer_consumed = i + 1;
+            return out;
+          }
+          ++i;
+        }
+        j = j_end;
+      }
+    }
+    // Clean finish (including the no-more-values early exit: value-less
+    // rows never join, so every outer row counts as consumed).
+    out.outer_consumed = outer_sorted.size();
+    return out;
+  }
+  // Vectorized: one value pre-pass per side (one NodeValue per input
+  // row instead of one per merge comparison), then the merge runs over
+  // the flat id arrays and bulk-copies each group cross product.
+  std::vector<StringId> ov(outer_sorted.size());
+  std::vector<StringId> iv(inner_sorted.size());
+  for (size_t k = 0; k < outer_sorted.size(); ++k) {
+    ov[k] = NodeValue(outer_doc, outer_sorted[k]);
+  }
+  for (size_t k = 0; k < inner_sorted.size(); ++k) {
+    iv[k] = NodeValue(inner_doc, inner_sorted[k]);
+  }
   while (i < outer_sorted.size() && j < inner_sorted.size()) {
-    if (tripped()) break;
-    StringId vo = NodeValue(outer_doc, outer_sorted[i]);
-    StringId vi = NodeValue(inner_doc, inner_sorted[j]);
-    if (vo == kInvalidStringId) break;  // rest of outer has no value
-    if (vi == kInvalidStringId) break;
+    if (tripped()) {
+      out.outer_consumed = i;
+      return out;
+    }
+    StringId vo = ov[i];
+    StringId vi = iv[j];
+    if (vo == kInvalidStringId || vi == kInvalidStringId) break;
     if (vo < vi) {
       ++i;
     } else if (vo > vi) {
       ++j;
     } else {
-      // Emit the cross product of the two equal-value groups.
       size_t j_end = j;
-      while (j_end < inner_sorted.size() &&
-             NodeValue(inner_doc, inner_sorted[j_end]) == vi) {
-        ++j_end;
-      }
-      while (i < outer_sorted.size() &&
-             NodeValue(outer_doc, outer_sorted[i]) == vo) {
-        for (size_t k = j; k < j_end; ++k) {
-          out.left_rows.push_back(static_cast<uint32_t>(i));
-          out.right_nodes.push_back(inner_sorted[k]);
+      while (j_end < inner_sorted.size() && iv[j_end] == vi) ++j_end;
+      size_t glen = j_end - j;
+      while (i < outer_sorted.size() && ov[i] == vo) {
+        if (glen < kBulkAppendMinRows) {
+          for (size_t k = j; k < j_end; ++k) {
+            out.left_rows.push_back(static_cast<uint32_t>(i));
+            out.right_nodes.push_back(inner_sorted[k]);
+          }
+        } else {
+          out.left_rows.resize(out.left_rows.size() + glen,
+                               static_cast<uint32_t>(i));
+          out.right_nodes.insert(out.right_nodes.end(),
+                                 inner_sorted.begin() + j,
+                                 inner_sorted.begin() + j_end);
         }
-        if (tripped()) return out;
+        if (tripped()) {
+          out.outer_consumed = i + 1;
+          return out;
+        }
         ++i;
       }
       j = j_end;
@@ -429,6 +740,8 @@ JoinPairs MergeValueJoinPairs(const Document& outer_doc,
   out.outer_consumed = outer_sorted.size();
   return out;
 }
+
+// --- selection predicates ---------------------------------------------------
 
 std::vector<Pre> FilterValueEquals(const Document& doc,
                                    std::span<const Pre> nodes, StringId v) {

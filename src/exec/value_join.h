@@ -12,15 +12,31 @@
 //    edge execution, never for sampling.
 //  * MergeValueJoinPairs — merge join over inputs sorted by value id
 //    (cost min(|C|,|S|) + |R| when the inner is pre-sorted).
+//
+// Vectorized execution (DESIGN.md §14): every probe kernel has two
+// paths selected by its trailing `vectorized` flag. The vectorized
+// default processes the outer input in fixed-size batches of
+// kKernelBatchRows rows — one value pre-pass materializes NodeValue
+// (and the cached numeric interpretation) for the whole batch into
+// flat arrays, then the probe/emission loop runs over those arrays
+// with bulk appends wherever the match set is a contiguous span
+// (index runs, hash-table payload groups, range-join prefixes or
+// suffixes). The `false` path is the original row-at-a-time loop,
+// retained as the differential fallback (RoxOptions::vectorized_
+// kernels). Both paths emit byte-identical pairs, truncation flags and
+// outer_consumed for every limit; only cancellation *stop points* may
+// differ (a tripped result is discarded by the caller either way).
 
 #ifndef ROX_EXEC_VALUE_JOIN_H_
 #define ROX_EXEC_VALUE_JOIN_H_
 
 #include <span>
-#include <unordered_map>
+#include <vector>
 
 #include "engine/governor.h"
+#include "exec/flat_hash.h"
 #include "exec/join_result.h"
+#include "exec/kernel_batch.h"
 #include "index/value_index.h"
 #include "xml/document.h"
 
@@ -60,7 +76,8 @@ JoinPairs ValueIndexJoinPairs(const Document& outer_doc,
                               const ValueIndex& inner_index,
                               const ValueProbeSpec& spec,
                               uint64_t limit = kNoLimit,
-                              const CancellationToken* cancel = nullptr);
+                              const CancellationToken* cancel = nullptr,
+                              bool vectorized = true);
 
 // Allocation-free variant: clears and refills `out`, reusing its
 // buffers' capacity (see StructuralJoinPairsInto).
@@ -70,7 +87,19 @@ void ValueIndexJoinPairsInto(const Document& outer_doc,
                              const ValueIndex& inner_index,
                              const ValueProbeSpec& spec, uint64_t limit,
                              JoinPairs& out,
-                             const CancellationToken* cancel = nullptr);
+                             const CancellationToken* cancel = nullptr,
+                             bool vectorized = true);
+
+// Selection-vector-aware entry point (lazy views probe without a
+// gather).
+void ValueIndexJoinPairsInto(const Document& outer_doc,
+                             const PreColumn& outer,
+                             const Document& inner_doc,
+                             const ValueIndex& inner_index,
+                             const ValueProbeSpec& spec, uint64_t limit,
+                             JoinPairs& out,
+                             const CancellationToken* cancel = nullptr,
+                             bool vectorized = true);
 
 // Hash equi-join: builds value -> inner positions, probes with outer.
 // Pairs reference outer rows and inner *nodes*.
@@ -78,27 +107,51 @@ JoinPairs HashValueJoinPairs(const Document& outer_doc,
                              std::span<const Pre> outer,
                              const Document& inner_doc,
                              std::span<const Pre> inner,
-                             const CancellationToken* cancel = nullptr);
+                             const CancellationToken* cancel = nullptr,
+                             bool vectorized = true);
 
 // The build side of the hash equi-join, split out so a sharded
 // execution can build the table once and probe it from several threads
 // concurrently (Probe is const and allocation-free on the table).
+//
+// The table is a flat open-addressing map (exec/flat_hash.h) over a
+// payload array holding each value's matching nodes contiguously in
+// build-input order — built once with two passes (count, scatter), so
+// probing returns a bulk-copyable span with no per-probe allocation
+// and the emitted pair order is identical to the former per-value
+// bucket map.
 class ValueHashTable {
  public:
   ValueHashTable(const Document& inner_doc, std::span<const Pre> inner);
 
+  // The build-side nodes whose value is `v`, in build-input order.
+  std::span<const Pre> Lookup(StringId v) const {
+    const auto* s = by_value_.Find(v);
+    if (s == nullptr) return {};
+    return {payload_.data() + s->a, s->b};
+  }
+
   // Probes with `outer`; identical to the probe loop of
   // HashValueJoinPairs. Emitted left_rows index into `outer`.
   JoinPairs Probe(const Document& outer_doc, std::span<const Pre> outer,
-                  const CancellationToken* cancel = nullptr) const;
+                  const CancellationToken* cancel = nullptr,
+                  bool vectorized = true) const;
 
   // Allocation-free probe into a caller-reused buffer.
   void ProbeInto(const Document& outer_doc, std::span<const Pre> outer,
                  JoinPairs& out,
-                 const CancellationToken* cancel = nullptr) const;
+                 const CancellationToken* cancel = nullptr,
+                 bool vectorized = true) const;
+
+  // Selection-vector-aware probe (lazy views probe without a gather).
+  void ProbeInto(const Document& outer_doc, const PreColumn& outer,
+                 JoinPairs& out,
+                 const CancellationToken* cancel = nullptr,
+                 bool vectorized = true) const;
 
  private:
-  std::unordered_map<StringId, std::vector<Pre>> by_value_;
+  FlatRunMap<StringId, kInvalidStringId> by_value_;  // a = offset, b = len
+  std::vector<Pre> payload_;
 };
 
 // --- theta (range / inequality) value joins ---------------------------------
@@ -141,21 +194,24 @@ void ValueIndexThetaJoinPairsInto(const Document& outer_doc,
                                   const ValueIndex& inner_index,
                                   const ValueProbeSpec& spec, CmpOp op,
                                   uint64_t limit, JoinPairs& out,
-                                  const CancellationToken* cancel = nullptr);
+                                  const CancellationToken* cancel = nullptr,
+                                  bool vectorized = true);
 JoinPairs ValueIndexThetaJoinPairs(const Document& outer_doc,
                                    std::span<const Pre> outer,
                                    const Document& inner_doc,
                                    const ValueIndex& inner_index,
                                    const ValueProbeSpec& spec, CmpOp op,
                                    uint64_t limit = kNoLimit,
-                                   const CancellationToken* cancel = nullptr);
+                                   const CancellationToken* cancel = nullptr,
+                                   bool vectorized = true);
 
 // Theta probe against a prebuilt run (see ThetaRun::Build).
 void ThetaRunJoinPairsInto(const Document& outer_doc,
                            std::span<const Pre> outer,
                            const Document& inner_doc, const ThetaRun& run,
                            CmpOp op, uint64_t limit, JoinPairs& out,
-                           const CancellationToken* cancel = nullptr);
+                           const CancellationToken* cancel = nullptr,
+                           bool vectorized = true);
 
 // One-shot convenience: Build + probe over a materialized inner list.
 JoinPairs SortThetaJoinPairs(const Document& outer_doc,
@@ -163,18 +219,24 @@ JoinPairs SortThetaJoinPairs(const Document& outer_doc,
                              const Document& inner_doc,
                              std::span<const Pre> inner, CmpOp op,
                              uint64_t limit = kNoLimit,
-                             const CancellationToken* cancel = nullptr);
+                             const CancellationToken* cancel = nullptr,
+                             bool vectorized = true);
 
 // Merge equi-join over inputs that the caller pre-sorted with
 // SortByValueId. Produces the same pair multiset as the hash join.
+// The vectorized path materializes both sides' value ids once (one
+// NodeValue per input row instead of one per comparison) and
+// bulk-copies each equal-value group's cross product.
 JoinPairs MergeValueJoinPairs(const Document& outer_doc,
                               std::span<const Pre> outer_sorted,
                               const Document& inner_doc,
                               std::span<const Pre> inner_sorted,
-                              const CancellationToken* cancel = nullptr);
+                              const CancellationToken* cancel = nullptr,
+                              bool vectorized = true);
 
 // Sorts node list by (value id, pre); nodes without a value sort last
-// and never join.
+// and never join. Decorate-sort-undecorate: one NodeValue per node,
+// not one per comparison.
 std::vector<Pre> SortByValueId(const Document& doc, std::span<const Pre> nodes);
 
 // --- selection predicates ---------------------------------------------------

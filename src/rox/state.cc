@@ -392,7 +392,8 @@ EdgeSample RoxState::SampleEdgeFrom(EdgeId e, VertexId from,
                                   ? &corpus_.element_index(tx.doc)
                                   : nullptr;
     StructuralJoinPairsInto(target_doc, input, StepSpecFrom(e, from), limit,
-                            idx, pairs, options_.cancel);
+                            idx, pairs, options_.cancel,
+                            options_.vectorized_kernels);
   } else {
     const Vertex& fx = graph_.vertex(from);
     const Document& from_doc = corpus_.doc(fx.doc);
@@ -403,13 +404,15 @@ EdgeSample RoxState::SampleEdgeFrom(EdgeId e, VertexId from,
     if (cmp == CmpOp::kEq) {
       ValueIndexJoinPairsInto(from_doc, input, target_doc,
                               corpus_.value_index(tx.doc), spec, limit,
-                              pairs, options_.cancel);
+                              pairs, options_.cancel,
+                              options_.vectorized_kernels);
     } else {
       // Theta edges sample through the index's sorted runs — still
       // zero-investment w.r.t. the input side (DESIGN.md §11).
       ValueIndexThetaJoinPairsInto(from_doc, input, target_doc,
                                    corpus_.value_index(tx.doc), spec, cmp,
-                                   limit, pairs, options_.cancel);
+                                   limit, pairs, options_.cancel,
+                                   options_.vectorized_kernels);
     }
   }
   FilterPairsForVertex(target, pairs);
@@ -585,7 +588,8 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
                                   : nullptr;
     return finish(ShardedStructuralJoinParts(
         Sharded(), graph_.vertex(ctx).doc, target_doc, ctx_nodes,
-        StepSpecFrom(e, ctx), idx, &stats_.sharded, options_.cancel));
+        StepSpecFrom(e, ctx), idx, &stats_.sharded, options_.cancel,
+        options_.vectorized_kernels));
   }
   const CmpOp cmp = edge.CmpFrom(ctx);
   if (cmp != CmpOp::kEq) {
@@ -598,11 +602,10 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
     // all execution modes agree byte-for-byte.
     if (vertices_[tgt].table.has_value()) {
       last_kernel_ = "theta-run";
-      return finish(ShardedSortThetaJoinParts(Sharded(), ctx_doc, ctx_nodes,
-                                              target_doc,
-                                              *vertices_[tgt].table, cmp,
-                                              &stats_.sharded,
-                                              options_.cancel));
+      return finish(ShardedSortThetaJoinParts(
+          Sharded(), ctx_doc, ctx_nodes, target_doc, *vertices_[tgt].table,
+          cmp, &stats_.sharded, options_.cancel,
+          options_.vectorized_kernels));
     }
     last_kernel_ = "theta-index";
     ValueProbeSpec spec = tx.type == VertexType::kAttribute
@@ -611,7 +614,7 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
     return finish(ShardedValueIndexThetaJoinParts(
         Sharded(), ctx_doc, ctx_nodes, target_doc,
         corpus_.value_index(tx.doc), spec, cmp, &stats_.sharded,
-        options_.cancel));
+        options_.cancel, options_.vectorized_kernels));
   }
   if (vertices_[tgt].table.has_value()) {
     // Both ends materialized: pick among the applicable algorithms
@@ -625,7 +628,8 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
         last_kernel_ = "hash";
         return finish(ShardedHashValueJoinParts(
             Sharded(), ctx_doc, ctx_nodes, target_doc,
-            *vertices_[tgt].table, &stats_.sharded, options_.cancel));
+            *vertices_[tgt].table, &stats_.sharded, options_.cancel,
+            options_.vectorized_kernels));
       case EquiAlgo::kMerge: {
         last_kernel_ = "merge";
         std::vector<Pre> outer_sorted = SortByValueId(ctx_doc, ctx_nodes);
@@ -633,7 +637,8 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
             SortByValueId(target_doc, *vertices_[tgt].table);
         JoinPairs pairs = MergeValueJoinPairs(ctx_doc, outer_sorted,
                                               target_doc, inner_sorted,
-                                              options_.cancel);
+                                              options_.cancel,
+                                              options_.vectorized_kernels);
         // Re-mapping outer rows back to ctx_nodes positions is
         // unnecessary: R_e only needs the matched *nodes* on both
         // sides, so R_e is built against outer_sorted directly.
@@ -674,7 +679,8 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
             corpus_.value_index(tx.doc),
             tx.type == VertexType::kAttribute ? ValueProbeSpec::Attr(tx.name)
                                               : ValueProbeSpec::Text(),
-            &stats_.sharded));
+            &stats_.sharded, options_.cancel,
+            options_.vectorized_kernels));
     }
     return Status::Internal("unhandled equi-join algorithm");
   }
@@ -685,7 +691,8 @@ Status RoxState::ExecuteEdgeInternal(EdgeId e) {
   return finish(ShardedValueIndexJoinParts(Sharded(), ctx_doc, ctx_nodes,
                                            target_doc,
                                            corpus_.value_index(tx.doc), spec,
-                                           &stats_.sharded));
+                                           &stats_.sharded, options_.cancel,
+                                           options_.vectorized_kernels));
 }
 
 void RoxState::StoreLazyResult(EdgeId e, std::span<const Pre> ctx_base,
@@ -851,7 +858,8 @@ RoxState::EquiAlgo RoxState::ChooseEquiAlgorithm(EdgeId e, VertexId ctx) {
     StopWatch w;
     ValueIndexJoinPairsInto(cdoc, cs.sample, tdoc,
                             corpus_.value_index(tx.doc), spec, options_.tau,
-                            sample_scratch_);
+                            sample_scratch_, nullptr,
+                            options_.vectorized_kernels);
     cost_nl = w.ElapsedNanos() / static_cast<double>(cs.sample.size()) *
               n_outer;
   }
@@ -860,7 +868,8 @@ RoxState::EquiAlgo RoxState::ChooseEquiAlgorithm(EdgeId e, VertexId ctx) {
   double cost_hash;
   {
     StopWatch w;
-    HashValueJoinPairs(cdoc, cs.sample, tdoc, ts.sample);
+    HashValueJoinPairs(cdoc, cs.sample, tdoc, ts.sample, nullptr,
+                       options_.vectorized_kernels);
     double per =
         w.ElapsedNanos() /
         static_cast<double>(cs.sample.size() + ts.sample.size());
@@ -872,7 +881,8 @@ RoxState::EquiAlgo RoxState::ChooseEquiAlgorithm(EdgeId e, VertexId ctx) {
     StopWatch w;
     auto so = SortByValueId(cdoc, cs.sample);
     auto si = SortByValueId(tdoc, ts.sample);
-    MergeValueJoinPairs(cdoc, so, tdoc, si);
+    MergeValueJoinPairs(cdoc, so, tdoc, si, nullptr,
+                        options_.vectorized_kernels);
     double sample_n =
         static_cast<double>(cs.sample.size() + ts.sample.size());
     double per = w.ElapsedNanos() / (sample_n * std::log2(sample_n + 2));
@@ -996,11 +1006,11 @@ Result<ResultTable> RoxState::AssembleFinal(std::vector<VertexId>* columns) {
       const std::vector<Pre>& acol = a.table.Col(cola);
       const std::vector<Pre>& fcol = r.Col(far_key);
       for (uint32_t row = 0; row < acol.size(); ++row) {
-        auto it = runs.find(acol[row]);
-        if (it == runs.end()) continue;
-        for (uint32_t j = 0; j < it->second.second; ++j) {
+        const auto* run = runs.Find(acol[row]);
+        if (run == nullptr) continue;
+        for (uint32_t j = 0; j < run->b; ++j) {
           jp.left_rows.push_back(row);
-          jp.right_nodes.push_back(fcol[ids[it->second.first + j]]);
+          jp.right_nodes.push_back(fcol[ids[run->a + j]]);
         }
       }
     }
@@ -1163,11 +1173,11 @@ Result<ResultView> RoxState::AssembleFinalView(
       uint64_t n_anchor = a.view.NumRows();
       jp.Reserve(n_anchor);
       for (uint32_t row = 0; row < n_anchor; ++row) {
-        auto it = runs.find(a.view.At(cola, row));
-        if (it == runs.end()) continue;
-        for (uint32_t j = 0; j < it->second.second; ++j) {
+        const auto* run = runs.Find(a.view.At(cola, row));
+        if (run == nullptr) continue;
+        for (uint32_t j = 0; j < run->b; ++j) {
           jp.left_rows.push_back(row);
-          jp.right_nodes.push_back(r.At(far_key, ids[it->second.first + j]));
+          jp.right_nodes.push_back(r.At(far_key, ids[run->a + j]));
         }
       }
     }

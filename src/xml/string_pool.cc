@@ -1,25 +1,11 @@
 #include "xml/string_pool.h"
 
 #include <cmath>
-#include <cstdlib>
 
 #include "common/check.h"
+#include "common/str_util.h"
 
 namespace rox {
-
-namespace {
-
-double ParseNumeric(std::string_view s) {
-  if (s.empty()) return std::nan("");
-  // Full-string parse: trailing garbage disqualifies.
-  std::string buf(s);
-  char* end = nullptr;
-  double v = std::strtod(buf.c_str(), &end);
-  if (end != buf.c_str() + buf.size()) return std::nan("");
-  return v;
-}
-
-}  // namespace
 
 StringPool::~StringPool() {
   for (auto& slot : blocks_) {

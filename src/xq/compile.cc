@@ -1,6 +1,7 @@
 #include "xq/compile.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/str_util.h"
 #include "obs/trace.h"
@@ -277,7 +278,15 @@ class Compiler {
       return Status::Unimplemented(
           "range predicates require numeric literals");
     }
-    double v = std::strtod(pred.literal.c_str(), nullptr);
+    // Full-string parse (shared with the string pool's cached numeric
+    // interpretation): a lexer bug in `literal_is_number` can then never
+    // silently compile a garbage-prefixed literal into a range bound.
+    double v = ParseNumeric(pred.literal);
+    if (std::isnan(v)) {
+      return Status::InvalidArgument(
+          StrCat("range predicate literal is not numeric: '", pred.literal,
+                 "'"));
+    }
     switch (op) {
       case CmpOp::kLt:
         return ValuePredicate::Range(NumericRange::LessThan(v));

@@ -166,9 +166,15 @@ TEST(StructuralJoinTest, CutoffTruncatesAndExtrapolates) {
                                     StepSpec::Child(corpus.Find("x")), 9);
   EXPECT_EQ(p.size(), 9u);
   EXPECT_TRUE(p.truncated);
-  EXPECT_EQ(p.outer_consumed, 3u);
-  // Extrapolation: 9 pairs from 3 of 10 rows -> 30.
-  EXPECT_NEAR(p.EstimateFullCardinality(ctx.size()), 30.0, 1e-9);
+  // The sentinel (10th) pair is row 3's first: the tripping row counts
+  // as consumed (outer_consumed = i + 1) even though none of its pairs
+  // survive the sentinel pop — see StampTruncationStop.
+  EXPECT_EQ(p.outer_consumed, 4u);
+  // Extrapolation: 9 pairs from 4 of 10 rows -> 22.5 (the tripping
+  // row's cut pairs bias the estimate low by at most one row's worth;
+  // the former accounting could over-estimate unboundedly when
+  // match-less rows preceded the trip).
+  EXPECT_NEAR(p.EstimateFullCardinality(ctx.size()), 22.5, 1e-9);
 }
 
 TEST(StructuralJoinTest, CutoffOnLastRowIsExact) {
@@ -302,8 +308,10 @@ TEST_F(ValueJoinTest, IndexNlJoinCutoff) {
                                     ValueProbeSpec::Text(), 2);
   EXPECT_EQ(p.size(), 2u);
   EXPECT_TRUE(p.truncated);
-  EXPECT_EQ(p.outer_consumed, 1u);  // first "x" row produced 2 matches
-  EXPECT_NEAR(p.EstimateFullCardinality(ltexts_.size()), 8.0, 1e-9);
+  // Row 0 produced the 2 surviving matches; the sentinel came from
+  // row 1, which therefore counts as consumed (StampTruncationStop).
+  EXPECT_EQ(p.outer_consumed, 2u);
+  EXPECT_NEAR(p.EstimateFullCardinality(ltexts_.size()), 4.0, 1e-9);
 }
 
 TEST_F(ValueJoinTest, AttributeProbe) {
