@@ -1,7 +1,7 @@
 // Interactive XQuery shell over the concurrent query engine.
 //
 //   $ ./xq_shell [--num_shards=K] [--trace_level=off|spans|full]
-//                [--deadline_ms=N] [--memory_budget_mb=N]
+//                [--deadline_ms=N] [--memory_budget_mb=N] [--json]
 //                file1.xml file2.xml ...
 //
 // Loads the given XML files into a corpus (doc("<basename>") resolves
@@ -18,6 +18,9 @@
 // a per-query deadline / memory budget to every query (DESIGN.md §13):
 // a query past either limit unwinds cooperatively with
 // kDeadlineExceeded / kResourceExhausted instead of running on.
+// --json prints each query's answer as the stable QueryResponse wire
+// JSON (DESIGN.md §15) — byte-identical to what the roxd HTTP server
+// returns for the same query — instead of the human-readable listing.
 //
 // The corpus is *live* (DESIGN.md §10): \load and \drop publish new
 // epochs while the engine keeps serving — queries in flight finish on
@@ -92,9 +95,14 @@ int main(int argc, char** argv) {
   size_t num_shards = 1;
   obs::TraceLevel trace_level = obs::TraceLevel::kOff;
   QueryLimits limits;
+  bool json_output = false;
   std::vector<char*> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--json") {
+      json_output = true;
+      continue;
+    }
     const std::string prefix = "--num_shards=";
     const std::string trace_prefix = "--trace_level=";
     const std::string deadline_prefix = "--deadline_ms=";
@@ -195,24 +203,29 @@ int main(int argc, char** argv) {
       "\\profile, \\metrics, \\kill, \\wait, \\quit)\n");
 
   // Serializes and prints one finished query result (sync or
-  // background).
-  auto print_result = [](const engine::QueryResult& r) {
-    if (!r.ok()) {
-      std::printf("error: %s\n", r.status.ToString().c_str());
+  // background). In --json mode the shell emits the same stable
+  // QueryResponse wire JSON the roxd HTTP server sends.
+  auto print_response = [json_output](const engine::QueryResponse& resp) {
+    if (json_output) {
+      std::printf("%s", resp.ToJson().c_str());
       return;
     }
-    // Serialize through the query's own pinned snapshot: a concurrent
-    // (or just-issued) \drop cannot invalidate the result's documents.
-    const Document& doc = r.snapshot->doc(r.result_doc);
-    size_t shown = 0;
-    for (Pre p : *r.items) {
-      if (shown++ == 20) {
-        std::printf("  ... (%zu more)\n", r.items->size() - 20);
-        break;
-      }
-      std::string s = SerializeSubtree(doc, p);
+    const engine::QueryResult& r = resp.result;
+    if (!resp.ok()) {
+      std::printf("error: %s\n", resp.status.ToString().c_str());
+      return;
+    }
+    // Rows serialize through the query's own pinned snapshot: a
+    // concurrent (or just-issued) \drop cannot invalidate the
+    // result's documents.
+    constexpr size_t kMaxRows = 20;
+    std::vector<std::string> rows = engine::SerializeResultRows(r, kMaxRows);
+    for (std::string& s : rows) {
       if (s.size() > 200) s = s.substr(0, 200) + "...";
       std::printf("  %s\n", s.c_str());
+    }
+    if (r.items->size() > rows.size()) {
+      std::printf("  ... (%zu more)\n", r.items->size() - rows.size());
     }
     if (r.result_cache_hit) {
       std::printf("%zu items in %.2f ms (replayed from result cache)\n",
@@ -233,13 +246,13 @@ int main(int argc, char** argv) {
 
   // Queries running on the engine pool (submitted with '&'); \wait and
   // shell exit collect them.
-  std::vector<std::future<engine::QueryResult>> background;
+  std::vector<std::future<engine::QueryResponse>> background;
   auto collect_background = [&]() {
     for (auto& f : background) {
-      engine::QueryResult r = f.get();
+      engine::QueryResponse resp = f.get();
       std::printf("[background query %llu]\n",
-                  static_cast<unsigned long long>(r.sequence));
-      print_result(r);
+                  static_cast<unsigned long long>(resp.sequence()));
+      print_response(resp);
     }
     background.clear();
   };
@@ -353,17 +366,27 @@ int main(int argc, char** argv) {
         std::printf("usage: %s QUERY (on one line)\n", cmd.c_str());
         continue;
       }
+      engine::QueryRequest req;
+      req.text = rest;
+      req.mode = cmd == "\\explain" ? engine::QueryMode::kExplain
+                                    : engine::QueryMode::kProfile;
+      engine::QueryResponse resp = eng.Execute(req);
+      if (json_output) {
+        engine::ResponseJsonOptions jopts;
+        jopts.include_trace = true;
+        std::printf("%s", resp.ToJson(jopts).c_str());
+        continue;
+      }
       if (cmd == "\\explain") {
-        auto text = eng.Explain(rest);
-        if (!text.ok()) {
-          std::printf("error: %s\n", text.status().ToString().c_str());
+        if (!resp.ok()) {
+          std::printf("error: %s\n", resp.status.ToString().c_str());
           continue;
         }
-        std::printf("%s", text->c_str());
+        std::printf("%s", resp.explain_text.c_str());
       } else {
-        engine::QueryResult r = eng.Profile(rest);
-        if (!r.ok()) {
-          std::printf("error: %s\n", r.status.ToString().c_str());
+        const engine::QueryResult& r = resp.result;
+        if (!resp.ok()) {
+          std::printf("error: %s\n", resp.status.ToString().c_str());
           if (r.trace != nullptr) std::printf("%s", r.trace->ToTree().c_str());
           continue;
         }
@@ -410,16 +433,22 @@ int main(int argc, char** argv) {
     if (line == "&") {
       // Run on the engine pool; the prompt stays live so \kill can
       // cancel it cooperatively.
-      background.push_back(eng.Submit(query));
+      engine::QueryRequest req;
+      req.text = query;
+      req.client_tag = "xq_shell";
+      background.push_back(eng.ExecuteAsync(std::move(req)));
       std::printf("submitted in background (\\kill cancels, \\wait "
                   "collects)\n");
       query.clear();
       continue;
     }
     // Execute the accumulated query through the engine.
-    engine::QueryResult r = eng.Run(query);
+    engine::QueryRequest req;
+    req.text = query;
+    req.client_tag = "xq_shell";
+    engine::QueryResponse resp = eng.Execute(req);
     query.clear();
-    print_result(r);
+    print_response(resp);
   }
   // Collect (and thereby wait for) any background queries still in
   // flight so their results are not silently dropped at exit.

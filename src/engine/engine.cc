@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <semaphore>
 #include <utility>
@@ -21,6 +22,27 @@ uint64_t MixSeed(uint64_t base, uint64_t seq) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+// Async dispatch queues the query on the engine pool before the
+// deadline is armed. A governed query's deadline must cover that wait
+// too — otherwise a backlogged pool silently extends every deadline
+// by its queue depth. Called at the top of the pooled task: burns the
+// wait off the relative deadline (down to an already-lapsed epsilon),
+// materializing the engine defaults first so they are charged too.
+void ChargeDispatchQueueWait(
+    QueryRequest& req, const QueryLimits& defaults,
+    std::chrono::steady_clock::time_point dispatched) {
+  if (!req.limits.has_value() && defaults.deadline_ms > 0) {
+    req.limits = defaults;
+  }
+  if (!req.limits.has_value() || req.limits->deadline_ms <= 0) return;
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - dispatched)
+          .count();
+  req.limits->deadline_ms =
+      std::max(1e-3, req.limits->deadline_ms - waited_ms);
 }
 
 }  // namespace
@@ -88,6 +110,63 @@ std::string EngineStats::ToString() const {
       out += buf;
     }
   }
+  return out;
+}
+
+std::string EngineStats::ToJson() const {
+  std::string out = "{\n";
+  char buf[128];
+  bool first = true;
+  auto num = [&](const char* key, double v) {
+    std::snprintf(buf, sizeof(buf), "%s  \"%s\": %.3f",
+                  first ? "" : ",\n", key, v);
+    out += buf;
+    first = false;
+  };
+  auto count = [&](const char* key, uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "%s  \"%s\": %llu",
+                  first ? "" : ",\n", key,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+    first = false;
+  };
+  count("completed", completed);
+  count("failed", failed);
+  num("wall_seconds", wall_seconds);
+  num("qps", qps());
+  num("p50_ms", p50_ms);
+  num("p95_ms", p95_ms);
+  num("mean_ms", mean_ms);
+  num("max_ms", max_ms);
+  count("epoch", epoch);
+  count("publishes", publishes);
+  count("docs_added", docs_added);
+  count("docs_removed", docs_removed);
+  count("cache_invalidations", cache_invalidations);
+  count("plan_cache_hits", plan_cache_hits);
+  count("plan_cache_misses", plan_cache_misses);
+  num("plan_hit_rate", plan_hit_rate());
+  count("result_cache_hits", result_cache_hits);
+  num("result_hit_rate", result_hit_rate());
+  count("warm_started_runs", warm_started_runs);
+  count("warm_started_weights", warm_started_weights);
+  count("edges_executed", edges_executed);
+  num("sampling_ms", sampling_ms);
+  num("execution_ms", execution_ms);
+  count("gather_count", gather_count);
+  count("bytes_gathered", bytes_gathered);
+  count("peak_intermediate_rows", peak_intermediate_rows);
+  count("num_shards", num_shards);
+  count("sharded_fanouts", sharded.fanouts);
+  count("queries_shed", queries_shed);
+  count("queries_cancelled", queries_cancelled);
+  count("queries_deadline_exceeded", queries_deadline_exceeded);
+  count("queries_budget_exceeded", queries_budget_exceeded);
+  count("peak_query_memory_bytes", peak_query_memory_bytes);
+  count("admission_running", admission_running);
+  count("admission_queued", admission_queued);
+  count("peak_admission_queued", peak_admission_queued);
+  out += "\n}\n";
   return out;
 }
 
@@ -190,39 +269,114 @@ Status Engine::RemoveDocument(std::string_view name) {
   return Status::Ok();
 }
 
+QueryResponse Engine::Execute(const QueryRequest& request) {
+  return Execute(request, ReserveSequence());
+}
+
+QueryResponse Engine::Execute(const QueryRequest& request,
+                              uint64_t sequence) {
+  QueryResponse resp;
+  resp.mode = request.mode;
+  resp.client_tag = request.client_tag;
+
+  if (request.mode == QueryMode::kExplain) {
+    Result<std::string> text = ExplainText(request.text);
+    resp.result.sequence = sequence;
+    resp.result.epoch = CurrentEpoch();
+    if (text.ok()) {
+      resp.explain_text = std::move(*text);
+    } else {
+      resp.status = text.status();
+      resp.result.status = text.status();
+    }
+    return resp;
+  }
+
+  // kProfile forces a full-detail trace and a real execution; kExecute
+  // resolves the request's overrides against the engine defaults.
+  const bool profile = request.mode == QueryMode::kProfile;
+  const obs::TraceLevel trace_level =
+      profile ? obs::TraceLevel::kFull
+              : request.trace_level.value_or(options_.trace_level);
+  const bool allow_replay = !profile && request.allow_result_replay;
+  const QueryLimits* limits =
+      request.limits.has_value() ? &*request.limits : nullptr;
+  resp.result = ExecuteQuery(request.text, sequence, trace_level,
+                             allow_replay, limits, request.client_tag);
+  resp.status = resp.result.status;
+  return resp;
+}
+
+std::future<QueryResponse> Engine::ExecuteAsync(QueryRequest request) {
+  uint64_t seq = ReserveSequence();
+  const auto dispatched = std::chrono::steady_clock::now();
+  return pool_.Async([this, req = std::move(request), seq,
+                      dispatched]() mutable {
+    ChargeDispatchQueueWait(req, options_.default_limits, dispatched);
+    return Execute(req, seq);
+  });
+}
+
+void Engine::ExecuteAsync(QueryRequest request, uint64_t sequence,
+                          std::function<void(QueryResponse)> done) {
+  const auto dispatched = std::chrono::steady_clock::now();
+  pool_.Submit([this, req = std::move(request), sequence,
+                done = std::move(done), dispatched]() mutable {
+    ChargeDispatchQueueWait(req, options_.default_limits, dispatched);
+    done(Execute(req, sequence));
+  });
+}
+
 std::future<QueryResult> Engine::Submit(std::string query_text) {
-  uint64_t seq = next_sequence_.fetch_add(1);
-  return pool_.Async([this, text = std::move(query_text), seq]() {
-    return Execute(text, seq, options_.trace_level);
+  uint64_t seq = ReserveSequence();
+  QueryRequest req;
+  req.text = std::move(query_text);
+  const auto dispatched = std::chrono::steady_clock::now();
+  return pool_.Async([this, req = std::move(req), seq,
+                      dispatched]() mutable {
+    ChargeDispatchQueueWait(req, options_.default_limits, dispatched);
+    return Execute(req, seq).result;
   });
 }
 
 std::future<QueryResult> Engine::Submit(std::string query_text,
                                         QueryLimits limits) {
-  uint64_t seq = next_sequence_.fetch_add(1);
-  return pool_.Async([this, text = std::move(query_text), seq, limits]() {
-    return Execute(text, seq, options_.trace_level,
-                   /*allow_result_replay=*/true, &limits);
+  uint64_t seq = ReserveSequence();
+  QueryRequest req;
+  req.text = std::move(query_text);
+  req.limits = limits;
+  const auto dispatched = std::chrono::steady_clock::now();
+  return pool_.Async([this, req = std::move(req), seq,
+                      dispatched]() mutable {
+    ChargeDispatchQueueWait(req, options_.default_limits, dispatched);
+    return Execute(req, seq).result;
   });
 }
 
 QueryResult Engine::Run(std::string query_text) {
-  return Execute(query_text, next_sequence_.fetch_add(1),
-                 options_.trace_level);
+  QueryRequest req;
+  req.text = std::move(query_text);
+  return Execute(req).result;
 }
 
 QueryResult Engine::Run(std::string query_text, QueryLimits limits) {
-  return Execute(query_text, next_sequence_.fetch_add(1),
-                 options_.trace_level, /*allow_result_replay=*/true,
-                 &limits);
+  QueryRequest req;
+  req.text = std::move(query_text);
+  req.limits = limits;
+  return Execute(req).result;
 }
 
-bool Engine::Kill(uint64_t sequence) {
+Status Engine::Kill(uint64_t sequence) {
   std::lock_guard<std::mutex> lock(active_mu_);
   auto it = active_.find(sequence);
-  if (it == active_.end()) return false;
+  if (it == active_.end()) {
+    // Completed, shed, or never started: nothing in flight to cancel.
+    // Distinct from OK so the server's disconnect path can tell
+    // "killed" apart from "already done".
+    return Status::NotFound("no in-flight query with this sequence");
+  }
   it->second->Cancel();
-  return true;
+  return Status::Ok();
 }
 
 size_t Engine::KillAll() {
@@ -232,11 +386,22 @@ size_t Engine::KillAll() {
 }
 
 QueryResult Engine::Profile(std::string query_text) {
-  return Execute(query_text, next_sequence_.fetch_add(1),
-                 obs::TraceLevel::kFull, /*allow_result_replay=*/false);
+  QueryRequest req;
+  req.text = std::move(query_text);
+  req.mode = QueryMode::kProfile;
+  return Execute(req).result;
 }
 
 Result<std::string> Engine::Explain(const std::string& query_text) {
+  QueryRequest req;
+  req.text = query_text;
+  req.mode = QueryMode::kExplain;
+  QueryResponse resp = Execute(req);
+  if (!resp.ok()) return resp.status;
+  return std::move(resp.explain_text);
+}
+
+Result<std::string> Engine::ExplainText(const std::string& query_text) {
   auto st = Published();
   const uint64_t epoch = st->corpus->epoch();
   CorpusSnapshot snapshot(st->corpus);
@@ -347,7 +512,9 @@ std::vector<QueryResult> Engine::RunBatch(
         std::counting_semaphore<>* limiter;
         ~Slot() { limiter->release(); }
       } slot{&limiter};
-      return Execute(q, seq, options_.trace_level);
+      QueryRequest req;
+      req.text = q;
+      return Execute(req, seq).result;
     }));
   }
   std::vector<QueryResult> out;
@@ -356,10 +523,11 @@ std::vector<QueryResult> Engine::RunBatch(
   return out;
 }
 
-QueryResult Engine::Execute(const std::string& text, uint64_t seq,
-                            obs::TraceLevel trace_level,
-                            bool allow_result_replay,
-                            const QueryLimits* limits_in) {
+QueryResult Engine::ExecuteQuery(const std::string& text, uint64_t seq,
+                                 obs::TraceLevel trace_level,
+                                 bool allow_result_replay,
+                                 const QueryLimits* limits_in,
+                                 std::string_view client_tag) {
   StopWatch watch;
   QueryResult out;
   out.sequence = seq;
@@ -423,6 +591,9 @@ QueryResult Engine::Execute(const std::string& text, uint64_t seq,
     trace = std::make_shared<obs::QueryTrace>(trace_level);
     root_span = trace->BeginSpan("query");
     trace->AttrNum(root_span, "seq", static_cast<double>(seq));
+    if (!client_tag.empty()) {
+      trace->AttrStr(root_span, "client_tag", std::string(client_tag));
+    }
     if (limits.deadline_ms > 0) {
       trace->AttrNum(root_span, "deadline_ms", limits.deadline_ms);
     }

@@ -32,6 +32,7 @@
 #define ROX_ENGINE_ENGINE_H_
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -45,6 +46,7 @@
 #include "common/thread_pool.h"
 #include "engine/engine_stats.h"
 #include "engine/governor.h"
+#include "engine/query_api.h"
 #include "engine/query_cache.h"
 #include "index/corpus.h"
 #include "index/sharded_corpus.h"
@@ -140,44 +142,8 @@ struct IngestDoc {
   std::string xml;
 };
 
-// Everything one query produced.
-struct QueryResult {
-  Status status = Status::Ok();
-  // The compiled query (shared with the cache); null on compile errors.
-  std::shared_ptr<const xq::CompiledQuery> compiled;
-  // The result node sequence; null on any error.
-  std::shared_ptr<const std::vector<Pre>> items;
-  // Document of the result items (the return variable's document).
-  DocId result_doc = kInvalidDocId;
-  // The corpus epoch this query ran against, and the pinned snapshot
-  // itself — holding the result keeps its epoch alive, so result Pre
-  // ids can always be resolved against `snapshot` even after later
-  // publishes (the shell serializes results through it, and the
-  // differential fuzz harness rebuilds reference engines from it).
-  uint64_t epoch = 0;
-  std::shared_ptr<const Corpus> snapshot;
-  // Optimizer statistics (zeroed for result-cache hits: nothing ran).
-  RoxStats rox_stats;
-  bool plan_cache_hit = false;
-  bool result_cache_hit = false;
-  bool warm_started = false;
-  double wall_ms = 0;
-  // Engine-assigned sequence number (also the query's RNG stream id,
-  // and the handle Engine::Kill takes).
-  uint64_t sequence = 0;
-  // Bytes the query's memory budget metered (arena blocks, adopted
-  // columns, eager pair-result materializations). Informational even
-  // when no budget limit was set.
-  uint64_t memory_bytes = 0;
-  // The query's flight recorder; null when the effective trace level
-  // was kOff (the default).
-  std::shared_ptr<const obs::QueryTrace> trace;
-
-  bool ok() const { return status.ok(); }
-  // The trace as one JSON document ("{}" when tracing was off) — what
-  // benches and the fuzz harness dump on failure.
-  std::string trace_json() const { return trace ? trace->ToJson() : "{}"; }
-};
+// QueryRequest / QueryResult / QueryResponse — the unified query API —
+// live in engine/query_api.h (DESIGN.md §15).
 
 class Engine {
  public:
@@ -233,34 +199,72 @@ class Engine {
   // reused; pinned older epochs still serve the document.
   Status RemoveDocument(std::string_view name);
 
-  // Asynchronous execution on the owned pool. The overload applies
-  // per-query limits in place of options().default_limits.
+  // --- unified query API (DESIGN.md §15) ------------------------------------
+  //
+  // The single entry point every surface routes through: the request
+  // carries the text, the mode (execute/explain/profile), optional
+  // per-query limits and trace level, and a client tag. Synchronous;
+  // runs on the calling thread against the engine's cache and stats.
+  QueryResponse Execute(const QueryRequest& request);
+
+  // Executes under a sequence number obtained earlier from
+  // ReserveSequence() — the server's dispatch path: it learns the
+  // handle Kill() takes *before* the query starts, so a client
+  // disconnect racing query startup still has something to kill.
+  QueryResponse Execute(const QueryRequest& request, uint64_t sequence);
+
+  // Asynchronous Execute on the owned pool.
+  std::future<QueryResponse> ExecuteAsync(QueryRequest request);
+
+  // Callback-style asynchronous Execute under a pre-reserved sequence
+  // number: `done` runs on the pool thread right after the query
+  // finishes (the server's completion-queue hookup). `done` must not
+  // block for long — it occupies a query worker.
+  void ExecuteAsync(QueryRequest request, uint64_t sequence,
+                    std::function<void(QueryResponse)> done);
+
+  // Reserves the sequence number a later Execute(request, sequence)
+  // will run under.
+  uint64_t ReserveSequence() { return next_sequence_.fetch_add(1); }
+
+  // --- legacy entry points (deprecated) -------------------------------------
+  //
+  // Thin shims over Execute(QueryRequest), kept for source
+  // compatibility; tests/query_api_test.cc pins their equivalence.
+  // New call sites should build a QueryRequest instead.
+
+  // Deprecated: Execute({.text = ..., .limits = ...}) asynchronously.
   std::future<QueryResult> Submit(std::string query_text);
   std::future<QueryResult> Submit(std::string query_text,
                                   QueryLimits limits);
 
-  // Synchronous execution on the calling thread (same cache/stats).
+  // Deprecated: Execute({.text = ..., .limits = ...}).result.
   QueryResult Run(std::string query_text);
   QueryResult Run(std::string query_text, QueryLimits limits);
 
   // --- cooperative kill (DESIGN.md §13) -------------------------------------
   //
   // Cancels the in-flight query with this sequence number (the one
-  // QueryResult::sequence reports). Returns false when no such query is
-  // active. The cancel is cooperative: the query unwinds at its next
-  // token checkpoint with kCancelled. A query queued at the admission
-  // gate keeps its slot reservation until one frees, then exits
-  // immediately without executing.
-  bool Kill(uint64_t sequence);
+  // QueryResult::sequence reports). Returns OK when the cancel was
+  // signalled and kNotFound when no such query is active — already
+  // completed, shed, or never started — so callers like the server's
+  // disconnect path can distinguish "killed" from "already done". The
+  // cancel is cooperative: the query unwinds at its next token
+  // checkpoint with kCancelled. A query queued at the admission gate
+  // keeps its slot reservation until one frees, then exits immediately
+  // without executing.
+  Status Kill(uint64_t sequence);
   // Cancels every in-flight query; returns how many were signalled.
   size_t KillAll();
 
-  // Like Run but forces a full-detail trace for this one query and
-  // bypasses the result-cache replay so an execution actually happens
-  // (plan cache and warm weights still apply, and are recorded in the
-  // trace as provenance). The shell's \profile surface.
+  // Deprecated: Execute({.text = ..., .mode = QueryMode::kProfile}):
+  // forces a full-detail trace and bypasses the result-cache replay so
+  // an execution actually happens (plan cache and warm weights still
+  // apply, and are recorded in the trace as provenance). The shell's
+  // \profile surface.
   QueryResult Profile(std::string query_text);
 
+  // Deprecated: Execute({.text = ..., .mode = QueryMode::kExplain}).
   // EXPLAIN (no execution): compiles the query (sharing the plan
   // cache) and runs ROX Phase 1 sampling only, then renders the join
   // graph with estimated cardinalities/weights and each component's
@@ -286,6 +290,14 @@ class Engine {
     return out;
   }
   void ResetStats() { stats_.Reset(); }
+
+  // The metrics registry this engine's stats mirror into (the /metrics
+  // exposition surface): options().metrics, or the process-wide
+  // registry when none was injected.
+  obs::MetricsRegistry& metrics_registry() const {
+    return options_.metrics != nullptr ? *options_.metrics
+                                       : obs::MetricsRegistry::Global();
+  }
 
   // Cache inspection (the shell's \cache command).
   std::vector<QueryCache::Listing> CacheContents() const;
@@ -318,11 +330,18 @@ class Engine {
   // builder started from (still current, since writers are serial).
   void Publish(CorpusBuilder builder, const PublishedState& base);
 
-  // `limits` null applies options_.default_limits.
-  QueryResult Execute(const std::string& text, uint64_t seq,
-                      obs::TraceLevel trace_level,
-                      bool allow_result_replay = true,
-                      const QueryLimits* limits = nullptr);
+  // The execute/profile engine underneath Execute(QueryRequest).
+  // `limits` null applies options_.default_limits; `client_tag` is
+  // recorded on the trace root span.
+  QueryResult ExecuteQuery(const std::string& text, uint64_t seq,
+                           obs::TraceLevel trace_level,
+                           bool allow_result_replay = true,
+                           const QueryLimits* limits = nullptr,
+                           std::string_view client_tag = {});
+
+  // The explain engine underneath Execute(QueryRequest) (and the
+  // legacy Explain shim): renders Phase-1 estimates without executing.
+  Result<std::string> ExplainText(const std::string& query_text);
 
   EngineOptions options_;
   StatsCollector stats_;

@@ -110,6 +110,12 @@ struct EngineStats {
   }
 
   std::string ToString() const;
+
+  // One flat JSON object (stable keys — the server's /stats endpoint;
+  // see DESIGN.md §15). Monotonic counters, gate occupancy, latency
+  // percentiles and qps; per-shard row vectors are summarized as
+  // sharded_fanouts only.
+  std::string ToJson() const;
 };
 
 // What one finished query reports back to the collector.

@@ -1,0 +1,69 @@
+// A tiny blocking HTTP/1.1 client over one persistent connection —
+// just enough to talk to roxd. Shared by the roxq CLI, the server
+// integration tests, and bench_server_load (whose closed-loop clients
+// each hold one of these). Not a general HTTP client: Content-Length
+// framing only, no redirects, no TLS.
+
+#ifndef ROX_SERVER_CLIENT_H_
+#define ROX_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rox::server {
+
+struct HttpResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+};
+
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient() { Close(); }
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept
+      : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+  }
+  HttpClient& operator=(HttpClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      buffer_ = std::move(other.buffer_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  // Opens the TCP connection (idempotent; reconnects after Close).
+  Status Connect(const std::string& host, uint16_t port);
+  // True between a successful Connect and Close/peer hangup.
+  bool connected() const { return fd_ >= 0; }
+  // Sends one request and blocks for the full response. The
+  // connection stays open for the next request (keep-alive) unless
+  // the server said close — then it is closed and connected() turns
+  // false. kInternal when the peer hung up before a full response.
+  Result<HttpResponse> Request(
+      std::string_view method, std::string_view target,
+      const std::vector<std::pair<std::string, std::string>>& headers,
+      std::string_view body);
+  // Half-closes nothing; just drops the connection (how the tests
+  // fake a client vanishing mid-query).
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // response bytes past the previous message
+};
+
+}  // namespace rox::server
+
+#endif  // ROX_SERVER_CLIENT_H_

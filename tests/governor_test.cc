@@ -287,8 +287,57 @@ TEST_F(GovernedEngineTest, KillCancelsInFlightQuery) {
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status.code(), StatusCode::kCancelled) << r.status.ToString();
   EXPECT_EQ(eng.Stats().queries_cancelled, 1u);
-  // Kill of an unknown sequence is a clean no-op.
-  EXPECT_FALSE(eng.Kill(123456789));
+  // Kill of an unknown sequence is a clean no-op that says so.
+  EXPECT_EQ(eng.Kill(123456789).code(), StatusCode::kNotFound);
+}
+
+TEST_F(GovernedEngineTest, KillReportsNotFoundForCompletedQuery) {
+  engine::Engine eng(corpus(), {});
+  engine::QueryResult done = eng.Run(FastQuery());
+  ASSERT_TRUE(done.ok()) << done.status.ToString();
+  // The query finished: its sequence is no longer in flight, and a
+  // late Kill (a client disconnecting after the response was built)
+  // must be distinguishable from killing a live query.
+  Status late = eng.Kill(done.sequence);
+  EXPECT_EQ(late.code(), StatusCode::kNotFound) << late.ToString();
+  // Nothing was cancelled by the late kill.
+  EXPECT_EQ(eng.Stats().queries_cancelled, 0u);
+
+  // Contrast: a kill that lands while the query is active returns Ok
+  // (covered above); an unknown-but-never-issued sequence is the same
+  // not-found as a completed one — callers cannot tell them apart,
+  // which is exactly the contract the server needs for idempotent
+  // disconnect handling.
+  EXPECT_EQ(eng.Kill(done.sequence + 1000).code(), StatusCode::kNotFound);
+}
+
+TEST_F(GovernedEngineTest, DeadlineCoversDispatchQueueWait) {
+  // One pool thread: the slow query occupies it, so the governed fast
+  // query sits in the dispatch queue well past its deadline. The
+  // deadline must cover that wait — a backlogged pool must not
+  // silently extend every deadline by its queue depth.
+  engine::EngineOptions opts;
+  opts.num_threads = 1;
+  engine::Engine eng(corpus(), opts);
+
+  engine::QueryRequest blocker;
+  blocker.text = SlowQuery();
+  std::future<engine::QueryResponse> slow =
+      eng.ExecuteAsync(std::move(blocker));
+
+  engine::QueryRequest governed;
+  governed.text = FastQuery();
+  QueryLimits limits;
+  limits.deadline_ms = 1;  // lapses while queued behind the blocker
+  governed.limits = limits;
+  engine::QueryResponse fast =
+      eng.ExecuteAsync(std::move(governed)).get();
+  ASSERT_FALSE(fast.ok());
+  EXPECT_EQ(fast.status.code(), StatusCode::kDeadlineExceeded)
+      << fast.status.ToString();
+
+  engine::QueryResponse done = slow.get();
+  EXPECT_TRUE(done.ok()) << done.status.ToString();
 }
 
 TEST_F(GovernedEngineTest, MemoryBudgetTripsAndIsMetered) {

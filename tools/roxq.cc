@@ -1,0 +1,126 @@
+// roxq — command-line client for roxd.
+//
+//   $ roxq [--host=127.0.0.1] [--port=8080] 'QUERY'
+//   $ echo 'QUERY' | roxq           # query from stdin when no arg
+//   $ roxq --stats                  # GET /stats
+//   $ roxq --metrics                # GET /metrics
+//   $ roxq --health                 # GET /healthz
+//
+// Query knobs map straight onto the /query headers (DESIGN.md §15):
+//   --deadline_ms=N       X-Deadline-Ms
+//   --memory_budget_mb=N  X-Memory-Budget-Mb
+//   --max_rows=N          X-Max-Rows
+//   --mode=execute|explain|profile   X-Query-Mode
+//   --trace_level=off|spans|full     X-Trace-Level
+//   --tag=TEXT            X-Client-Tag
+//
+// Prints the response body (the stable QueryResponse JSON) to stdout.
+// Exit status: 0 on HTTP 2xx, 1 on any HTTP error or transport
+// failure, 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/client.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: roxq [--host=H] [--port=P] [--deadline_ms=N]\n"
+      "            [--memory_budget_mb=N] [--max_rows=N]\n"
+      "            [--mode=execute|explain|profile]\n"
+      "            [--trace_level=off|spans|full] [--tag=TEXT]\n"
+      "            ['QUERY' | --stats | --metrics | --health]\n"
+      "with no QUERY argument, the query is read from stdin\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rox;
+
+  std::string host = "127.0.0.1";
+  uint16_t port = 8080;
+  std::string get_target;  // --stats/--metrics/--health
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string query;
+  bool have_query = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    size_t eq = arg.find('=');
+    std::string key = arg.substr(0, eq);
+    std::string val = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--host") {
+      host = val;
+    } else if (key == "--port") {
+      long p = std::strtol(val.c_str(), nullptr, 10);
+      if (p < 1 || p > 65535) return Usage();
+      port = static_cast<uint16_t>(p);
+    } else if (key == "--deadline_ms") {
+      headers.emplace_back("X-Deadline-Ms", val);
+    } else if (key == "--memory_budget_mb") {
+      headers.emplace_back("X-Memory-Budget-Mb", val);
+    } else if (key == "--max_rows") {
+      headers.emplace_back("X-Max-Rows", val);
+    } else if (key == "--mode") {
+      headers.emplace_back("X-Query-Mode", val);
+    } else if (key == "--trace_level") {
+      headers.emplace_back("X-Trace-Level", val);
+    } else if (key == "--tag") {
+      headers.emplace_back("X-Client-Tag", val);
+    } else if (arg == "--stats") {
+      get_target = "/stats";
+    } else if (arg == "--metrics") {
+      get_target = "/metrics";
+    } else if (arg == "--health") {
+      get_target = "/healthz";
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", key.c_str());
+      return Usage();
+    } else if (!have_query) {
+      query = arg;
+      have_query = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (have_query && !get_target.empty()) return Usage();
+  if (!have_query && get_target.empty()) {
+    std::stringstream buf;
+    buf << std::cin.rdbuf();
+    query = buf.str();
+    if (query.empty()) return Usage();
+    have_query = true;
+  }
+
+  server::HttpClient client;
+  Status s = client.Connect(host, port);
+  if (!s.ok()) {
+    std::fprintf(stderr, "cannot reach roxd at %s:%u: %s\n", host.c_str(),
+                 static_cast<unsigned>(port), s.ToString().c_str());
+    return 1;
+  }
+  auto resp = have_query
+                  ? client.Request("POST", "/query", headers, query)
+                  : client.Request("GET", get_target, headers, "");
+  if (!resp.ok()) {
+    std::fprintf(stderr, "request failed: %s\n",
+                 resp.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(resp->body.c_str(), stdout);
+  if (resp->status >= 300) {
+    std::fprintf(stderr, "HTTP %d\n", resp->status);
+    return 1;
+  }
+  return 0;
+}
